@@ -1,0 +1,90 @@
+"""Ablation — the design choices DESIGN.md calls out.
+
+Measures what normalization (dead-symbol pruning) and symbol
+minimization buy during refinement: representation size and wall time
+with each switched off, on the catalog workload and the blowup family.
+"""
+
+from repro.refine.minimize import merge_equivalent_symbols
+from repro.refine.refine import refine, refine_sequence
+from repro.refine.inverse import universal_incomplete
+from repro.workloads.blowup import BLOWUP_ALPHABET, pair_queries
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    generate_catalog,
+    query1,
+    query2,
+)
+
+import series
+
+
+def _fold(history, alphabet, normalize, minimize):
+    current = universal_incomplete(alphabet)
+    for query, answer in history:
+        current = refine(current, query, answer, alphabet, normalize=normalize)
+        if minimize:
+            current = merge_equivalent_symbols(current)
+    return current
+
+
+def test_ablation_table():
+    rows = []
+    for n in (3, 5):
+        history = pair_queries(n)
+        for normalize, minimize in [(False, False), (True, False), (True, True)]:
+            size = _fold(history, BLOWUP_ALPHABET, normalize, minimize).size()
+            rows.append(
+                {
+                    "workload": f"pairs n={n}",
+                    "normalize": normalize,
+                    "minimize": minimize,
+                    "size": size,
+                }
+            )
+    doc = generate_catalog(15, seed=15)
+    history = [(query1(), query1().evaluate(doc)), (query2(), query2().evaluate(doc))]
+    for normalize, minimize in [(False, False), (True, False), (True, True)]:
+        size = _fold(history, CATALOG_ALPHABET, normalize, minimize).size()
+        rows.append(
+            {
+                "workload": "catalog q1+q2",
+                "normalize": normalize,
+                "minimize": minimize,
+                "size": size,
+            }
+        )
+    series.print_table("Ablation: normalization / minimization", rows)
+    # normalization must never grow the representation
+    by_workload = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], []).append(row["size"])
+    for sizes in by_workload.values():
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+def test_refine_without_normalization(benchmark):
+    history = pair_queries(5)
+    benchmark.pedantic(
+        lambda: _fold(history, BLOWUP_ALPHABET, False, False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_refine_with_normalization(benchmark):
+    history = pair_queries(5)
+    benchmark.pedantic(
+        lambda: _fold(history, BLOWUP_ALPHABET, True, False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_refine_with_minimization(benchmark):
+    history = pair_queries(5)
+    benchmark.pedantic(
+        lambda: _fold(history, BLOWUP_ALPHABET, True, True),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,59 @@
+"""E10 — Theorem 3.19: non-redundant completions; measured transfer
+savings against re-asking the query from scratch."""
+
+from repro.mediator.completion import completion_plan
+from repro.mediator.source import InMemorySource
+from repro.mediator.webhouse import Webhouse
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    generate_catalog,
+    query1,
+    query2,
+    query4,
+)
+
+import series
+
+
+def test_mediator_savings_table():
+    rows = series.series_mediator()
+    series.print_table("E10 mediator: fetched vs naive re-ask", rows)
+    for row in rows:
+        assert row["nodes_fetched"] <= row["doc_nodes"]
+
+
+def _knowledge(n):
+    doc = generate_catalog(n, seed=n)
+    history = [
+        (query1(), query1().evaluate(doc)),
+        (query2(), query2().evaluate(doc)),
+    ]
+    knowledge = intersect_with_tree_type(
+        refine_sequence(CATALOG_ALPHABET, history), catalog_type()
+    )
+    return knowledge, doc
+
+
+def test_completion_plan_generation_20(benchmark):
+    knowledge, _doc = _knowledge(20)
+    plan = benchmark.pedantic(
+        lambda: completion_plan(knowledge, query4()), rounds=3, iterations=1
+    )
+
+
+def test_end_to_end_mediated_answer_20(benchmark):
+    def run():
+        tt = catalog_type()
+        doc = generate_catalog(20, seed=20)
+        source = InMemorySource(doc, tt)
+        wh = Webhouse(CATALOG_ALPHABET, tree_type=tt)
+        wh.ask(source, query1())
+        wh.ask(source, query2())
+        answer, _plan = wh.complete_and_answer(source, query4())
+        return answer
+
+    answer = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not answer.is_empty()

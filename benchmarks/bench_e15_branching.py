@@ -1,0 +1,41 @@
+"""E15 — Section 4 branching: the q(T) answer space grows factorially
+(the paper's n! example), so branching breaks polynomial answer
+representations."""
+
+import math
+
+from repro.extensions.branching import blowup_incomplete_tree, blowup_query
+
+import series
+
+
+def test_branching_answer_count_table():
+    rows = series.series_branching(max_n=3)
+    series.print_table("E15 branching: distinct possible answers", rows)
+    counts = [r["distinct_answers"] for r in rows]
+    assert counts == sorted(counts)
+    # super-linear growth: already far beyond n at n=3
+    assert counts[-1] > 3 * counts[0]
+
+
+def test_blowup_tree_construction(benchmark):
+    benchmark(lambda: blowup_incomplete_tree(8))
+
+
+def test_branching_query_on_witness(benchmark):
+    from repro.core.tree import DataTree, node
+
+    n = 5
+    query = blowup_query(n)
+    products = [
+        node(
+            f"a{i}",
+            "a",
+            i,
+            [node(f"b{i}_{j}", "b", j) for j in range(1, n + 1)],
+        )
+        for i in range(1, n + 1)
+    ]
+    tree = DataTree.build(node("r", "root", 0, products))
+    answer = benchmark(lambda: query.evaluate(tree))
+    assert not answer.is_empty()

@@ -1,0 +1,66 @@
+"""E16 — Theorem 4.2: k-pebble automaton acceptance scales polynomially
+in the tree (fixed k); bounded witness search illustrates why emptiness
+(Theorem 4.3) is out of reach."""
+
+from repro.extensions.binary_encoding import encode
+from repro.extensions.pebble import (
+    DOWN_LEFT,
+    DOWN_RIGHT,
+    PLACE,
+    Move,
+    PebbleAutomaton,
+    product,
+)
+from repro.core.tree import DataTree, node
+
+import series
+
+
+def _search_automaton(target):
+    transitions = {}
+    for label in ("a", "b", "#"):
+        moves = []
+        if label == target:
+            moves.append(Move(PLACE, "yes"))
+        if label != "#":
+            moves.append(Move(DOWN_LEFT, "scan"))
+            moves.append(Move(DOWN_RIGHT, "scan"))
+        transitions[("scan", label, frozenset())] = tuple(moves)
+    return PebbleAutomaton(2, "scan", ["yes"], transitions)
+
+
+def _comb(n):
+    spec = node("leaf", "b", 0)
+    for i in range(n - 1):
+        spec = node(f"n{i}", "a", 0, [spec])
+    return encode(DataTree.build(spec))
+
+
+def test_acceptance_scaling_table():
+    rows = series.series_pebble()
+    series.print_table("E16 pebble automaton acceptance", rows)
+    small, large = rows[0], rows[-1]
+    node_ratio = large["nodes"] / small["nodes"]
+    assert large["accepts_s"] < max(small["accepts_s"], 1e-4) * node_ratio**3
+
+
+def test_accepts_200_nodes(benchmark):
+    automaton = _search_automaton("b")
+    tree = _comb(200)
+    assert benchmark(lambda: automaton.accepts(tree))
+
+
+def test_product_acceptance(benchmark):
+    both = product(_search_automaton("a"), _search_automaton("b"))
+    tree = _comb(100)
+    assert benchmark.pedantic(lambda: both.accepts(tree), rounds=3, iterations=1)
+
+
+def test_bounded_witness_search(benchmark):
+    automaton = _search_automaton("b")
+    witness = benchmark.pedantic(
+        lambda: automaton.find_accepted(["a", "b"], max_nodes=4),
+        rounds=1,
+        iterations=1,
+    )
+    assert witness is not None

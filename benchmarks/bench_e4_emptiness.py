@@ -1,0 +1,31 @@
+"""E4 — Lemma 2.5: emptiness of conditional tree types is PTIME.
+
+Timing series over required-chain depth; the growth should be roughly
+quadratic at worst (fixpoint over symbols), never exponential.
+"""
+
+import series
+
+
+def test_emptiness_scaling_table():
+    rows = series.series_emptiness()
+    series.print_table("E4 emptiness (Lemma 2.5, PTIME)", rows)
+    # shape check: 40x bigger input stays within ~polynomial time growth
+    small, large = rows[0]["seconds"], rows[-1]["seconds"]
+    ratio_input = rows[-1]["chain_depth"] / rows[0]["chain_depth"]
+    assert large < max(small, 1e-4) * ratio_input**3
+
+
+def test_emptiness_depth_100(benchmark):
+    tau = series.chain_type(100)
+    benchmark(tau.is_empty)
+
+
+def test_emptiness_depth_400(benchmark):
+    tau = series.chain_type(400)
+    benchmark(tau.is_empty)
+
+
+def test_normalization_depth_100(benchmark):
+    tau = series.chain_type(100)
+    benchmark(tau.normalized)

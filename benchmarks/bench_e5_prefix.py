@@ -1,0 +1,59 @@
+"""E5 — Theorem 2.8: certain/possible prefix checks are PTIME in the
+incomplete tree."""
+
+from repro.core.tree import DataTree, node
+from repro.incomplete.certainty import certain_prefix, possible_prefix
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.catalog import CATALOG_ALPHABET, catalog_type, generate_catalog, query1
+
+import series
+
+
+def _knowledge(n_products):
+    doc = generate_catalog(n_products, seed=n_products)
+    history = [(query1(), query1().evaluate(doc))]
+    return intersect_with_tree_type(
+        refine_sequence(CATALOG_ALPHABET, history), catalog_type()
+    )
+
+
+def _ghost_prefix():
+    return DataTree.build(
+        node(
+            "cat0",
+            "catalog",
+            0,
+            [
+                node(
+                    "ghost",
+                    "product",
+                    0,
+                    [node("gp", "price", 999), node("gc", "cat", "garden")],
+                )
+            ],
+        )
+    )
+
+
+def test_prefix_scaling_table():
+    rows = series.series_prefix()
+    series.print_table("E5 certain/possible prefix (Theorem 2.8, PTIME)", rows)
+    small, large = rows[0], rows[-1]
+    size_ratio = large["repr_size"] / small["repr_size"]
+    for key in ("possible_s", "certain_s"):
+        assert large[key] < max(small[key], 1e-4) * size_ratio**3
+
+
+def test_possible_prefix_20_products(benchmark):
+    knowledge = _knowledge(20)
+    prefix = _ghost_prefix()
+    result = benchmark(lambda: possible_prefix(prefix, knowledge))
+    assert result  # a cheap garden product can be missing
+
+
+def test_certain_prefix_20_products(benchmark):
+    knowledge = _knowledge(20)
+    prefix = _ghost_prefix()
+    result = benchmark(lambda: certain_prefix(prefix, knowledge))
+    assert not result

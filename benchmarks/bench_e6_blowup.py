@@ -1,0 +1,54 @@
+"""E6 — the central size trade-off (Example 3.2, Corollary 3.9,
+Lemma 3.12, Proposition 3.13).
+
+Reproduced shape: plain Refine doubles per step on the pair-query
+family; conjunctive trees grow linearly; the probing heuristic and the
+linear-query fast path stay polynomial.  Crossover: plain is smaller for
+n ≤ 3, conjunctive wins from n ≈ 4 on.
+"""
+
+from repro.refine.conjunctive import refine_plus_sequence
+from repro.refine.refine import refine_sequence
+from repro.workloads.blowup import BLOWUP_ALPHABET, pair_queries
+
+import series
+
+
+def test_blowup_table():
+    rows = series.series_blowup(max_n=8)
+    series.print_table("E6 representation sizes (Example 3.2 family)", rows)
+    # exponential doubling of the plain representation
+    plain = [r["plain_refine"] for r in rows]
+    increments = [b - a for a, b in zip(plain, plain[1:])]
+    for a, b in zip(increments, increments[1:]):
+        assert b == 2 * a
+    # linear growth of the conjunctive representation
+    conj = [r["conjunctive"] for r in rows]
+    conj_inc = {b - a for a, b in zip(conj, conj[1:])}
+    assert len(conj_inc) == 1
+    # crossover: plain starts smaller, ends much larger
+    assert plain[0] < conj[0]
+    assert plain[-1] > 2 * conj[-1]
+
+
+def test_plain_refine_n6(benchmark):
+    history = pair_queries(6)
+    benchmark.pedantic(
+        lambda: refine_sequence(BLOWUP_ALPHABET, history), rounds=3, iterations=1
+    )
+
+
+def test_conjunctive_refine_n6(benchmark):
+    history = pair_queries(6)
+    benchmark.pedantic(
+        lambda: refine_plus_sequence(BLOWUP_ALPHABET, history),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_plain_refine_n9_exponential(benchmark):
+    history = pair_queries(9)
+    benchmark.pedantic(
+        lambda: refine_sequence(BLOWUP_ALPHABET, history), rounds=1, iterations=1
+    )

@@ -1,0 +1,67 @@
+"""E7 — Theorems 3.4/3.5: each Refine step is polynomial in the
+query/answer pair and the current representation."""
+
+from repro.refine.inverse import inverse_incomplete, universal_incomplete
+from repro.refine.refine import refine
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    generate_catalog,
+    query1,
+    query2,
+)
+
+import series
+
+
+def test_refine_cost_table():
+    rows = series.series_refine_cost()
+    series.print_table("E7 per-step Refine cost (Theorem 3.4)", rows)
+    # polynomial shape: 16x answer growth => well under cubic time growth
+    small, large = rows[0], rows[-1]
+    node_ratio = max(large["answer_nodes"] / max(small["answer_nodes"], 1), 2)
+    assert large["refine_s"] < max(small["refine_s"], 1e-4) * node_ratio**3
+
+
+def test_inverse_construction_40_products(benchmark):
+    doc = generate_catalog(40, seed=40)
+    answer = query1().evaluate(doc)
+    benchmark(lambda: inverse_incomplete(query1(), answer, CATALOG_ALPHABET))
+
+
+def test_refine_step_40_products(benchmark):
+    doc = generate_catalog(40, seed=40)
+    answer = query1().evaluate(doc)
+    base = universal_incomplete(CATALOG_ALPHABET)
+    benchmark.pedantic(
+        lambda: refine(base, query1(), answer, CATALOG_ALPHABET),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_second_refine_step_20_products(benchmark):
+    doc = generate_catalog(20, seed=20)
+    a1 = query1().evaluate(doc)
+    a2 = query2().evaluate(doc)
+    base = refine(
+        universal_incomplete(CATALOG_ALPHABET), query1(), a1, CATALOG_ALPHABET
+    )
+    benchmark.pedantic(
+        lambda: refine(base, query2(), a2, CATALOG_ALPHABET),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_type_intersection_20_products(benchmark):
+    doc = generate_catalog(20, seed=20)
+    a1 = query1().evaluate(doc)
+    refined = refine(
+        universal_incomplete(CATALOG_ALPHABET), query1(), a1, CATALOG_ALPHABET
+    )
+    tt = catalog_type()
+    benchmark.pedantic(
+        lambda: intersect_with_tree_type(refined, tt), rounds=3, iterations=1
+    )

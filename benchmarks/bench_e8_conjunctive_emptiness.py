@@ -1,0 +1,53 @@
+"""E8 — Theorem 3.10: emptiness is PTIME for plain incomplete trees,
+NP-complete for conjunctive ones.
+
+The table contrasts emptiness timing on the same knowledge in both
+representations, plus SAT-derived instances where the conjunctive check
+must materialize an exponential product.
+"""
+
+import pytest
+
+from repro.refine.conjunctive import refine_plus_sequence
+from repro.refine.refine import refine_sequence
+from repro.workloads.blowup import BLOWUP_ALPHABET, pair_queries
+
+import series
+
+
+def test_emptiness_contrast_table():
+    rows = series.series_conjunctive_emptiness(max_n=6)
+    series.print_table(
+        "E8 emptiness: plain (PTIME) vs conjunctive (NP)", rows
+    )
+    # the conjunctive check does strictly more work at larger n
+    assert rows[-1]["conjunctive_emptiness_s"] > rows[-1]["plain_emptiness_s"]
+
+
+@pytest.mark.slow
+def test_sat_instances_table():
+    rows = series.series_sat_emptiness()
+    series.print_table("E8 SAT-derived instances (Theorem 3.6/3.10)", rows)
+    assert all(r["agrees"] for r in rows)
+
+
+def test_plain_emptiness_n6(benchmark):
+    plain = refine_sequence(BLOWUP_ALPHABET, pair_queries(6))
+    benchmark(plain.is_empty)
+
+
+def test_conjunctive_emptiness_n6(benchmark):
+    conj = refine_plus_sequence(BLOWUP_ALPHABET, pair_queries(6))
+    benchmark.pedantic(conj.is_empty, rounds=3, iterations=1)
+
+
+def test_conjunctive_membership_stays_fast_n8(benchmark):
+    """Membership in conjunctive trees is PTIME (per-layer checks)."""
+    from repro.core.tree import DataTree, node
+
+    conj = refine_plus_sequence(BLOWUP_ALPHABET, pair_queries(8))
+    probe = DataTree.build(
+        node("r", "root", 0, [node("x", "a", 99), node("y", "b", 98)])
+    )
+    result = benchmark(lambda: conj.contains(probe))
+    assert result

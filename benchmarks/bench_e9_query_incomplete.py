@@ -1,0 +1,59 @@
+"""E9 — Theorem 3.14 / Corollary 3.15: q(T) construction is polynomial
+in T for fixed Σ, exponential in |Σ| in the worst case; answerability
+piggybacks on it."""
+
+from repro.answering.answerable import fully_answerable
+from repro.answering.query_incomplete import query_incomplete
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    generate_catalog,
+    query1,
+    query2,
+    query3,
+    query4,
+)
+
+import series
+
+
+def _knowledge(n_products):
+    doc = generate_catalog(n_products, seed=n_products)
+    history = [
+        (query1(), query1().evaluate(doc)),
+        (query2(), query2().evaluate(doc)),
+    ]
+    return intersect_with_tree_type(
+        refine_sequence(CATALOG_ALPHABET, history), catalog_type()
+    )
+
+
+def test_qT_scaling_table():
+    rows = series.series_query_incomplete()
+    series.print_table("E9 q(T) construction vs knowledge size", rows)
+    small, large = rows[0], rows[-1]
+    size_ratio = large["knowledge_size"] / small["knowledge_size"]
+    assert large["seconds"] < max(small["seconds"], 1e-3) * size_ratio**3
+
+
+def test_qT_alphabet_blowup_table():
+    rows = series.series_query_incomplete_alphabet()
+    series.print_table("E9 q(T) vs alphabet width (exponential in Σ)", rows)
+    sizes = [r["qT_size"] for r in rows]
+    assert sizes == sorted(sizes)
+
+
+def test_query_incomplete_20_products(benchmark):
+    knowledge = _knowledge(20)
+    benchmark.pedantic(
+        lambda: query_incomplete(knowledge, query4()), rounds=3, iterations=1
+    )
+
+
+def test_fully_answerable_20_products(benchmark):
+    knowledge = _knowledge(20)
+    result = benchmark.pedantic(
+        lambda: fully_answerable(knowledge, query3()), rounds=3, iterations=1
+    )

@@ -1,0 +1,16 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only          # timings
+    pytest benchmarks/ --benchmark-only -s       # + experiment tables
+    python benchmarks/report.py                  # tables only, no pytest
+
+Each ``bench_*`` module covers one experiment id from EXPERIMENTS.md.
+"""
+
+import sys
+from pathlib import Path
+
+# allow `import series` both under pytest and standalone
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate every experiment series and print the tables.
+
+Usage::
+
+    python benchmarks/report.py            # all experiments
+    python benchmarks/report.py E6 E8      # selected ids
+
+The numbers printed here populate EXPERIMENTS.md.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import series  # noqa: E402
+
+EXPERIMENTS = {
+    "E4": ("emptiness (Lemma 2.5, PTIME)", series.series_emptiness),
+    "E5": ("certain/possible prefix (Theorem 2.8)", series.series_prefix),
+    "E6": ("representation blowup (Example 3.2 et al.)", series.series_blowup),
+    "E7": ("per-step Refine cost (Theorem 3.4)", series.series_refine_cost),
+    "E8a": (
+        "emptiness plain vs conjunctive (Theorem 3.10)",
+        series.series_conjunctive_emptiness,
+    ),
+    "E8b": ("SAT-derived emptiness (Theorems 3.6/3.10)", series.series_sat_emptiness),
+    "E9a": ("q(T) vs knowledge size (Theorem 3.14)", series.series_query_incomplete),
+    "E9b": (
+        "q(T) vs alphabet width (exponential in Σ)",
+        series.series_query_incomplete_alphabet,
+    ),
+    "E10": ("mediator transfer savings (Theorem 3.19)", series.series_mediator),
+    "E15": ("branching answer blowup (Section 4)", series.series_branching),
+    "E16": ("pebble automaton acceptance (Theorem 4.2)", series.series_pebble),
+}
+
+
+def main(argv):
+    wanted = [w.upper() for w in argv[1:]]
+    for key, (title, fn) in EXPERIMENTS.items():
+        if wanted and not any(key.startswith(w) for w in wanted):
+            continue
+        rows = fn()
+        series.print_table(f"{key}: {title}", rows)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,357 @@
+"""Series computations shared by the benchmark suite and the report
+script.
+
+Each ``series_*`` function regenerates the rows of one experiment from
+EXPERIMENTS.md (the paper is a theory paper: its "tables" are growth
+claims and complexity statements; the series make them measurable).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Sequence
+
+from repro.answering.query_incomplete import query_incomplete
+from repro.core.conditions import Cond
+from repro.core.query import linear_query
+from repro.core.tree import DataTree, node
+from repro.incomplete.certainty import certain_prefix, possible_prefix
+from repro.mediator.source import InMemorySource
+from repro.mediator.webhouse import Webhouse
+from repro.refine.conjunctive import refine_plus_sequence
+from repro.refine.linear import refine_linear_sequence
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.refine.inverse import universal_incomplete
+from repro.workloads.blowup import (
+    BLOWUP_ALPHABET,
+    linear_nested_queries,
+    pair_queries,
+    probe_queries_for_pairs,
+)
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    generate_catalog,
+    query1,
+    query2,
+    query4,
+)
+
+Row = Dict[str, object]
+
+
+def timed(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def print_table(title: str, rows: Sequence[Row]) -> None:
+    print(f"\n== {title} ==")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0])
+    widths = {
+        c: max(len(c), *(len(_fmt(r[c])) for r in rows)) for c in columns
+    }
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(_fmt(row[c]).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+# -- E4: emptiness is PTIME ------------------------------------------------------
+
+
+def chain_type(depth: int):
+    """A conditional type with a required chain of the given depth."""
+    from repro.core.multiplicity import Atom, Disjunction
+    from repro.incomplete.conditional import ConditionalTreeType
+
+    mu = {}
+    for i in range(depth):
+        mu[f"s{i}"] = Disjunction.single(Atom.of(**{f"s{i + 1}": "1"}))
+    mu[f"s{depth}"] = Disjunction.leaf()
+    return ConditionalTreeType.simple(["s0"], mu)
+
+
+def series_emptiness(depths=(10, 50, 100, 200, 400)) -> List[Row]:
+    rows = []
+    for depth in depths:
+        tau = chain_type(depth)
+        seconds = timed(tau.is_empty)
+        rows.append(
+            {"chain_depth": depth, "symbols": len(tau.symbols()), "seconds": seconds}
+        )
+    return rows
+
+
+# -- E5: certain/possible prefix is PTIME -----------------------------------------
+
+
+def series_prefix(sizes=(5, 10, 20, 40)) -> List[Row]:
+    tt = catalog_type()
+    rows = []
+    for n in sizes:
+        doc = generate_catalog(n, seed=n)
+        history = [(query1(), query1().evaluate(doc))]
+        knowledge = intersect_with_tree_type(
+            refine_sequence(CATALOG_ALPHABET, history), tt
+        )
+        prefix = DataTree.build(
+            node(
+                "cat0",
+                "catalog",
+                0,
+                [
+                    node(
+                        "ghost",
+                        "product",
+                        0,
+                        [node("gp", "price", 999), node("gc", "cat", "garden")],
+                    )
+                ],
+            )
+        )
+        t_poss = timed(lambda: possible_prefix(prefix, knowledge))
+        t_cert = timed(lambda: certain_prefix(prefix, knowledge))
+        rows.append(
+            {
+                "products": n,
+                "repr_size": knowledge.size(),
+                "possible_s": t_poss,
+                "certain_s": t_cert,
+            }
+        )
+    return rows
+
+
+# -- E6: representation-size growth (the paper's central trade-off) ----------------
+
+
+def series_blowup(max_n: int = 8) -> List[Row]:
+    rows = []
+    for n in range(1, max_n + 1):
+        history = pair_queries(n)
+        plain = refine_sequence(BLOWUP_ALPHABET, history).size()
+        conj = refine_plus_sequence(BLOWUP_ALPHABET, history).size()
+        probed = refine_sequence(
+            BLOWUP_ALPHABET, probe_queries_for_pairs(n) + history
+        ).size()
+        lin = refine_linear_sequence(
+            BLOWUP_ALPHABET, linear_nested_queries(n)
+        ).size()
+        rows.append(
+            {
+                "n": n,
+                "plain_refine": plain,
+                "conjunctive": conj,
+                "probing_heuristic": probed,
+                "linear_family_min": lin,
+            }
+        )
+    return rows
+
+
+# -- E7: per-step Refine cost --------------------------------------------------------
+
+
+def series_refine_cost(sizes=(5, 10, 20, 40, 80)) -> List[Row]:
+    tt = catalog_type()
+    rows = []
+    for n in sizes:
+        doc = generate_catalog(n, seed=n)
+        q = query1()
+        answer = q.evaluate(doc)
+        base = universal_incomplete(CATALOG_ALPHABET)
+        from repro.refine.refine import refine
+
+        seconds = timed(lambda: refine(base, q, answer, CATALOG_ALPHABET))
+        rows.append(
+            {"products": n, "answer_nodes": len(answer), "refine_s": seconds}
+        )
+    return rows
+
+
+# -- E8: plain vs conjunctive emptiness -----------------------------------------------
+
+
+def series_conjunctive_emptiness(max_n: int = 6) -> List[Row]:
+    rows = []
+    for n in range(1, max_n + 1):
+        history = pair_queries(n)
+        conj = refine_plus_sequence(BLOWUP_ALPHABET, history)
+        plain = refine_sequence(BLOWUP_ALPHABET, history)
+        t_plain = timed(plain.is_empty)
+        t_conj = timed(conj.is_empty)
+        rows.append(
+            {
+                "n": n,
+                "plain_emptiness_s": t_plain,
+                "conjunctive_emptiness_s": t_conj,
+            }
+        )
+    return rows
+
+
+def series_sat_emptiness() -> List[Row]:
+    """Theorem 3.10 on SAT-derived instances (exponential, kept tiny)."""
+    from repro.reductions.sat3 import brute_force_sat, build_instance, decide_by_representation
+
+    cases = [
+        ("1 var, sat", 1, [(1, 1, 1)]),
+        ("1 var, unsat", 1, [(1, 1, 1), (-1, -1, -1)]),
+        ("2 vars, sat", 2, [(1, 2, 2), (-1, 2, 2), (1, -2, -2)]),
+    ]
+    rows = []
+    for name, n_vars, clauses in cases:
+        instance = build_instance(n_vars, clauses)
+        start = time.perf_counter()
+        got = decide_by_representation(instance)
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "instance": name,
+                "satisfiable": got,
+                "agrees": got == brute_force_sat(n_vars, clauses),
+                "seconds": seconds,
+            }
+        )
+    return rows
+
+
+# -- E9: q(T) construction --------------------------------------------------------------
+
+
+def series_query_incomplete(sizes=(5, 10, 20, 40)) -> List[Row]:
+    tt = catalog_type()
+    rows = []
+    for n in sizes:
+        doc = generate_catalog(n, seed=n)
+        history = [(query1(), query1().evaluate(doc)), (query2(), query2().evaluate(doc))]
+        knowledge = intersect_with_tree_type(
+            refine_sequence(CATALOG_ALPHABET, history), tt
+        )
+        seconds = timed(lambda: query_incomplete(knowledge, query4()))
+        answers = query_incomplete(knowledge, query4())
+        rows.append(
+            {
+                "products": n,
+                "knowledge_size": knowledge.size(),
+                "qT_size": answers.size(),
+                "seconds": seconds,
+            }
+        )
+    return rows
+
+
+def series_query_incomplete_alphabet(widths=(2, 4, 6, 8)) -> List[Row]:
+    """Exponential-in-|Σ| worst case (Theorem 3.14's caveat).
+
+    For each label lᵢ the history records an empty two-level query
+    ``root → lᵢ(<0) → sub``, splitting lᵢ's missing information into two
+    exclusive specializations (condition violated vs subtree failed).
+    Asking ``root → {l₁, ..., l_k}`` then needs, per child pattern, a
+    disjunction over which specialization carries the forced match —
+    2^k atoms.
+    """
+    from repro.core.query import PSQuery, pattern
+
+    rows = []
+    for width in widths:
+        labels = ["root", "sub"] + [f"l{i}" for i in range(width)]
+        history = []
+        for i in range(width):
+            q_learn = linear_query(["root", f"l{i}", "sub"], [None, Cond.lt(0), None])
+            history.append((q_learn, DataTree.empty()))
+        knowledge = refine_sequence(labels, history)
+        q_ask = PSQuery(
+            pattern("root", children=[pattern(f"l{i}") for i in range(width)])
+        )
+        seconds = timed(lambda: query_incomplete(knowledge, q_ask))
+        size = query_incomplete(knowledge, q_ask).size()
+        rows.append({"alphabet": width + 2, "qT_size": size, "seconds": seconds})
+    return rows
+
+
+# -- E10: mediator savings ------------------------------------------------------------------
+
+
+def series_mediator(sizes=(10, 20, 40, 80)) -> List[Row]:
+    tt = catalog_type()
+    rows = []
+    for n in sizes:
+        doc = generate_catalog(n, seed=n)
+        source = InMemorySource(doc, tt)
+        wh = Webhouse(CATALOG_ALPHABET, tree_type=tt)
+        wh.ask(source, query1())
+        wh.ask(source, query2())
+        before = source.stats.nodes_served
+        answer, plan = wh.complete_and_answer(source, query4())
+        fetched = source.stats.nodes_served - before
+        naive = len(query4().evaluate(doc))
+        assert answer == query4().evaluate(doc)
+        rows.append(
+            {
+                "products": n,
+                "doc_nodes": len(doc),
+                "plan_queries": len(plan),
+                "nodes_fetched": fetched,
+                "naive_reask_nodes": naive,
+            }
+        )
+    return rows
+
+
+# -- E15: branching answer-count blowup ------------------------------------------------------
+
+
+def series_branching(max_n: int = 3) -> List[Row]:
+    from repro.extensions.branching import count_possible_answers
+
+    rows = []
+    for n in range(1, max_n + 1):
+        start = time.perf_counter()
+        count = count_possible_answers(n)
+        seconds = time.perf_counter() - start
+        rows.append({"n": n, "distinct_answers": count, "seconds": seconds})
+    return rows
+
+
+# -- E16: pebble automaton scaling --------------------------------------------------------------
+
+
+def series_pebble(sizes=(10, 50, 200, 800)) -> List[Row]:
+    from repro.extensions.binary_encoding import encode
+    from repro.extensions.pebble import Move, PebbleAutomaton, PLACE, DOWN_LEFT, DOWN_RIGHT
+
+    def search_automaton(target):
+        transitions = {}
+        for label in ("a", "b", "#"):
+            moves = []
+            if label == target:
+                moves.append(Move(PLACE, "yes"))
+            if label != "#":
+                moves.append(Move(DOWN_LEFT, "scan"))
+                moves.append(Move(DOWN_RIGHT, "scan"))
+            transitions[("scan", label, frozenset())] = tuple(moves)
+        return PebbleAutomaton(2, "scan", ["yes"], transitions)
+
+    automaton = search_automaton("b")
+    rows = []
+    for n in sizes:
+        # a left-comb of a's with a single b at the bottom
+        spec = node("leaf", "b", 0)
+        for i in range(n - 1):
+            spec = node(f"n{i}", "a", 0, [spec])
+        tree = encode(DataTree.build(spec))
+        seconds = timed(lambda: automaton.accepts(tree))
+        rows.append({"nodes": n, "accepts_s": seconds})
+    return rows

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Tutorial: your own schema, end to end, using the text DSLs.
+
+Everything here is written as text — the tree type in the DTD-like
+syntax, queries in the indentation syntax — and then run through the
+full incomplete-information pipeline on a small bibliography source.
+
+Run:  python examples/custom_schema.py
+"""
+
+from repro import (
+    DataTree,
+    InMemorySource,
+    TreeType,
+    Webhouse,
+    node,
+    parse_query,
+)
+
+
+def build_library() -> DataTree:
+    def book(bid, title, year, genre, copies):
+        children = [
+            node(f"{bid}-title", "title", title),
+            node(f"{bid}-year", "year", year),
+            node(f"{bid}-genre", "genre", genre),
+        ]
+        children += [
+            node(f"{bid}-copy{i}", "copy", f"shelf-{i}") for i in range(copies)
+        ]
+        return node(bid, "book", 0, children)
+
+    return DataTree.build(
+        node(
+            "lib",
+            "library",
+            0,
+            [
+                book("b1", "Foundations of Databases", 1995, "cs", 2),
+                book("b2", "The Art of Computer Programming", 1968, "cs", 1),
+                book("b3", "Dune", 1965, "scifi", 3),
+                book("b4", "Hyperion", 1989, "scifi", 0),
+                book("b5", "A Pattern Language", 1977, "architecture", 1),
+            ],
+        )
+    )
+
+
+def main() -> None:
+    tree_type = TreeType.parse(
+        """
+        root: library
+        library -> book*
+        book    -> title year genre copy*
+        """
+    )
+    document = build_library()
+    assert tree_type.satisfied_by(document)
+
+    source = InMemorySource(document, tree_type)
+    webhouse = Webhouse(tree_type.alphabet, tree_type=tree_type)
+
+    recent_cs = parse_query(
+        """
+        library
+          book
+            title
+            year [>= 1990]
+            genre [= "cs"]
+        """
+    )
+    old_books = parse_query(
+        """
+        library
+          book
+            title
+            year [< 1970]
+        """
+    )
+    for name, query in [("recent CS books", recent_cs), ("pre-1970 books", old_books)]:
+        answer = webhouse.ask(source, query)
+        titles = sorted(
+            answer.value(n) for n in answer.node_ids() if answer.label(n) == "title"
+        )
+        print(f"{name}: {titles}")
+
+    seventies = parse_query(
+        """
+        library
+          book
+            title
+            year [>= 1970 & < 1980]
+        """
+    )
+    print(f"\n1970s books answerable locally? {webhouse.can_answer(seventies)}")
+    sure, more = webhouse.answer_with_caveats(seventies)
+    titles = sorted(
+        sure.value(n) for n in sure.node_ids() if sure.label(n) == "title"
+    )
+    print(f"known so far: {titles}; could there be more? {more}")
+
+    answer, plan = webhouse.complete_and_answer(source, seventies)
+    titles = sorted(
+        answer.value(n) for n in answer.node_ids() if answer.label(n) == "title"
+    )
+    print(f"after completion ({len(plan)} local queries): {titles}")
+
+    # negative knowledge: nothing older than 1900
+    ancient = parse_query(
+        """
+        library
+          book
+            year [< 1900]
+        """
+    )
+    print(f"\ncould an 1800s book exist? {webhouse.may_match(ancient)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's catalog example, end to end.
+
+Builds the Figure 1 tree type and the Figure 6 document, runs Queries
+1-2 to acquire incomplete knowledge, answers Query 3 locally, reasons
+about what is certain and possible, and completes Query 4 against the
+source with a non-redundant plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import InMemorySource, Webhouse
+from repro.core import DataTree, node
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    demo_catalog,
+    query1,
+    query2,
+    query3,
+    query4,
+    query5,
+)
+
+
+def main() -> None:
+    tree_type = catalog_type()
+    document = demo_catalog()
+    print("Source document (normally remote):")
+    print(document.pretty())
+
+    source = InMemorySource(document, tree_type)
+    webhouse = Webhouse(CATALOG_ALPHABET, tree_type=tree_type)
+
+    print("\n-- acquiring knowledge --")
+    answer1 = webhouse.ask(source, query1())
+    print(f"Query 1 returned {len(answer1)} nodes (cheap electronics)")
+    answer2 = webhouse.ask(source, query2())
+    print(f"Query 2 returned {len(answer2)} nodes (pictured cameras)")
+    print(f"representation size: {webhouse.size()}")
+
+    print("\n-- everything known for sure (the data tree Td) --")
+    print(webhouse.data_tree().pretty())
+
+    print("\n-- Query 3: cameras < $100 with a picture --")
+    if webhouse.can_answer(query3()):
+        answer = webhouse.answer_locally(query3())
+        print("answerable locally, no source round-trip needed; answer:")
+        print(answer.pretty() if not answer.is_empty() else "(empty answer)")
+
+    print("\n-- Query 4: all cameras --")
+    print(f"fully answerable locally? {webhouse.can_answer(query4())}")
+    sure = webhouse.certain_answer_part(query4())
+    names = sorted(
+        sure.value(n) for n in sure.node_ids() if sure.label(n) == "name"
+    )
+    print(f"cameras known for sure: {names}")
+    print(f"could there be more (expensive, unpictured)? {webhouse.may_match(query5())}")
+
+    print("\n-- reasoning about the unknown --")
+    nikon_pic = DataTree.build(
+        node("cat0", "catalog", 0,
+             [node("p-nikon", "product", 0, [node("g", "picture", "n.jpg")])])
+    )
+    print(f"could Nikon have a picture? {webhouse.is_possible_prefix(nikon_pic)}")
+    cheap_olympus = DataTree.build(
+        node("cat0", "catalog", 0,
+             [node("p-olympus", "product", 0, [node("g", "price", 99)])])
+    )
+    print(f"could the Olympus cost $99? {webhouse.is_possible_prefix(cheap_olympus)}")
+
+    print("\n-- completing Query 4 against the source --")
+    served_before = source.stats.nodes_served
+    answer, plan = webhouse.complete_and_answer(source, query4())
+    fetched = source.stats.nodes_served - served_before
+    names = sorted(
+        answer.value(n) for n in answer.node_ids() if answer.label(n) == "name"
+    )
+    print(f"plan: {plan}")
+    print(f"all cameras: {names}")
+    print(f"fetched {fetched} nodes vs {len(document)} in the document")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A longer Webhouse session over a synthetic 30-product catalog.
+
+Demonstrates the Section 1 scenario at a more realistic scale: a
+sequence of exploratory queries, local answering whenever Corollary
+3.15 allows it, incomplete answers via Theorem 3.14 when it does not,
+and transfer accounting for the mediated completions.
+
+Run:  python examples/webhouse_session.py
+"""
+
+from repro import Cond, InMemorySource, PSQuery, Webhouse
+from repro.core import pattern
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    generate_catalog,
+)
+
+
+def product_query(*children: object) -> PSQuery:
+    return PSQuery(pattern("catalog", children=[pattern("product", children=list(children))]))
+
+
+def main() -> None:
+    tree_type = catalog_type()
+    document = generate_catalog(30, seed=7)
+    source = InMemorySource(document, tree_type)
+    webhouse = Webhouse(CATALOG_ALPHABET, tree_type=tree_type, auto_minimize=True)
+
+    print(f"document: {len(document)} nodes, 30 products")
+
+    # exploratory phase: two overlapping range queries
+    q_cheap = product_query(
+        pattern("name"),
+        pattern("price", Cond.lt(300)),
+        pattern("cat", None, [pattern("subcat")]),
+    )
+    q_mid = product_query(
+        pattern("name"),
+        pattern("price", Cond.ge(200) & Cond.lt(700)),
+    )
+    for label, query in [("cheap products", q_cheap), ("mid-range products", q_mid)]:
+        answer = webhouse.ask(source, query)
+        print(f"asked for {label}: {len(answer)} nodes; repr size {webhouse.size()}")
+
+    # a query covered by what we already know
+    q_bargain = product_query(
+        pattern("name"),
+        pattern("price", Cond.lt(100)),
+        pattern("cat", None, [pattern("subcat")]),
+    )
+    print(f"\nbargains answerable locally? {webhouse.can_answer(q_bargain)}")
+    if webhouse.can_answer(q_bargain):
+        answer = webhouse.answer_locally(q_bargain)
+        names = sorted(
+            answer.value(n) for n in answer.node_ids() if answer.label(n) == "name"
+        )
+        print(f"bargain products: {names}")
+
+    # a query that needs the source: expensive items were never fetched
+    q_premium = product_query(
+        pattern("name"),
+        pattern("price", ~Cond.lt(700)),
+    )
+    print(f"\npremium answerable locally? {webhouse.can_answer(q_premium)}")
+    print(f"premium possibly non-empty? {webhouse.may_match(q_premium)}")
+    served_before = source.stats.nodes_served
+    answer, plan = webhouse.complete_and_answer(source, q_premium)
+    fetched = source.stats.nodes_served - served_before
+    names = sorted(
+        answer.value(n) for n in answer.node_ids() if answer.label(n) == "name"
+    )
+    print(f"premium products: {names}")
+    print(f"plan had {len(plan)} local queries; fetched {fetched} nodes "
+          f"(document has {len(document)})")
+
+    # what do we know now, in XML form?
+    print("\nknown prefix as XML (first lines):")
+    from repro.core import tree_to_xml
+
+    xml = tree_to_xml(webhouse.data_tree())
+    print("\n".join(xml.splitlines()[:8]))
+    print("  ...")
+
+    print(f"\nsource served {source.stats.queries} queries, "
+          f"{source.stats.nodes_served} nodes in total")
+
+
+if __name__ == "__main__":
+    main()

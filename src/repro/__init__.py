@@ -1,0 +1,132 @@
+"""repro — Representing and Querying XML with Incomplete Information.
+
+A full reproduction of Abiteboul, Segoufin & Vianu (PODS 2001): data
+trees with persistent node ids, simplified DTDs, prefix-selection
+queries, the incomplete-tree representation system, Algorithm Refine and
+its blowup countermeasures, querying of incomplete trees, the mediator
+machinery, and the Section 4 extension constructions.
+
+Quickstart::
+
+    from repro import (
+        Cond, DataTree, PSQuery, TreeType, Webhouse, InMemorySource,
+        node, pattern,
+    )
+
+    tt = TreeType.parse("root: catalog\\ncatalog -> product+ ...")
+    source = InMemorySource(document, tt)
+    wh = Webhouse(tt.alphabet, tree_type=tt)
+    wh.ask(source, some_query)                   # acquire knowledge
+    wh.can_answer(other_query)                   # Corollary 3.15
+    wh.possible_answers(other_query)             # Theorem 3.14
+    wh.complete_and_answer(source, other_query)  # Theorem 3.19
+"""
+
+from .answering import (
+    certain_answer_prefix,
+    certainly_nonempty,
+    fully_answerable,
+    possible_answer_prefix,
+    possibly_nonempty,
+    query_incomplete,
+)
+from .core import (
+    Atom,
+    Cond,
+    DataTree,
+    Disjunction,
+    IdFactory,
+    IntervalSet,
+    Mult,
+    PSQuery,
+    QueryNode,
+    StringSet,
+    TreeType,
+    ValueSet,
+    as_value,
+    linear_query,
+    node,
+    parse_cond,
+    parse_query,
+    pattern,
+    subtree,
+    tree_from_xml,
+    tree_to_xml,
+)
+from .incomplete import (
+    ConditionalTreeType,
+    DataNode,
+    IncompleteTree,
+    certain_prefix,
+    enumerate_trees,
+    possible_prefix,
+)
+from .mediator import InMemorySource, LocalQuery, Webhouse, completion_plan
+from .refine import (
+    ConjunctiveIncompleteTree,
+    forget_specializations,
+    intersect,
+    intersect_with_tree_type,
+    inverse_incomplete,
+    merge_equivalent_symbols,
+    probing_queries,
+    refine,
+    refine_linear_sequence,
+    refine_plus_sequence,
+    refine_sequence,
+    universal_incomplete,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Cond",
+    "ConditionalTreeType",
+    "ConjunctiveIncompleteTree",
+    "DataNode",
+    "DataTree",
+    "Disjunction",
+    "IdFactory",
+    "IncompleteTree",
+    "InMemorySource",
+    "IntervalSet",
+    "LocalQuery",
+    "Mult",
+    "PSQuery",
+    "QueryNode",
+    "StringSet",
+    "TreeType",
+    "ValueSet",
+    "Webhouse",
+    "as_value",
+    "certain_answer_prefix",
+    "certain_prefix",
+    "certainly_nonempty",
+    "completion_plan",
+    "enumerate_trees",
+    "forget_specializations",
+    "fully_answerable",
+    "intersect",
+    "intersect_with_tree_type",
+    "inverse_incomplete",
+    "linear_query",
+    "merge_equivalent_symbols",
+    "node",
+    "parse_cond",
+    "parse_query",
+    "pattern",
+    "possible_answer_prefix",
+    "possible_prefix",
+    "possibly_nonempty",
+    "probing_queries",
+    "query_incomplete",
+    "refine",
+    "refine_linear_sequence",
+    "refine_plus_sequence",
+    "refine_sequence",
+    "subtree",
+    "tree_from_xml",
+    "tree_to_xml",
+    "universal_incomplete",
+]

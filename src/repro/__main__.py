@@ -1,0 +1,94 @@
+"""Command-line entry point.
+
+::
+
+    python -m repro demo          # the paper's catalog scenario
+    python -m repro blowup [n]    # Example 3.2 size table
+    python -m repro xml FILE      # parse & pretty-print a document
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def _demo() -> int:
+    from .mediator.source import InMemorySource
+    from .mediator.webhouse import Webhouse
+    from .workloads.catalog import (
+        CATALOG_ALPHABET,
+        catalog_type,
+        demo_catalog,
+        query1,
+        query2,
+        query3,
+        query4,
+    )
+
+    tree_type = catalog_type()
+    document = demo_catalog()
+    source = InMemorySource(document, tree_type)
+    webhouse = Webhouse(CATALOG_ALPHABET, tree_type=tree_type)
+    print("asking Query 1 (cheap electronics) and Query 2 (pictured cameras)...")
+    webhouse.ask(source, query1())
+    webhouse.ask(source, query2())
+    print(f"knowledge size: {webhouse.size()}")
+    print(f"Query 3 answerable locally: {webhouse.can_answer(query3())}")
+    sure, more = webhouse.answer_with_caveats(query4())
+    names = sorted(
+        sure.value(n) for n in sure.node_ids() if sure.label(n) == "name"
+    )
+    print(f"cameras known for sure: {names}; may be more: {more}")
+    answer, plan = webhouse.complete_and_answer(source, query4())
+    names = sorted(
+        answer.value(n) for n in answer.node_ids() if answer.label(n) == "name"
+    )
+    print(f"after completion ({len(plan)} local queries): {names}")
+    return 0
+
+
+def _blowup(n: int) -> int:
+    from .refine.conjunctive import refine_plus_sequence
+    from .refine.refine import refine_sequence
+    from .workloads.blowup import BLOWUP_ALPHABET, pair_queries
+
+    print(f"{'n':>3}  {'plain':>8}  {'conjunctive':>11}")
+    for i in range(1, n + 1):
+        history = pair_queries(i)
+        plain = refine_sequence(BLOWUP_ALPHABET, history).size()
+        conj = refine_plus_sequence(BLOWUP_ALPHABET, history).size()
+        print(f"{i:>3}  {plain:>8}  {conj:>11}")
+    return 0
+
+
+def _xml(path: str) -> int:
+    from .core.xml_io import tree_from_xml
+
+    tree = tree_from_xml(Path(path).read_text())
+    print(tree.pretty())
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if len(argv) >= 2 else 2
+    command = argv[1]
+    if command == "demo":
+        return _demo()
+    if command == "blowup":
+        n = int(argv[2]) if len(argv) > 2 else 8
+        return _blowup(n)
+    if command == "xml":
+        if len(argv) < 3:
+            print("usage: python -m repro xml FILE", file=sys.stderr)
+            return 2
+        return _xml(argv[2])
+    print(f"unknown command {command!r}", file=sys.stderr)
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,22 @@
+"""Querying incomplete trees: q(T) (Theorem 3.14), full answerability
+(Corollary 3.15) and certain/possible answer facts (Theorem 3.17,
+Corollary 3.18)."""
+
+from .answerable import fully_answerable
+from .facts import (
+    certain_answer_prefix,
+    certainly_nonempty,
+    possible_answer_prefix,
+    possibly_nonempty,
+)
+from .query_incomplete import query_incomplete, type_possible_certain
+
+__all__ = [
+    "certain_answer_prefix",
+    "certainly_nonempty",
+    "fully_answerable",
+    "possible_answer_prefix",
+    "possibly_nonempty",
+    "query_incomplete",
+    "type_possible_certain",
+]

@@ -1,0 +1,61 @@
+"""Full answerability of a query from local knowledge (Corollary 3.15).
+
+A ps-query q can be *fully answered* from an incomplete tree T when
+``q(T) = q(Td)`` for every T ∈ rep(T), where Td is T's data tree — i.e.
+the possible answers collapse to the single answer computable from the
+locally known prefix.
+
+Decision procedure: build q(T) (Theorem 3.14) and check that its
+represented set is exactly ``{q(Td)}``:
+
+* every useful symbol of q(T) specializes a data node occurring in
+  q(Td)  — no unknown node can ever appear in an answer;
+* q(Td) is a certain prefix of q(T) — every possible answer contains
+  all of q(Td);
+* the empty answer is possible iff q(Td) is empty.
+
+Together these force rep(q(T)) = {q(Td)} (members consist only of
+q(Td)'s data nodes in their fixed positions and contain q(Td)).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.query import PSQuery
+from ..core.tree import DataTree
+from ..incomplete.certainty import certain_prefix
+from ..incomplete.incomplete_tree import IncompleteTree
+from .query_incomplete import query_incomplete
+
+
+def fully_answerable(
+    incomplete: IncompleteTree, query: PSQuery
+) -> Tuple[bool, DataTree]:
+    """Can ``query`` be answered exactly from local data?
+
+    Returns ``(answerable, local_answer)`` where ``local_answer`` is
+    q(Td); when ``answerable`` is True it equals q(T) for every
+    represented T.
+    """
+    local_answer = query.evaluate(incomplete.data_tree())
+    answers = query_incomplete(incomplete, query)
+
+    if answers.is_empty():
+        # rep(T) itself is empty: vacuously answerable
+        return True, local_answer
+
+    if answers.allows_empty != local_answer.is_empty():
+        return False, local_answer
+
+    answer_ids = set(local_answer.node_ids())
+    tau = answers.type.normalized()
+    node_ids = answers.data_node_ids()
+    for symbol in tau.useful_symbols():
+        target = tau.sigma(symbol)
+        if target not in node_ids or target not in answer_ids:
+            return False, local_answer
+
+    if not local_answer.is_empty() and not certain_prefix(local_answer, answers):
+        return False, local_answer
+    return True, local_answer

@@ -1,0 +1,43 @@
+"""Certain and possible facts about query answers
+(Theorem 3.17, Corollary 3.18).
+
+All four predicates compose the q(T) construction of Theorem 3.14 with
+the prefix checks of Theorem 2.8 — PTIME for a fixed alphabet, as the
+paper states.
+"""
+
+from __future__ import annotations
+
+from ..core.query import PSQuery
+from ..core.tree import DataTree
+from ..incomplete.certainty import certain_prefix, possible_prefix
+from ..incomplete.incomplete_tree import IncompleteTree
+from .query_incomplete import query_incomplete
+
+
+def possible_answer_prefix(
+    prefix: DataTree, incomplete: IncompleteTree, query: PSQuery
+) -> bool:
+    """Does some T ∈ rep(T) have ``prefix`` as a prefix of q(T)?"""
+    return possible_prefix(prefix, query_incomplete(incomplete, query))
+
+
+def certain_answer_prefix(
+    prefix: DataTree, incomplete: IncompleteTree, query: PSQuery
+) -> bool:
+    """Do all T ∈ rep(T) have ``prefix`` as a prefix of q(T)?"""
+    return certain_prefix(prefix, query_incomplete(incomplete, query))
+
+
+def possibly_nonempty(incomplete: IncompleteTree, query: PSQuery) -> bool:
+    """Corollary 3.18: q(T) ≠ ∅ for some T ∈ rep(T)."""
+    answers = query_incomplete(incomplete, query)
+    return not answers.type.is_empty()
+
+
+def certainly_nonempty(incomplete: IncompleteTree, query: PSQuery) -> bool:
+    """Corollary 3.18: q(T) ≠ ∅ for every T ∈ rep(T) (and rep(T) ≠ ∅)."""
+    answers = query_incomplete(incomplete, query)
+    if answers.is_empty():
+        return False
+    return not answers.allows_empty

@@ -1,0 +1,52 @@
+"""Core model: values, conditions, data trees, tree types, ps-queries."""
+
+from .conditions import Cond, ValueSet, interval_partition
+from .intervals import Interval, IntervalSet
+from .matching import feasible_assignment, has_perfect_matching, max_bipartite_matching
+from .multiplicity import Atom, Conjunction, Disjunction, Mult, parse_mult
+from .parsing import CondSyntaxError, QuerySyntaxError, parse_cond, parse_query
+from .query import PSQuery, QueryNode, linear_query, pattern, subtree
+from .stringsets import StringSet
+from .tree import DataTree, IdFactory, NodeId, NodeSpec, node
+from .treetype import TreeType
+from .values import Value, as_value, is_numeric, is_string, value_repr
+from .xml_io import tree_from_xml, tree_to_xml
+
+__all__ = [
+    "Atom",
+    "Cond",
+    "CondSyntaxError",
+    "Conjunction",
+    "DataTree",
+    "Disjunction",
+    "IdFactory",
+    "Interval",
+    "IntervalSet",
+    "Mult",
+    "NodeId",
+    "NodeSpec",
+    "PSQuery",
+    "QuerySyntaxError",
+    "QueryNode",
+    "StringSet",
+    "TreeType",
+    "Value",
+    "ValueSet",
+    "as_value",
+    "feasible_assignment",
+    "has_perfect_matching",
+    "interval_partition",
+    "is_numeric",
+    "is_string",
+    "linear_query",
+    "max_bipartite_matching",
+    "node",
+    "parse_cond",
+    "parse_mult",
+    "parse_query",
+    "pattern",
+    "subtree",
+    "tree_from_xml",
+    "tree_to_xml",
+    "value_repr",
+]

@@ -1,0 +1,228 @@
+"""Bipartite matching and bounded assignment.
+
+Two combinatorial subroutines the typing algorithms lean on:
+
+* :func:`max_bipartite_matching` / :func:`has_perfect_matching` — the
+  perfect matchings used by the Cert/Poss recursions of Theorem 2.8;
+* :func:`feasible_assignment` — assign every item to an allowed slot
+  subject to per-slot (min, max) count bounds.  This decides whether a
+  child multiset satisfies a multiplicity atom, the core step of
+  membership checking for (conditional) tree types.  Implemented as a
+  max-flow with lower bounds via the standard excess transformation,
+  on top of a small Dinic solver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+
+_INF = float("inf")
+
+
+class Dinic:
+    """Dinic's max-flow on an integer-capacity directed graph."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Node, int] = {}
+        self._graph: List[List[int]] = []  # adjacency: node -> edge ids
+        self._to: List[int] = []
+        self._cap: List[float] = []
+
+    def _node(self, name: Node) -> int:
+        if name not in self._index:
+            self._index[name] = len(self._graph)
+            self._graph.append([])
+        return self._index[name]
+
+    def add_edge(self, source: Node, target: Node, capacity: float) -> int:
+        """Add an edge; returns its id (for flow readback)."""
+        u, v = self._node(source), self._node(target)
+        edge_id = len(self._to)
+        self._graph[u].append(edge_id)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._graph[v].append(edge_id + 1)
+        self._to.append(u)
+        self._cap.append(0.0)
+        return edge_id
+
+    def flow_on(self, edge_id: int) -> float:
+        """Flow pushed along an edge (reverse edge residual capacity)."""
+        return self._cap[edge_id ^ 1]
+
+    def max_flow(self, source: Node, sink: Node) -> float:
+        if source not in self._index or sink not in self._index:
+            return 0.0
+        s, t = self._index[source], self._index[sink]
+        total = 0.0
+        while True:
+            level = self._bfs(s, t)
+            if level is None:
+                return total
+            iters = [0] * len(self._graph)
+            while True:
+                pushed = self._dfs(s, t, _INF, level, iters)
+                if not pushed:
+                    break
+                total += pushed
+
+    def _bfs(self, s: int, t: int) -> Optional[List[int]]:
+        level = [-1] * len(self._graph)
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for edge_id in self._graph[u]:
+                v = self._to[edge_id]
+                if self._cap[edge_id] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[t] >= 0 else None
+
+    def _dfs(self, u: int, t: int, limit: float, level: List[int], iters: List[int]) -> float:
+        if u == t:
+            return limit
+        while iters[u] < len(self._graph[u]):
+            edge_id = self._graph[u][iters[u]]
+            v = self._to[edge_id]
+            if self._cap[edge_id] > 0 and level[v] == level[u] + 1:
+                pushed = self._dfs(v, t, min(limit, self._cap[edge_id]), level, iters)
+                if pushed:
+                    self._cap[edge_id] -= pushed
+                    self._cap[edge_id ^ 1] += pushed
+                    return pushed
+            iters[u] += 1
+        return 0.0
+
+
+def max_bipartite_matching(
+    left: Sequence[Node], adjacency: Mapping[Node, Iterable[Node]]
+) -> Dict[Node, Node]:
+    """Maximum matching of ``left`` items into their allowed partners.
+
+    ``adjacency[item]`` lists the right-side nodes the item may match.
+    Returns a dict item -> partner for the matched items.  Kuhn's
+    augmenting-path algorithm; instance sizes in this library are the
+    branching factors of trees, so the O(V·E) bound is comfortable.
+    """
+    match_right: Dict[Node, Node] = {}
+    match_left: Dict[Node, Node] = {}
+
+    def try_augment(item: Node, visited: Set[Node]) -> bool:
+        for partner in adjacency.get(item, ()):
+            if partner in visited:
+                continue
+            visited.add(partner)
+            if partner not in match_right or try_augment(match_right[partner], visited):
+                match_right[partner] = item
+                match_left[item] = partner
+                return True
+        return False
+
+    for item in left:
+        try_augment(item, set())
+    return match_left
+
+
+def has_perfect_matching(
+    left: Sequence[Node], adjacency: Mapping[Node, Iterable[Node]]
+) -> bool:
+    """True when every left item can be matched to a distinct partner."""
+    return len(max_bipartite_matching(left, adjacency)) == len(left)
+
+
+def feasible_assignment(
+    items: Sequence[Node],
+    slots: Mapping[Node, Tuple[int, Optional[int]]],
+    allowed: Mapping[Node, Iterable[Node]],
+) -> Optional[Dict[Node, Node]]:
+    """Assign every item to an allowed slot within slot count bounds.
+
+    ``slots[s] = (min, max)`` with ``max=None`` meaning unbounded.
+    Returns an assignment dict item -> slot, or None when infeasible.
+
+    This decides ``children ⊨ multiplicity atom``: items are child nodes,
+    slots are the atom's entries, ``allowed`` records which entries each
+    child could be typed by.
+
+    The problem is a feasible circulation with lower bounds:
+    ``s -> item`` has (low=1, cap=1), ``item -> slot`` (0, 1),
+    ``slot -> t`` (min, max), ``t -> s`` (0, inf).  We apply the standard
+    excess transformation (subtract lower bounds, route the deficit via a
+    super source/sink) and run one max-flow.
+    """
+    # Quick infeasibility: total min exceeds item count, or max below it.
+    total_min = sum(low for low, _ in slots.values())
+    if total_min > len(items):
+        return None
+    maxima = [high for _, high in slots.values()]
+    if all(high is not None for high in maxima) and sum(maxima) < len(items):  # type: ignore[arg-type]
+        return None
+
+    dinic = Dinic()
+    source, sink = ("#source",), ("#sink",)
+    super_source, super_sink = ("#ss",), ("#tt",)
+    big = len(items) + total_min + 5
+
+    excess: Dict[Node, int] = {}
+
+    def add_bounded(u: Node, v: Node, low: int, cap: Optional[int]) -> Optional[int]:
+        """Add edge with lower bound; returns transformed edge id (or None
+        when the transformed capacity is zero)."""
+        residual = (cap if cap is not None else big) - low
+        excess[v] = excess.get(v, 0) + low
+        excess[u] = excess.get(u, 0) - low
+        if residual > 0:
+            return dinic.add_edge(u, v, residual)
+        return None
+
+    item_edges: Dict[Node, List[Tuple[int, Node]]] = {}
+    for item in items:
+        add_bounded(source, ("item", item), 1, 1)
+        edges = []
+        for slot in allowed.get(item, ()):
+            if slot in slots:
+                edge_id = dinic.add_edge(("item", item), ("slot", slot), 1)
+                edges.append((edge_id, slot))
+        if not edges:
+            return None
+        item_edges[item] = edges
+
+    for slot, (low, high) in slots.items():
+        if high is not None and high < low:
+            return None
+        add_bounded(("slot", slot), sink, low, high)
+    dinic.add_edge(sink, source, big)
+
+    required = 0
+    for node, amount in excess.items():
+        if amount > 0:
+            dinic.add_edge(super_source, node, amount)
+            required += amount
+        elif amount < 0:
+            dinic.add_edge(node, super_sink, -amount)
+    if dinic.max_flow(super_source, super_sink) < required:
+        return None
+
+    assignment: Dict[Node, Node] = {}
+    for item, edges in item_edges.items():
+        for edge_id, slot in edges:
+            if dinic.flow_on(edge_id) > 0:
+                assignment[item] = slot
+                break
+        if item not in assignment:
+            return None
+    return assignment
+
+
+def atom_feasible(
+    items: Sequence[Node],
+    entries: Iterable[Tuple[Node, int, Optional[int]]],
+    allowed: Mapping[Node, Iterable[Node]],
+) -> bool:
+    """Convenience wrapper: is there a feasible assignment at all?"""
+    slots = {name: (low, high) for name, low, high in entries}
+    return feasible_assignment(items, slots, allowed) is not None

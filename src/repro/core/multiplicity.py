@@ -1,0 +1,374 @@
+"""Multiplicity atoms (paper Definition 2.2).
+
+A multiplicity atom ``a1^w1 ... ak^wk`` lists distinct symbols with a
+multiplicity each; a node of the described type may only have children
+whose symbol appears in the atom, with the per-symbol count constrained
+by the multiplicity:
+
+====  ================================
+``1``  exactly one child
+``?``  at most one child
+``+``  at least one child
+``*``  any number of children
+====  ================================
+
+Conditional tree types use *disjunctions* of atoms; conjunctive
+incomplete trees (Section 3.2) additionally use *conjunctions of
+disjunctions*.  All three layers are immutable value objects here.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+
+class Mult(Enum):
+    """One of the four multiplicities ``1 ? + *``."""
+
+    ONE = "1"
+    OPT = "?"
+    PLUS = "+"
+    STAR = "*"
+
+    @property
+    def min_count(self) -> int:
+        return 1 if self in (Mult.ONE, Mult.PLUS) else 0
+
+    @property
+    def max_count(self) -> Optional[int]:
+        """Maximum allowed count, None meaning unbounded."""
+        return 1 if self in (Mult.ONE, Mult.OPT) else None
+
+    def allows(self, count: int) -> bool:
+        if count < self.min_count:
+            return False
+        maximum = self.max_count
+        return maximum is None or count <= maximum
+
+    def meet(self, other: "Mult") -> Optional["Mult"]:
+        """The multiplicity allowing exactly the counts both allow.
+
+        Returns None when the intersection of allowed counts is empty
+        (never happens for the four standard multiplicities, all of which
+        allow count 1 — kept for clarity).  Precomputed table: this sits
+        on the product construction's hot path.
+        """
+        return _MEET[self, other]
+
+    @property
+    def required(self) -> bool:
+        """True when at least one child is guaranteed (``1`` or ``+``)."""
+        return self.min_count >= 1
+
+    def relaxed(self) -> "Mult":
+        """The multiplicity allowing absence as well (1 -> ?, + -> *)."""
+        if self is Mult.ONE:
+            return Mult.OPT
+        if self is Mult.PLUS:
+            return Mult.STAR
+        return self
+
+    def required_version(self) -> "Mult":
+        """The multiplicity forcing presence (? -> 1, * -> +)."""
+        if self is Mult.OPT:
+            return Mult.ONE
+        if self is Mult.STAR:
+            return Mult.PLUS
+        return self
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+def _from_bounds(min_count: int, max_count: Optional[int]) -> Optional[Mult]:
+    if max_count is not None and max_count < min_count:
+        return None
+    if min_count == 0:
+        return Mult.OPT if max_count == 1 else Mult.STAR
+    if min_count == 1:
+        return Mult.ONE if max_count == 1 else Mult.PLUS
+    # min_count >= 2 is not expressible in the paper's multiplicity language
+    raise ValueError(f"multiplicity with min count {min_count} is not expressible")
+
+
+def parse_mult(text: str) -> Mult:
+    """Parse ``1 ? + *`` (the figures' ``⋆`` is also accepted)."""
+    normalized = "*" if text in ("*", "⋆") else text
+    for mult in Mult:
+        if mult.value == normalized:
+            return mult
+    raise ValueError(f"unknown multiplicity {text!r}")
+
+
+class Atom:
+    """A multiplicity atom: a finite map symbol -> Mult.
+
+    The empty atom (``ε`` in the paper) describes leaf types: no children
+    allowed.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, Mult] | Iterable[Tuple[str, Mult]] = ()):
+        if isinstance(entries, Mapping):
+            pairs = entries.items()
+        else:
+            pairs = list(entries)
+        seen: Dict[str, Mult] = {}
+        for symbol, mult in pairs:
+            if symbol in seen:
+                raise ValueError(f"symbol {symbol!r} repeated in multiplicity atom")
+            seen[symbol] = mult
+        self._entries: Tuple[Tuple[str, Mult], ...] = tuple(sorted(seen.items()))
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def leaf() -> "Atom":
+        """The empty atom ``ε`` (no children)."""
+        return _LEAF
+
+    @staticmethod
+    def of(**kwargs: str) -> "Atom":
+        """Convenience: ``Atom.of(product='+', name='1')``."""
+        return Atom({symbol: parse_mult(m) for symbol, m in kwargs.items()})
+
+    @staticmethod
+    def stars(symbols: Iterable[str]) -> "Atom":
+        """``a1^* ... ak^*`` — the paper's ``all*`` over the given symbols."""
+        return Atom({symbol: Mult.STAR for symbol in symbols})
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def symbols(self) -> Tuple[str, ...]:
+        return tuple(symbol for symbol, _ in self._entries)
+
+    def mult(self, symbol: str) -> Optional[Mult]:
+        """The multiplicity of ``symbol``, or None when absent."""
+        for sym, mult in self._entries:
+            if sym == symbol:
+                return mult
+        return None
+
+    def items(self) -> Iterator[Tuple[str, Mult]]:
+        return iter(self._entries)
+
+    def is_leaf(self) -> bool:
+        return not self._entries
+
+    def required_symbols(self) -> Tuple[str, ...]:
+        """Symbols whose multiplicity forces at least one child."""
+        return tuple(sym for sym, mult in self._entries if mult.required)
+
+    def size(self) -> int:
+        return len(self._entries)
+
+    # -- rewriting ----------------------------------------------------------------
+
+    def with_mult(self, symbol: str, mult: Mult) -> "Atom":
+        entries = dict(self._entries)
+        entries[symbol] = mult
+        return Atom(entries)
+
+    def without(self, symbol: str) -> "Atom":
+        return Atom([(s, m) for s, m in self._entries if s != symbol])
+
+    def restrict(self, keep: Iterable[str]) -> "Atom":
+        keep_set = set(keep)
+        return Atom([(s, m) for s, m in self._entries if s in keep_set])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Atom":
+        """Rename symbols (must stay injective on this atom's symbols)."""
+        return Atom([(mapping.get(s, s), m) for s, m in self._entries])
+
+    def merge(self, other: "Atom") -> "Atom":
+        """Disjoint union of two atoms (symbol overlap is an error)."""
+        entries = dict(self._entries)
+        for symbol, mult in other._entries:
+            if symbol in entries:
+                raise ValueError(f"symbol {symbol!r} present in both atoms")
+            entries[symbol] = mult
+        return Atom(entries)
+
+    # -- dunder --------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:
+        if not self._entries:
+            return "ε"
+        parts = []
+        for symbol, mult in self._entries:
+            suffix = "" if mult is Mult.ONE else mult.value
+            parts.append(f"{symbol}{suffix}")
+        return " ".join(parts)
+
+
+class Disjunction:
+    """A disjunction of multiplicity atoms (right-hand side of a rule).
+
+    The order of atoms is normalized away; duplicates are removed.  An
+    empty disjunction is *unsatisfiable* (no allowed child multiset) —
+    distinct from the singleton disjunction of the leaf atom, which
+    allows exactly the empty child multiset.
+    """
+
+    __slots__ = ("_atoms",)
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        unique = []
+        seen = set()
+        for atom in atoms:
+            if atom not in seen:
+                seen.add(atom)
+                unique.append(atom)
+        self._atoms: Tuple[Atom, ...] = tuple(unique)
+
+    @staticmethod
+    def leaf() -> "Disjunction":
+        return Disjunction([Atom.leaf()])
+
+    @staticmethod
+    def single(atom: Atom) -> "Disjunction":
+        return Disjunction([atom])
+
+    @staticmethod
+    def never() -> "Disjunction":
+        """The unsatisfiable disjunction (no atom)."""
+        return Disjunction()
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self._atoms
+
+    def is_never(self) -> bool:
+        return not self._atoms
+
+    def symbols(self) -> Tuple[str, ...]:
+        seen = []
+        for atom in self._atoms:
+            for symbol in atom.symbols:
+                if symbol not in seen:
+                    seen.append(symbol)
+        return tuple(seen)
+
+    def map_atoms(self, fn) -> "Disjunction":
+        """Apply ``fn: Atom -> Atom | None`` to every atom; None drops it."""
+        rewritten = []
+        for atom in self._atoms:
+            result = fn(atom)
+            if result is not None:
+                rewritten.append(result)
+        return Disjunction(rewritten)
+
+    def union(self, other: "Disjunction") -> "Disjunction":
+        return Disjunction(self._atoms + other._atoms)
+
+    def size(self) -> int:
+        """Total number of (symbol, mult) entries, for blowup measurements."""
+        return sum(max(1, atom.size()) for atom in self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Disjunction):
+            return NotImplemented
+        return set(self._atoms) == set(other._atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._atoms))
+
+    def __repr__(self) -> str:
+        if not self._atoms:
+            return "∅"
+        return " | ".join(repr(atom) for atom in self._atoms)
+
+
+class Conjunction:
+    """A conjunction of disjunctions of atoms (conjunctive trees, §3.2).
+
+    A child multiset is allowed iff it satisfies *every* conjunct.  A
+    conjunction with no conjuncts allows everything over... nothing —
+    we disallow the empty conjunction; use a single ``all*`` disjunct to
+    mean "anything".
+    """
+
+    __slots__ = ("_conjuncts",)
+
+    def __init__(self, conjuncts: Iterable[Disjunction]):
+        self._conjuncts: Tuple[Disjunction, ...] = tuple(conjuncts)
+        if not self._conjuncts:
+            raise ValueError("a conjunction needs at least one conjunct")
+
+    @staticmethod
+    def single(disjunction: Disjunction) -> "Conjunction":
+        return Conjunction([disjunction])
+
+    @property
+    def conjuncts(self) -> Tuple[Disjunction, ...]:
+        return self._conjuncts
+
+    def and_also(self, disjunction: Disjunction) -> "Conjunction":
+        return Conjunction(self._conjuncts + (disjunction,))
+
+    def size(self) -> int:
+        return sum(d.size() for d in self._conjuncts)
+
+    def choices(self) -> Iterator[Tuple[Atom, ...]]:
+        """Iterate over all ways of picking one atom from each conjunct.
+
+        This is the nondeterministic guess ``π`` in the NP emptiness
+        algorithm of Theorem 3.10 — exponential in general, which is the
+        point.
+        """
+
+        def rec(index: int, picked: Tuple[Atom, ...]) -> Iterator[Tuple[Atom, ...]]:
+            if index == len(self._conjuncts):
+                yield picked
+                return
+            for atom in self._conjuncts[index]:
+                yield from rec(index + 1, picked + (atom,))
+
+        return rec(0, ())
+
+    def __iter__(self) -> Iterator[Disjunction]:
+        return iter(self._conjuncts)
+
+    def __len__(self) -> int:
+        return len(self._conjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Conjunction):
+            return NotImplemented
+        return self._conjuncts == other._conjuncts
+
+    def __hash__(self) -> int:
+        return hash(self._conjuncts)
+
+    def __repr__(self) -> str:
+        return " & ".join(f"({d!r})" for d in self._conjuncts)
+
+
+_LEAF = Atom()
+
+
+def _meet_raw(a: Mult, b: Mult) -> Optional[Mult]:
+    min_count = max(a.min_count, b.min_count)
+    maxima = [m.max_count for m in (a, b) if m.max_count is not None]
+    max_count = min(maxima) if maxima else None
+    return _from_bounds(min_count, max_count)
+
+
+_MEET = {(a, b): _meet_raw(a, b) for a in Mult for b in Mult}

@@ -1,0 +1,400 @@
+"""Data trees (paper Definition 2.1).
+
+A data tree is a finite rooted unordered tree whose nodes carry a label
+from the element-name alphabet Σ and a data value, and — crucially for
+the whole framework — a *persistent node identifier* (Remark 2.4).
+Identifiers let answers to consecutive queries be merged node-by-node.
+
+Example 2.2 needs the *empty* tree to be a possible query answer, so a
+:class:`DataTree` may have no nodes at all.
+
+Trees are immutable; construct them with :func:`node` /
+:meth:`DataTree.build`, or grow new trees with the ``with_*``
+functional-update helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .matching import has_perfect_matching
+from .values import Value, ValueInput, as_value, value_repr
+
+NodeId = str
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A node description used to build trees: id, label, value, children."""
+
+    id: NodeId
+    label: str
+    value: Value
+    children: Tuple["NodeSpec", ...] = ()
+
+
+def node(
+    node_id: NodeId,
+    label: str,
+    value: ValueInput = 0,
+    children: Sequence[NodeSpec] = (),
+) -> NodeSpec:
+    """Build a :class:`NodeSpec` (values are normalized via ``as_value``)."""
+    return NodeSpec(node_id, label, as_value(value), tuple(children))
+
+
+@dataclass(frozen=True)
+class _Record:
+    label: str
+    value: Value
+    parent: Optional[NodeId]
+    children: Tuple[NodeId, ...]
+
+
+class DataTree:
+    """An immutable unordered data tree with persistent node ids."""
+
+    __slots__ = ("_root", "_nodes")
+
+    def __init__(self, root: Optional[NodeId], nodes: Mapping[NodeId, _Record]):
+        self._root = root
+        self._nodes: Dict[NodeId, _Record] = dict(nodes)
+        if root is not None and root not in self._nodes:
+            raise ValueError(f"root {root!r} not among the nodes")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "DataTree":
+        """The empty tree (a legitimate query answer, see Example 2.2)."""
+        return _EMPTY
+
+    @staticmethod
+    def build(spec: Optional[NodeSpec]) -> "DataTree":
+        """Build from a nested :func:`node` spec; None gives the empty tree."""
+        if spec is None:
+            return DataTree.empty()
+        nodes: Dict[NodeId, _Record] = {}
+
+        def walk(current: NodeSpec, parent: Optional[NodeId]) -> None:
+            if current.id in nodes:
+                raise ValueError(f"duplicate node id {current.id!r}")
+            nodes[current.id] = _Record(
+                current.label,
+                current.value,
+                parent,
+                tuple(child.id for child in current.children),
+            )
+            for child in current.children:
+                walk(child, current.id)
+
+        walk(spec, None)
+        return DataTree(spec.id, nodes)
+
+    @staticmethod
+    def single(node_id: NodeId, label: str, value: ValueInput = 0) -> "DataTree":
+        """A one-node tree."""
+        return DataTree.build(node(node_id, label, value))
+
+    # -- basic queries --------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return self._root is None
+
+    @property
+    def root(self) -> NodeId:
+        if self._root is None:
+            raise ValueError("the empty tree has no root")
+        return self._root
+
+    @property
+    def root_or_none(self) -> Optional[NodeId]:
+        return self._root
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node_ids(self) -> Iterator[NodeId]:
+        """All node ids, in a deterministic pre-order."""
+        if self._root is None:
+            return
+        stack: List[NodeId] = [self._root]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(reversed(self._nodes[current].children))
+
+    def label(self, node_id: NodeId) -> str:
+        return self._nodes[node_id].label
+
+    def value(self, node_id: NodeId) -> Value:
+        return self._nodes[node_id].value
+
+    def parent(self, node_id: NodeId) -> Optional[NodeId]:
+        return self._nodes[node_id].parent
+
+    def children(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        return self._nodes[node_id].children
+
+    def labels(self) -> Set[str]:
+        """The set of labels appearing in the tree."""
+        return {record.label for record in self._nodes.values()}
+
+    def depth(self) -> int:
+        """Number of levels (0 for the empty tree)."""
+        if self._root is None:
+            return 0
+
+        def rec(node_id: NodeId) -> int:
+            kids = self._nodes[node_id].children
+            return 1 + (max(rec(k) for k in kids) if kids else 0)
+
+        return rec(self._root)
+
+    def descendants(self, node_id: NodeId) -> Iterator[NodeId]:
+        """``node_id`` and everything below it, pre-order."""
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(reversed(self._nodes[current].children))
+
+    def path_to(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """Root-to-node id path."""
+        path: List[NodeId] = []
+        current: Optional[NodeId] = node_id
+        while current is not None:
+            path.append(current)
+            current = self._nodes[current].parent
+        path.reverse()
+        return tuple(path)
+
+    # -- derived trees ------------------------------------------------------------
+
+    def subtree(self, node_id: NodeId) -> "DataTree":
+        """The subtree rooted at ``node_id`` as a standalone tree."""
+        nodes = {}
+        for descendant in self.descendants(node_id):
+            record = self._nodes[descendant]
+            parent = None if descendant == node_id else record.parent
+            nodes[descendant] = _Record(record.label, record.value, parent, record.children)
+        return DataTree(node_id, nodes)
+
+    def restrict(self, keep: Iterable[NodeId]) -> "DataTree":
+        """The prefix consisting of the kept nodes (must be closed upward,
+        i.e. include the parent of every kept non-root node).
+
+        Returns the empty tree when the root is not kept.
+        """
+        keep_set = set(keep)
+        if self._root is None or self._root not in keep_set:
+            if any(node_id in self._nodes for node_id in keep_set):
+                for node_id in keep_set:
+                    if node_id in self._nodes:
+                        raise ValueError(
+                            "restrict: kept nodes must include the root to be a prefix"
+                        )
+            return DataTree.empty()
+        nodes = {}
+        for node_id in keep_set:
+            if node_id not in self._nodes:
+                raise KeyError(f"unknown node {node_id!r}")
+            record = self._nodes[node_id]
+            if record.parent is not None and record.parent not in keep_set:
+                raise ValueError(f"restrict: parent of {node_id!r} not kept")
+            nodes[node_id] = _Record(
+                record.label,
+                record.value,
+                record.parent,
+                tuple(child for child in record.children if child in keep_set),
+            )
+        return DataTree(self._root, nodes)
+
+    def with_subtree(self, parent_id: NodeId, spec: NodeSpec) -> "DataTree":
+        """A new tree with ``spec`` grafted under ``parent_id``."""
+        if parent_id not in self._nodes:
+            raise KeyError(f"unknown node {parent_id!r}")
+        addition = DataTree.build(spec)
+        nodes = dict(self._nodes)
+        for new_id in addition.node_ids():
+            if new_id in nodes:
+                raise ValueError(f"node id {new_id!r} already present")
+        for new_id in addition.node_ids():
+            record = addition._nodes[new_id]
+            parent = record.parent if record.parent is not None else parent_id
+            nodes[new_id] = _Record(record.label, record.value, parent, record.children)
+        old = nodes[parent_id]
+        nodes[parent_id] = _Record(
+            old.label, old.value, old.parent, old.children + (spec.id,)
+        )
+        return DataTree(self._root, nodes)
+
+    def merged_with(self, other: "DataTree") -> "DataTree":
+        """Union of two trees that agree on shared node ids (Remark 2.4).
+
+        Both trees must be prefixes of a common tree: shared ids must have
+        identical label, value and parent; the roots must coincide (unless
+        one tree is empty).
+        """
+        if self._root is None:
+            return other
+        if other._root is None:
+            return self
+        if self._root != other._root:
+            raise ValueError("cannot merge trees with different roots")
+        nodes: Dict[NodeId, _Record] = {}
+        ids = set(self._nodes) | set(other._nodes)
+        for node_id in ids:
+            mine = self._nodes.get(node_id)
+            theirs = other._nodes.get(node_id)
+            if mine is not None and theirs is not None:
+                if (
+                    mine.label != theirs.label
+                    or mine.value != theirs.value
+                    or mine.parent != theirs.parent
+                ):
+                    raise ValueError(f"incompatible data for shared node {node_id!r}")
+                children = tuple(
+                    dict.fromkeys(mine.children + theirs.children)
+                )
+                nodes[node_id] = _Record(mine.label, mine.value, mine.parent, children)
+            else:
+                nodes[node_id] = mine if mine is not None else theirs  # type: ignore[assignment]
+        return DataTree(self._root, nodes)
+
+    # -- prefix relation (paper Section 2) -------------------------------------------
+
+    def is_prefix_of(
+        self, other: "DataTree", relative_to: Iterable[NodeId] = ()
+    ) -> bool:
+        """The paper's prefix relation: does ``self`` embed into ``other``?
+
+        There must be an injective mapping h from self's nodes to other's
+        nodes that is the identity on ``relative_to``, maps root to root,
+        preserves the parent relation, labels and data values.
+        """
+        anchored = set(relative_to)
+        if self._root is None:
+            return True
+        if other._root is None:
+            return False
+
+        memo: Dict[Tuple[NodeId, NodeId], bool] = {}
+
+        def embeds(mine: NodeId, theirs: NodeId) -> bool:
+            key = (mine, theirs)
+            if key in memo:
+                return memo[key]
+            memo[key] = False  # guard against (impossible) cycles
+            my_record = self._nodes[mine]
+            their_record = other._nodes[theirs]
+            ok = (
+                my_record.label == their_record.label
+                and my_record.value == their_record.value
+                and (mine not in anchored or mine == theirs)
+            )
+            if ok and my_record.children:
+                adjacency = {
+                    child: [
+                        candidate
+                        for candidate in their_record.children
+                        if embeds(child, candidate)
+                    ]
+                    for child in my_record.children
+                }
+                ok = has_perfect_matching(list(my_record.children), adjacency)
+            memo[key] = ok
+            return ok
+
+        return embeds(self._root, other._root)
+
+    def isomorphic_to(self, other: "DataTree") -> bool:
+        """Equality up to node identifiers (labels, values, shape)."""
+        return (
+            len(self) == len(other)
+            and self.is_prefix_of(other)
+            and other.is_prefix_of(self)
+        )
+
+    # -- rendering ------------------------------------------------------------------
+
+    def pretty(self, show_values: bool = True) -> str:
+        """Indented textual rendering (used in examples and error messages)."""
+        if self._root is None:
+            return "(empty tree)"
+        lines: List[str] = []
+
+        def walk(node_id: NodeId, indent: int) -> None:
+            record = self._nodes[node_id]
+            value = f" = {value_repr(record.value)}" if show_values else ""
+            lines.append("  " * indent + f"{record.label}[{node_id}]{value}")
+            for child in record.children:
+                walk(child, indent + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+    # -- dunder ------------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataTree):
+            return NotImplemented
+        if self._root != other._root or set(self._nodes) != set(other._nodes):
+            return False
+        for node_id, record in self._nodes.items():
+            theirs = other._nodes[node_id]
+            if (
+                record.label != theirs.label
+                or record.value != theirs.value
+                or record.parent != theirs.parent
+                or set(record.children) != set(theirs.children)
+            ):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._root,
+                frozenset(
+                    (node_id, record.label, record.value, record.parent)
+                    for node_id, record in self._nodes.items()
+                ),
+            )
+        )
+
+    def __repr__(self) -> str:
+        if self._root is None:
+            return "DataTree(empty)"
+        return f"DataTree(root={self._root!r}, {len(self._nodes)} nodes)"
+
+
+_EMPTY = DataTree(None, {})
+
+
+class IdFactory:
+    """Deterministic fresh node-id generator (``n0``, ``n1``, ...).
+
+    The representation machinery frequently needs ids that do not collide
+    with existing ones; instances of this class hand them out.
+    """
+
+    def __init__(self, prefix: str = "n", taken: Iterable[NodeId] = ()):
+        self._prefix = prefix
+        self._taken = set(taken)
+        self._counter = 0
+
+    def fresh(self) -> NodeId:
+        while True:
+            candidate = f"{self._prefix}{self._counter}"
+            self._counter += 1
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+    def reserve(self, node_id: NodeId) -> None:
+        self._taken.add(node_id)

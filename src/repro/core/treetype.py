@@ -1,0 +1,187 @@
+"""Tree types — the paper's simplified DTDs (Definition 2.2).
+
+A tree type ``(Σ, R, µ)`` gives a set of root labels and, per label, one
+multiplicity atom constraining the children of nodes with that label.
+Satisfaction is checked per the definition: the root label is in R, and
+every node's children conform to its label's atom.
+
+A small text DSL mirrors the paper's notation::
+
+    root: catalog
+    catalog -> product+
+    product -> name price cat picture*
+    cat     -> subcat
+
+Element names with no rule are leaves (``ε``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from .multiplicity import Atom, Mult, parse_mult
+from .tree import DataTree, NodeId
+
+
+class TreeType:
+    """A simplified DTD over an alphabet Σ."""
+
+    __slots__ = ("_alphabet", "_roots", "_mu")
+
+    def __init__(
+        self,
+        alphabet: Iterable[str],
+        roots: Iterable[str],
+        mu: Mapping[str, Atom],
+    ):
+        self._alphabet: FrozenSet[str] = frozenset(alphabet)
+        self._roots: FrozenSet[str] = frozenset(roots)
+        if not self._roots <= self._alphabet:
+            raise ValueError("root labels must belong to the alphabet")
+        self._mu: Dict[str, Atom] = {}
+        for label in self._alphabet:
+            atom = mu.get(label, Atom.leaf())
+            for child in atom.symbols:
+                if child not in self._alphabet:
+                    raise ValueError(
+                        f"rule for {label!r} mentions unknown label {child!r}"
+                    )
+            self._mu[label] = atom
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> FrozenSet[str]:
+        return self._alphabet
+
+    @property
+    def roots(self) -> FrozenSet[str]:
+        return self._roots
+
+    def atom(self, label: str) -> Atom:
+        """The multiplicity atom governing children of ``label``."""
+        return self._mu[label]
+
+    # -- satisfaction (Definition 2.2) ----------------------------------------
+
+    def satisfied_by(self, tree: DataTree) -> bool:
+        """Does the data tree satisfy this type?
+
+        The empty tree does not satisfy any tree type (a type always
+        requires a root).
+        """
+        return self.violation(tree) is None
+
+    def violation(self, tree: DataTree) -> Optional[str]:
+        """None when satisfied, else a human-readable reason."""
+        if tree.is_empty():
+            return "the empty tree has no root"
+        root_label = tree.label(tree.root)
+        if root_label not in self._roots:
+            return f"root label {root_label!r} not among roots {sorted(self._roots)}"
+        for node_id in tree.node_ids():
+            label = tree.label(node_id)
+            if label not in self._alphabet:
+                return f"label {label!r} of node {node_id!r} not in the alphabet"
+            atom = self._mu[label]
+            counts: Dict[str, int] = {}
+            for child in tree.children(node_id):
+                child_label = tree.label(child)
+                if atom.mult(child_label) is None:
+                    return (
+                        f"node {node_id!r} ({label}) has child labeled "
+                        f"{child_label!r}, not allowed by {atom!r}"
+                    )
+                counts[child_label] = counts.get(child_label, 0) + 1
+            for symbol, mult in atom.items():
+                if not mult.allows(counts.get(symbol, 0)):
+                    return (
+                        f"node {node_id!r} ({label}) has {counts.get(symbol, 0)} "
+                        f"children labeled {symbol!r}, violating {symbol}{mult.value}"
+                    )
+        return None
+
+    # -- parsing ---------------------------------------------------------------------
+
+    @staticmethod
+    def parse(text: str, extra_labels: Iterable[str] = ()) -> "TreeType":
+        """Parse the text DSL shown in the module docstring.
+
+        ``extra_labels`` adds alphabet symbols that appear in no rule
+        (useful when queries mention labels the type leaves out).
+        """
+        roots: List[str] = []
+        mu: Dict[str, Atom] = {}
+        alphabet = set(extra_labels)
+        for raw_line in text.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if line.lower().startswith("root:"):
+                for root in line[5:].replace(",", " ").split():
+                    roots.append(root)
+                continue
+            if "->" not in line:
+                raise ValueError(f"cannot parse tree type line: {raw_line!r}")
+            head, _, body = line.partition("->")
+            label = head.strip()
+            if not label:
+                raise ValueError(f"missing label in: {raw_line!r}")
+            alphabet.add(label)
+            entries: List[Tuple[str, Mult]] = []
+            body = body.strip()
+            if body and body != "ε":
+                for token in body.split():
+                    symbol, mult = _split_token(token)
+                    entries.append((symbol, mult))
+                    alphabet.add(symbol)
+            if label in mu:
+                raise ValueError(f"duplicate rule for {label!r}")
+            mu[label] = Atom(entries)
+        alphabet.update(roots)
+        if not roots:
+            raise ValueError("tree type needs a 'root:' line")
+        return TreeType(alphabet, roots, mu)
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Inverse of :meth:`parse` (stable ordering)."""
+        lines = ["root: " + " ".join(sorted(self._roots))]
+        for label in sorted(self._alphabet):
+            atom = self._mu[label]
+            if atom.is_leaf():
+                continue
+            lines.append(f"{label} -> {atom!r}")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeType):
+            return NotImplemented
+        return (
+            self._alphabet == other._alphabet
+            and self._roots == other._roots
+            and self._mu == other._mu
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._alphabet, self._roots, tuple(sorted(self._mu.items(), key=lambda kv: kv[0]))))
+
+    def __repr__(self) -> str:
+        return f"TreeType(roots={sorted(self._roots)}, {len(self._alphabet)} labels)"
+
+
+def _split_token(token: str) -> Tuple[str, Mult]:
+    """``product+`` -> (``product``, PLUS); bare names mean multiplicity 1.
+
+    Only ``? + * ⋆`` act as multiplicity markers — a trailing ``1`` is
+    part of the element name (``lit1`` is a name, not ``lit`` once).
+    """
+    if token[-1] in "?+*" or token.endswith("⋆"):
+        symbol = token[:-1]
+        mult = parse_mult(token[len(symbol):])
+    else:
+        symbol, mult = token, Mult.ONE
+    if not symbol:
+        raise ValueError(f"bad token {token!r}")
+    return symbol, mult

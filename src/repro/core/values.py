@@ -1,0 +1,78 @@
+"""Data values for XML trees.
+
+The paper fixes the value domain Q to the rational numbers "for
+simplicity", but its running catalog example freely uses string values
+(``elec``, ``camera``, ``Canon``).  We therefore support a two-sorted
+domain: exact rationals (``fractions.Fraction``) and strings.  Numeric
+comparisons (``<``, ``<=`` ...) never hold between a string and a number;
+equality across sorts is always false.
+
+All values entering the library are normalized through :func:`as_value`,
+so downstream code can rely on every numeric value being a ``Fraction``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+#: The runtime type of a normalized data value.
+Value = Union[Fraction, str]
+
+#: Types accepted by :func:`as_value` for numeric input.
+NumericInput = Union[int, float, Fraction]
+
+ValueInput = Union[NumericInput, str]
+
+
+def as_value(raw: ValueInput) -> Value:
+    """Normalize ``raw`` into the library's value domain.
+
+    Integers and floats are converted to exact :class:`~fractions.Fraction`
+    instances (floats via ``Fraction(str(f))`` would be lossy in surprising
+    ways, so we use the exact binary expansion ``Fraction(f)``); strings are
+    kept as-is.  Booleans are rejected: they are almost always a bug when
+    used as data values.
+
+    >>> as_value(3)
+    Fraction(3, 1)
+    >>> as_value("elec")
+    'elec'
+    """
+    if isinstance(raw, bool):
+        raise TypeError("booleans are not data values; use 0/1 or a string")
+    if isinstance(raw, Fraction):
+        return raw
+    if isinstance(raw, int):
+        return Fraction(raw)
+    if isinstance(raw, float):
+        return Fraction(raw)
+    if isinstance(raw, str):
+        return raw
+    raise TypeError(f"unsupported data value: {raw!r} ({type(raw).__name__})")
+
+
+def is_numeric(value: Value) -> bool:
+    """True when ``value`` lives in the rational sort of the domain."""
+    return isinstance(value, Fraction)
+
+
+def is_string(value: Value) -> bool:
+    """True when ``value`` lives in the string sort of the domain."""
+    return isinstance(value, str)
+
+
+def value_repr(value: Value) -> str:
+    """Short human-readable rendering used in reprs and XML output."""
+    if isinstance(value, str):
+        return value
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+def values_equal(left: Value, right: Value) -> bool:
+    """Equality in the two-sorted domain (cross-sort is always false)."""
+    if isinstance(left, str) != isinstance(right, str):
+        return False
+    return left == right

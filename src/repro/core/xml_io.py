@@ -1,0 +1,68 @@
+"""XML serialization of data trees.
+
+The paper's Webhouse stores XML documents; this module round-trips
+:class:`~repro.core.tree.DataTree` instances through a plain XML dialect
+where node ids and data values ride along as attributes::
+
+    <catalog id="c1" value="0">
+      <product id="p-canon" value="0"> ... </product>
+    </catalog>
+
+Rational values serialize as ``num`` or ``num/den``; strings as-is with
+a ``kind="str"`` marker so parsing is unambiguous.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+from xml.etree import ElementTree as ET
+
+from .tree import DataTree, NodeId, NodeSpec, node
+from .values import Value, value_repr
+
+
+def tree_to_xml(tree: DataTree) -> str:
+    """Serialize a data tree to an XML string (empty tree -> ``<empty/>``)."""
+    if tree.is_empty():
+        return "<empty/>"
+    element = _build_element(tree, tree.root)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def _build_element(tree: DataTree, node_id: NodeId) -> ET.Element:
+    value = tree.value(node_id)
+    element = ET.Element(
+        tree.label(node_id),
+        {
+            "id": node_id,
+            "value": value_repr(value),
+            **({"kind": "str"} if isinstance(value, str) else {}),
+        },
+    )
+    for child in tree.children(node_id):
+        element.append(_build_element(tree, child))
+    return element
+
+
+def tree_from_xml(text: str) -> DataTree:
+    """Parse the XML dialect produced by :func:`tree_to_xml`."""
+    root = ET.fromstring(text)
+    if root.tag == "empty":
+        return DataTree.empty()
+    return DataTree.build(_parse_element(root))
+
+
+def _parse_element(element: ET.Element) -> NodeSpec:
+    node_id = element.attrib.get("id")
+    if node_id is None:
+        raise ValueError(f"<{element.tag}> is missing the id attribute")
+    raw = element.attrib.get("value", "0")
+    value: Value
+    if element.attrib.get("kind") == "str":
+        value = raw
+    else:
+        value = Fraction(raw)
+    children = [_parse_element(child) for child in element]
+    return node(node_id, element.tag, value, children)

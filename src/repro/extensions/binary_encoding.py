@@ -1,0 +1,102 @@
+"""Unranked ↔ binary tree encoding (Section 4, k-pebble machinery).
+
+k-pebble transducers operate on binary trees; unranked ordered trees
+are mapped to binary form by the standard first-child / next-sibling
+encoding the paper cites [34].  Missing children become ``#`` leaf
+markers so every internal node is properly binary.
+
+Data values are dropped in the encoding — the basic k-pebble machine of
+the paper ignores them (Remark 4.4 sketches the extension, which we
+realize separately by refining labels with condition-class markers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.tree import DataTree, NodeId, NodeSpec, node
+
+#: Label of the nil leaf marker.
+NIL = "#"
+
+
+@dataclass(frozen=True)
+class Bin:
+    """A binary tree node (``left``/``right`` None only on ``#`` leaves)."""
+
+    label: str
+    left: Optional["Bin"] = None
+    right: Optional["Bin"] = None
+
+    def is_nil(self) -> bool:
+        return self.label == NIL
+
+    def size(self) -> int:
+        total = 1
+        if self.left is not None:
+            total += self.left.size()
+        if self.right is not None:
+            total += self.right.size()
+        return total
+
+    def labels(self) -> set:
+        result = {self.label}
+        if self.left is not None:
+            result |= self.left.labels()
+        if self.right is not None:
+            result |= self.right.labels()
+        return result
+
+
+def nil() -> Bin:
+    return Bin(NIL)
+
+
+def bin_node(label: str, left: Optional[Bin] = None, right: Optional[Bin] = None) -> Bin:
+    return Bin(label, left if left is not None else nil(), right if right is not None else nil())
+
+
+def encode(tree: DataTree) -> Bin:
+    """First-child/next-sibling encoding of an unranked tree.
+
+    Children keep the order stored in the tree (our model is unordered,
+    but the stored order is deterministic, which is what matters here).
+    """
+    if tree.is_empty():
+        return nil()
+
+    def enc_list(nodes: Tuple[NodeId, ...], index: int) -> Bin:
+        if index >= len(nodes):
+            return nil()
+        current = nodes[index]
+        return Bin(
+            tree.label(current),
+            enc_list(tree.children(current), 0),
+            enc_list(nodes, index + 1),
+        )
+
+    return enc_list((tree.root,), 0)
+
+
+def decode(binary: Bin, id_prefix: str = "d") -> DataTree:
+    """Inverse of :func:`encode` (values become 0)."""
+    if binary.is_nil():
+        return DataTree.empty()
+    counter = [0]
+
+    def dec(current: Bin) -> List[NodeSpec]:
+        """Decode a sibling list starting at ``current``."""
+        specs: List[NodeSpec] = []
+        while current is not None and not current.is_nil():
+            ident = f"{id_prefix}{counter[0]}"
+            counter[0] += 1
+            children = dec(current.left) if current.left is not None else []
+            specs.append(node(ident, current.label, 0, children))
+            current = current.right  # type: ignore[assignment]
+        return specs
+
+    roots = dec(binary)
+    if len(roots) != 1:
+        raise ValueError("binary tree does not encode a single-rooted tree")
+    return DataTree.build(roots[0])

@@ -1,0 +1,85 @@
+"""Branching ps-queries and the n! blowup example (Section 4).
+
+Branching lifts the ps-query restriction that sibling pattern nodes
+carry distinct labels.  Incomplete trees remain a strong representation
+system under branching, but q(T) can become exponential in |T| even for
+a fixed alphabet: the paper's example queries n same-label children
+with n distinct values against n indistinguishable specializations —
+the answer representation must describe all n! assignments.
+
+This module provides the example's generators plus a direct measurement
+helper used by experiment E15: the number of distinct answers (up to
+isomorphism over data nodes), which grows factorially.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..core.conditions import Cond
+from ..core.tree import DataTree, node
+from ..incomplete.conditional import ConditionalTreeType
+from ..incomplete.enumerate import canonical_form, enumerate_trees
+from ..incomplete.incomplete_tree import DataNode, IncompleteTree
+from ..core.multiplicity import Atom, Disjunction, Mult
+from ..core.values import as_value
+from .extended_query import ENode, ExtendedQuery, enode
+
+
+def blowup_incomplete_tree(n: int) -> IncompleteTree:
+    """The paper's incomplete tree (a): root with data nodes a1..an, all
+    specializations of ``a``, children unconstrained b's."""
+    nodes = {"r": DataNode("root", as_value(0))}
+    sigma = {"t-r": "r", "t-b": "b"}
+    cond = {"t-r": Cond.eq(0)}
+    mu = {
+        "t-b": Disjunction.leaf(),
+    }
+    root_entries = []
+    for i in range(1, n + 1):
+        name = f"a{i}"
+        nodes[name] = DataNode("a", as_value(i))
+        symbol = f"t-{name}"
+        sigma[symbol] = name
+        cond[symbol] = Cond.eq(i)
+        mu[symbol] = Disjunction.single(Atom([("t-b", Mult.STAR)]))
+        root_entries.append((symbol, Mult.ONE))
+    mu["t-r"] = Disjunction.single(Atom(root_entries))
+    tau = ConditionalTreeType(["t-r"], mu, cond, sigma)
+    return IncompleteTree(nodes, tau)
+
+
+def blowup_query(n: int) -> ExtendedQuery:
+    """The branching query (b): root with n children a, the i-th asking
+    for a b-child with value i."""
+    children = [
+        enode("a", children=[enode("b", Cond.eq(i))]) for i in range(1, n + 1)
+    ]
+    return ExtendedQuery(enode("root", children=children))
+
+
+def count_possible_answers(n: int, max_trees: int = 2_000_000) -> int:
+    """Distinct answers of the branching query over rep of the blowup
+    tree, restricting b-values to {1..n} (the only relevant ones).
+
+    Grows like the number of ways to distribute the n required b-values
+    over the n distinguishable data nodes a1..an — factorially many
+    answer shapes, which is experiment E15's measured series.
+    """
+    incomplete = blowup_incomplete_tree(n)
+    query = blowup_query(n)
+    # each a_i needs at most n b-children (values 1..n) to realize any answer
+    budget = 2 + n + n * n
+    answers: Set[object] = set()
+    anchored = list(incomplete.data_node_ids())
+    for tree in enumerate_trees(
+        incomplete,
+        max_nodes=budget,
+        values_per_cond=0,
+        extra_values=list(range(1, n + 1)),
+        max_trees=max_trees,
+        per_mult_cap=n,
+    ):
+        answer = query.evaluate(tree)
+        answers.add(canonical_form(answer, anchored))
+    return len(answers)

@@ -1,0 +1,127 @@
+"""Queries with constructed answers (Section 4).
+
+A construction query has a *body* — an extended pattern binding
+variables — and a *head* describing the answer tree via Skolem terms in
+the spirit of XML-QL: each head node carries a label and a Skolem
+function over a subset of the body variables; for every binding of the
+body, head nodes are instantiated, and instances with equal Skolem
+terms are identified.
+
+The paper's counting example (one ``a`` per X-binding, one ``b`` per
+Y-binding, hence equally many of each) is expressible directly; it is
+the witness that incomplete trees stop being a strong representation
+system under branching + construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.tree import DataTree, NodeId, NodeSpec, node
+from ..core.values import Value
+from .extended_query import ENode, ExtendedQuery, Mode
+
+
+@dataclass(frozen=True)
+class HeadNode:
+    """A head template node: label, Skolem function name, argument vars."""
+
+    label: str
+    skolem: str
+    args: Tuple[str, ...] = ()
+    value_var: Optional[str] = None  # copy this variable's value, default 0
+    children: Tuple["HeadNode", ...] = ()
+
+
+def head(
+    label: str,
+    skolem: str,
+    args: Sequence[str] = (),
+    value_var: Optional[str] = None,
+    children: Sequence[HeadNode] = (),
+) -> HeadNode:
+    return HeadNode(label, skolem, tuple(args), value_var, tuple(children))
+
+
+class ConstructionQuery:
+    """body → head query with Skolem-term answer construction."""
+
+    def __init__(self, body: ExtendedQuery, head_root: HeadNode):
+        self._body = body
+        self._head = head_root
+
+    @property
+    def body(self) -> ExtendedQuery:
+        return self._body
+
+    def bindings(self, tree: DataTree) -> List[Dict[str, Value]]:
+        """All distinct variable bindings of the body."""
+        seen: Set[Tuple[Tuple[str, Value], ...]] = set()
+        result: List[Dict[str, Value]] = []
+        for binding in _body_bindings(self._body, tree):
+            key = tuple(sorted(binding.items(), key=lambda kv: kv[0]))
+            if key not in seen:
+                seen.add(key)
+                result.append(binding)
+        return result
+
+    def evaluate(self, tree: DataTree) -> DataTree:
+        """Instantiate the head over every body binding."""
+        bindings = self.bindings(tree)
+        if not bindings:
+            return DataTree.empty()
+        # node id = rendered Skolem term; identical terms are identified
+        records: Dict[NodeId, Tuple[str, Value, Optional[NodeId]]] = {}
+        root_id: Optional[NodeId] = None
+
+        def term(h: HeadNode, binding: Dict[str, Value]) -> NodeId:
+            args = ",".join(repr(binding.get(a)) for a in h.args)
+            return f"{h.skolem}({args})"
+
+        def instantiate(
+            h: HeadNode, binding: Dict[str, Value], parent: Optional[NodeId]
+        ) -> NodeId:
+            node_id = term(h, binding)
+            value: Value = binding.get(h.value_var, 0) if h.value_var else 0
+            from ..core.values import as_value
+
+            value = as_value(value)
+            existing = records.get(node_id)
+            if existing is not None:
+                if existing[0] != h.label or existing[2] != parent:
+                    raise ValueError(
+                        f"Skolem term {node_id!r} instantiated inconsistently"
+                    )
+            records[node_id] = (h.label, value, parent)
+            for child in h.children:
+                instantiate(child, binding, node_id)
+            return node_id
+
+        for binding in bindings:
+            rid = instantiate(self._head, binding, None)
+            if root_id is None:
+                root_id = rid
+            elif root_id != rid:
+                raise ValueError("head root must use a constant Skolem term")
+
+        children_map: Dict[NodeId, List[NodeId]] = {nid: [] for nid in records}
+        for nid, (_l, _v, parent) in records.items():
+            if parent is not None:
+                children_map[parent].append(nid)
+
+        def build(nid: NodeId) -> NodeSpec:
+            label, value, _parent = records[nid]
+            return node(nid, label, value, [build(c) for c in sorted(children_map[nid])])
+
+        assert root_id is not None
+        return DataTree.build(build(root_id))
+
+
+def _body_bindings(
+    query: ExtendedQuery, tree: DataTree
+) -> Iterator[Dict[str, Value]]:
+    if tree.is_empty():
+        return
+    for binding, _image in query._match(query.root, tree.root, tree, {}):
+        yield binding

@@ -1,0 +1,255 @@
+"""Extended tree-pattern queries (Section 4).
+
+The paper probes the tractability frontier with query features beyond
+ps-queries: *branching* (several same-label siblings), *optional*
+subtrees, *negated* subtrees, and *data joins* (variables compared
+across pattern nodes with = / ≠).  This module implements their
+evaluation on data trees — the paper's negative results (Theorems 4.1,
+4.5-4.7) show these features defeat the incomplete-information
+machinery, so evaluation is all there is to implement, and the
+reductions in :mod:`repro.reductions` are built on it.
+
+Semantics follow the paper: a valuation maps the *required* pattern
+nodes into the tree (root to root, edges to edges, labels/conditions
+respected; NOT necessarily injective); optional subtrees may extend the
+valuation; a negated subtree must admit *no* extension of the valuation;
+variable constraints compare the data values bound at pattern nodes.
+The answer is the prefix of all nodes in the image of some valuation
+(with optional matches included and bar subtrees extracted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.conditions import Cond
+from ..core.tree import DataTree, NodeId
+from ..core.values import Value, values_equal
+
+
+class Mode(Enum):
+    """How a pattern subtree participates in matching."""
+
+    REQUIRED = "required"
+    OPTIONAL = "optional"  # the paper's "?" subtrees
+    NEGATED = "negated"  # the paper's "¬" subtrees
+
+
+@dataclass(frozen=True)
+class ENode:
+    """One node of an extended pattern.
+
+    ``var`` names the data value bound at this node for join
+    constraints.  ``extract`` marks bar subtrees.  Unlike ps-queries,
+    siblings may repeat labels (branching).
+    """
+
+    label: str
+    cond: Cond = field(default_factory=Cond.true)
+    var: Optional[str] = None
+    mode: Mode = Mode.REQUIRED
+    extract: bool = False
+    children: Tuple["ENode", ...] = ()
+
+
+def enode(
+    label: str,
+    cond: Optional[Cond] = None,
+    var: Optional[str] = None,
+    mode: Mode = Mode.REQUIRED,
+    extract: bool = False,
+    children: Sequence[ENode] = (),
+) -> ENode:
+    """Build an extended pattern node."""
+    return ENode(
+        label,
+        cond if cond is not None else Cond.true(),
+        var,
+        mode,
+        extract,
+        tuple(children),
+    )
+
+
+def optional(node: ENode) -> ENode:
+    """Mark a subtree optional."""
+    return ENode(node.label, node.cond, node.var, Mode.OPTIONAL, node.extract, node.children)
+
+
+def negated(node: ENode) -> ENode:
+    """Mark a subtree negated."""
+    return ENode(node.label, node.cond, node.var, Mode.NEGATED, node.extract, node.children)
+
+
+@dataclass(frozen=True)
+class VarConstraint:
+    """``left <op> right`` between variables, with op ∈ {'=', '!='}."""
+
+    left: str
+    op: str
+    right: str
+
+    def holds(self, binding: Dict[str, Value]) -> Optional[bool]:
+        """None when some variable is unbound (optional subtree skipped)."""
+        if self.left not in binding or self.right not in binding:
+            return None
+        equal = values_equal(binding[self.left], binding[self.right])
+        return equal if self.op == "=" else not equal
+
+
+class ExtendedQuery:
+    """An extended tree-pattern query with join constraints."""
+
+    def __init__(self, root: ENode, constraints: Sequence[VarConstraint] = ()):
+        self._root = root
+        self._constraints = tuple(constraints)
+
+    @property
+    def root(self) -> ENode:
+        return self._root
+
+    @property
+    def constraints(self) -> Tuple[VarConstraint, ...]:
+        return self._constraints
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, tree: DataTree) -> DataTree:
+        """The answer prefix (empty when no valuation exists)."""
+        if tree.is_empty():
+            return DataTree.empty()
+        keep: Set[NodeId] = set()
+        matched_any = False
+        for image in self._valuations(tree):
+            matched_any = True
+            keep |= image
+        if not matched_any:
+            return DataTree.empty()
+        # close upward (images are already prefixes, but optional parts
+        # attach below required images; defensive closure keeps this robust)
+        closed: Set[NodeId] = set()
+        for node_id in keep:
+            closed.update(tree.path_to(node_id))
+        return tree.restrict(closed)
+
+    def matches(self, tree: DataTree) -> bool:
+        for _image in self._valuations(tree):
+            return True
+        return False
+
+    def is_empty_on(self, tree: DataTree) -> bool:
+        return not self.matches(tree)
+
+    # -- valuation enumeration ----------------------------------------------------
+
+    def _valuations(self, tree: DataTree) -> Iterator[Set[NodeId]]:
+        """Yield the node image of each complete valuation (with every
+        compatible completion of optional subtrees merged per valuation)."""
+        for binding, image in self._match(self._root, tree.root, tree, {}):
+            # a negated subtree check may depend on constraints: already done
+            yield image
+
+    def _match(
+        self,
+        pattern: ENode,
+        node_id: NodeId,
+        tree: DataTree,
+        binding: Dict[str, Value],
+    ) -> Iterator[Tuple[Dict[str, Value], Set[NodeId]]]:
+        """Match a required pattern node at a specific tree node."""
+        if pattern.label != tree.label(node_id):
+            return
+        value = tree.value(node_id)
+        if not pattern.cond.accepts(value):
+            return
+        new_binding = binding
+        if pattern.var is not None:
+            if pattern.var in binding:
+                if not values_equal(binding[pattern.var], value):
+                    return
+            else:
+                new_binding = dict(binding)
+                new_binding[pattern.var] = value
+        if not self._constraints_ok(new_binding):
+            return
+
+        base_image: Set[NodeId] = (
+            set(tree.descendants(node_id)) if pattern.extract else {node_id}
+        )
+        yield from self._match_children(
+            list(pattern.children), node_id, tree, new_binding, base_image
+        )
+
+    def _match_children(
+        self,
+        patterns: List[ENode],
+        node_id: NodeId,
+        tree: DataTree,
+        binding: Dict[str, Value],
+        image: Set[NodeId],
+    ) -> Iterator[Tuple[Dict[str, Value], Set[NodeId]]]:
+        if not patterns:
+            yield binding, image
+            return
+        head, rest = patterns[0], patterns[1:]
+        children = tree.children(node_id)
+        if head.mode is Mode.REQUIRED:
+            for child in children:
+                for b2, img2 in self._match(head, child, tree, binding):
+                    yield from self._match_children(
+                        rest, node_id, tree, b2, image | img2
+                    )
+        elif head.mode is Mode.OPTIONAL:
+            if _binds_vars(head):
+                # optional subtrees that bind variables must thread their
+                # bindings: enumerate individual extensions plus the skip
+                for child in children:
+                    for b2, img2 in self._match(
+                        _required_version(head), child, tree, binding
+                    ):
+                        yield from self._match_children(
+                            rest, node_id, tree, b2, image | img2
+                        )
+            else:
+                # no bindings involved: all matches of the optional subtree
+                # join the answer for this valuation at once
+                optional_image: Set[NodeId] = set()
+                for child in children:
+                    for _b2, img2 in self._match(
+                        _required_version(head), child, tree, binding
+                    ):
+                        optional_image |= img2
+                if optional_image:
+                    yield from self._match_children(
+                        rest, node_id, tree, binding, image | optional_image
+                    )
+            # the skipped case (valuation undefined on the optional subtree)
+            yield from self._match_children(rest, node_id, tree, binding, image)
+        else:  # NEGATED: no child may match under the current binding
+            probe = _required_version(head)
+            for child in children:
+                for _b2, _img2 in self._match(probe, child, tree, binding):
+                    return  # negation violated: this valuation dies
+            yield from self._match_children(rest, node_id, tree, binding, image)
+
+    def _constraints_ok(self, binding: Dict[str, Value]) -> bool:
+        return all(c.holds(binding) is not False for c in self._constraints)
+
+
+def _binds_vars(pattern: ENode) -> bool:
+    if pattern.var is not None:
+        return True
+    return any(_binds_vars(child) for child in pattern.children)
+
+
+def _required_version(pattern: ENode) -> ENode:
+    return ENode(
+        pattern.label,
+        pattern.cond,
+        pattern.var,
+        Mode.REQUIRED,
+        pattern.extract,
+        pattern.children,
+    )

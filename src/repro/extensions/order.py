@@ -1,0 +1,133 @@
+"""The order discussion of Section 4 ("Node ids and order").
+
+The paper's closing example: a flat ordered input contains ``a`` and
+``b`` elements; query q₁ retrieved the ``a``'s in order, q₂ the
+``b``'s.  Can q₃ ("all elements, in order") be answered?
+
+* If the input type is ``a* b*``, yes — concatenate.
+* If it is ``(a + b)*``, no — the interleaving is unknown.
+
+This module makes the criterion executable for flat ordered documents:
+given the per-label subsequences and a regular expression describing
+the allowed label sequences (a :class:`~repro.extensions.paths.PathExpr`),
+:func:`merge_ordered_answers` reconstructs the full ordered list when
+the consistent interleaving is *unique*, and reports ambiguity
+otherwise.  The paper's wrapper fix — sources exposing element *ranks* —
+is :func:`merge_by_rank`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .paths import PathExpr, sym
+
+
+@dataclass(frozen=True)
+class OrderedElement:
+    """An element of a flat ordered document: label + node id."""
+
+    label: str
+    node_id: str
+    rank: Optional[int] = None  # position in the source, when exposed
+
+
+class AmbiguousInterleaving(Exception):
+    """Raised when several interleavings are consistent with the type."""
+
+
+def interleavings_consistent_with(
+    expr: PathExpr, sequences: Sequence[Sequence[OrderedElement]], limit: int = 2
+) -> List[Tuple[OrderedElement, ...]]:
+    """Up to ``limit`` distinct interleavings of the per-label sequences
+    whose label word lies in L(expr).
+
+    Each input sequence holds the elements of one label in source
+    order; interleavings preserve those relative orders (that is what
+    per-label answers tell us).
+    """
+    results: List[Tuple[OrderedElement, ...]] = []
+
+    def rec(positions: Tuple[int, ...], states: FrozenSet[int], acc):
+        if len(results) >= limit:
+            return
+        if all(p == len(seq) for p, seq in zip(positions, sequences)):
+            if expr.accepting(states):
+                results.append(tuple(acc))
+            return
+        for i, seq in enumerate(sequences):
+            p = positions[i]
+            if p >= len(seq):
+                continue
+            element = seq[p]
+            advanced = expr.step(states, element.label)
+            if not advanced:
+                continue
+            rec(
+                positions[:i] + (p + 1,) + positions[i + 1 :],
+                advanced,
+                acc + [element],
+            )
+
+    rec(tuple(0 for _ in sequences), expr.start_states(), [])
+    return results
+
+
+def merge_ordered_answers(
+    expr: PathExpr, sequences: Sequence[Sequence[OrderedElement]]
+) -> Tuple[OrderedElement, ...]:
+    """The unique type-consistent interleaving, or raise.
+
+    Raises ``ValueError`` when no interleaving is consistent (the
+    answers contradict the type) and :class:`AmbiguousInterleaving` when
+    more than one is — the paper's ``(a + b)*`` situation, where q₃
+    cannot be answered from q₁ and q₂.
+    """
+    found = interleavings_consistent_with(expr, sequences, limit=2)
+    if not found:
+        raise ValueError("no interleaving consistent with the input type")
+    if len(found) > 1:
+        raise AmbiguousInterleaving(
+            "several interleavings are consistent; order information is lost"
+        )
+    return found[0]
+
+
+def merge_by_rank(
+    sequences: Sequence[Sequence[OrderedElement]],
+) -> Tuple[OrderedElement, ...]:
+    """The paper's wrapper remedy: when sources expose element ranks,
+    answers merge regardless of the type."""
+    elements: List[OrderedElement] = []
+    for seq in sequences:
+        for element in seq:
+            if element.rank is None:
+                raise ValueError(f"element {element.node_id!r} has no rank")
+            elements.append(element)
+    ranks = [e.rank for e in elements]
+    if len(set(ranks)) != len(ranks):
+        raise ValueError("duplicate ranks across answers")
+    return tuple(sorted(elements, key=lambda e: e.rank))  # type: ignore[arg-type,return-value]
+
+
+def words_type(*labels_star: str) -> PathExpr:
+    """Convenience: ``words_type('a', 'b')`` builds ``a* b*``."""
+    expr: Optional[PathExpr] = None
+    for label in labels_star:
+        piece = sym(label).star()
+        expr = piece if expr is None else expr.then(piece)
+    if expr is None:
+        raise ValueError("need at least one label")
+    return expr
+
+
+def any_of_star(*labels: str) -> PathExpr:
+    """Convenience: ``any_of_star('a', 'b')`` builds ``(a | b)*``."""
+    expr: Optional[PathExpr] = None
+    for label in labels:
+        piece = sym(label)
+        expr = piece if expr is None else expr.alt(piece)
+    if expr is None:
+        raise ValueError("need at least one label")
+    return expr.star()

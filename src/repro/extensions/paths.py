@@ -1,0 +1,348 @@
+"""Regular path expressions (Section 4, Theorem 4.7).
+
+Queries extended with recursive path expressions label pattern *edges*
+with regular languages over element names: an edge matches a downward
+path whose label sequence (excluding the source node, including the
+target) belongs to the language.
+
+The engine is a classic Thompson construction: :class:`PathExpr` builds
+an ε-NFA; evaluation walks the tree advancing NFA state sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.conditions import Cond
+from ..core.tree import DataTree, NodeId
+from ..core.values import Value, values_equal
+
+#: NFA transition label: an element name, None for ε, or ANY for wildcard.
+ANY = "\x00any"
+
+
+class PathExpr:
+    """A regular expression over element names.
+
+    Combinators: :func:`sym`, :meth:`then`, :meth:`alt`, :meth:`star`,
+    :func:`any_star`.  Compiled lazily to an ε-NFA.
+    """
+
+    def __init__(self, kind: str, parts: Tuple["PathExpr", ...] = (), symbol: str = "", raw=None):
+        # kind ∈ {'sym','concat','union','star','eps','any','raw'}
+        self._kind = kind
+        self._parts = parts
+        self._symbol = symbol
+        self._raw = raw  # ('raw' kind): (start, accepts, edges) over hashable states
+        self._nfa: Optional[Tuple[int, int, List[Tuple[int, Optional[str], int]]]] = None
+
+    # -- combinators ---------------------------------------------------------
+
+    def then(self, other: "PathExpr") -> "PathExpr":
+        return PathExpr("concat", (self, other))
+
+    def alt(self, other: "PathExpr") -> "PathExpr":
+        return PathExpr("union", (self, other))
+
+    def star(self) -> "PathExpr":
+        return PathExpr("star", (self,))
+
+    # -- compilation ------------------------------------------------------------
+
+    def _compile(self):
+        if self._nfa is not None:
+            return self._nfa
+        counter = [0]
+        edges: List[Tuple[int, Optional[str], int]] = []
+
+        def fresh() -> int:
+            counter[0] += 1
+            return counter[0]
+
+        def build(expr: "PathExpr") -> Tuple[int, int]:
+            start, end = fresh(), fresh()
+            if expr._kind == "sym":
+                edges.append((start, expr._symbol, end))
+            elif expr._kind == "any":
+                edges.append((start, ANY, end))
+            elif expr._kind == "eps":
+                edges.append((start, None, end))
+            elif expr._kind == "concat":
+                prev = start
+                for part in expr._parts:
+                    s, e = build(part)
+                    edges.append((prev, None, s))
+                    prev = e
+                edges.append((prev, None, end))
+            elif expr._kind == "union":
+                for part in expr._parts:
+                    s, e = build(part)
+                    edges.append((start, None, s))
+                    edges.append((e, None, end))
+            elif expr._kind == "star":
+                s, e = build(expr._parts[0])
+                edges.append((start, None, end))
+                edges.append((start, None, s))
+                edges.append((e, None, s))
+                edges.append((e, None, end))
+            elif expr._kind == "raw":
+                raw_start, raw_accepts, raw_edges = expr._raw
+                remap: Dict[object, int] = {}
+
+                def state_of(name: object) -> int:
+                    if name not in remap:
+                        remap[name] = fresh()
+                    return remap[name]
+
+                for u, label, v in raw_edges:
+                    edges.append((state_of(u), label, state_of(v)))
+                edges.append((start, None, state_of(raw_start)))
+                for acc in raw_accepts:
+                    edges.append((state_of(acc), None, end))
+            else:  # pragma: no cover
+                raise ValueError(expr._kind)
+            return start, end
+
+        start, end = build(self)
+        self._nfa = (start, end, edges)
+        return self._nfa
+
+    def _closure(self, states: Set[int], edges) -> FrozenSet[int]:
+        eps: Dict[int, List[int]] = {}
+        for u, label, v in edges:
+            if label is None:
+                eps.setdefault(u, []).append(v)
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            u = stack.pop()
+            for v in eps.get(u, ()):
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return frozenset(seen)
+
+    def start_states(self) -> FrozenSet[int]:
+        start, _end, edges = self._compile()
+        return self._closure({start}, edges)
+
+    def step(self, states: FrozenSet[int], symbol: str) -> FrozenSet[int]:
+        _start, _end, edges = self._compile()
+        moved = {
+            v
+            for u, label, v in edges
+            if u in states and (label == symbol or label == ANY)
+        }
+        return self._closure(moved, edges)
+
+    def accepting(self, states: FrozenSet[int]) -> bool:
+        _start, end, _edges = self._compile()
+        return end in states
+
+    def matches(self, word: Sequence[str]) -> bool:
+        states = self.start_states()
+        for symbol in word:
+            states = self.step(states, symbol)
+            if not states:
+                return False
+        return self.accepting(states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._kind == "sym":
+            return self._symbol
+        if self._kind == "any":
+            return "."
+        if self._kind == "eps":
+            return "ε"
+        if self._kind == "concat":
+            return "·".join(repr(p) for p in self._parts)
+        if self._kind == "union":
+            return "(" + "|".join(repr(p) for p in self._parts) + ")"
+        return f"({self._parts[0]!r})*"
+
+
+def sym(label: str) -> PathExpr:
+    """A single element name."""
+    return PathExpr("sym", symbol=label)
+
+
+def from_graph(start, accepts, edges) -> PathExpr:
+    """Wrap an explicit NFA (states are any hashables; edge labels are
+    element names, None for ε) as a path expression.
+
+    Used by the Theorem 4.7 reduction to express the leftmost/rightmost
+    derivation paths of recursive grammars, whose first-child graphs are
+    cyclic and hence awkward to write as syntax."""
+    return PathExpr("raw", raw=(start, tuple(accepts), tuple(edges)))
+
+
+def eps() -> PathExpr:
+    return PathExpr("eps")
+
+
+def any_sym() -> PathExpr:
+    """Wildcard: any single element name (the paper's Σ)."""
+    return PathExpr("any")
+
+
+def any_star() -> PathExpr:
+    """Σ* — the paper's ⋆ edge label."""
+    return any_sym().star()
+
+
+def seq(*parts: PathExpr) -> PathExpr:
+    if not parts:
+        return eps()
+    result = parts[0]
+    for part in parts[1:]:
+        result = result.then(part)
+    return result
+
+
+def word(*labels: str) -> PathExpr:
+    return seq(*(sym(label) for label in labels))
+
+
+# -- path-pattern queries -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RPNode:
+    """A node of a regular-path pattern.
+
+    ``edge`` is the path expression matched from the parent (ignored on
+    the root); ``label`` optionally constrains the target's element
+    name (redundant when the expression already fixes it); ``var``
+    binds the target's value for join constraints.
+    """
+
+    edge: Optional[PathExpr] = None
+    label: Optional[str] = None
+    cond: Cond = field(default_factory=Cond.true)
+    var: Optional[str] = None
+    children: Tuple["RPNode", ...] = ()
+
+
+def rpnode(
+    edge: Optional[PathExpr] = None,
+    label: Optional[str] = None,
+    cond: Optional[Cond] = None,
+    var: Optional[str] = None,
+    children: Sequence[RPNode] = (),
+) -> RPNode:
+    return RPNode(edge, label, cond if cond is not None else Cond.true(), var, tuple(children))
+
+
+@dataclass(frozen=True)
+class RPConstraint:
+    """``left <op> right`` with op ∈ {'=', '!='} between bound variables."""
+
+    left: str
+    op: str
+    right: str
+
+
+class RegularPathQuery:
+    """A tree pattern with regular-path edges and value joins."""
+
+    def __init__(self, root: RPNode, constraints: Sequence[RPConstraint] = ()):
+        self._root = root
+        self._constraints = tuple(constraints)
+
+    def matches(self, tree: DataTree) -> bool:
+        for _binding in self.bindings(tree):
+            return True
+        return False
+
+    def is_empty_on(self, tree: DataTree) -> bool:
+        return not self.matches(tree)
+
+    def bindings(self, tree: DataTree) -> Iterator[Dict[str, Value]]:
+        """All variable bindings of complete valuations."""
+        if tree.is_empty():
+            return
+        root = self._root
+        if root.label is not None and tree.label(tree.root) != root.label:
+            return
+        if not root.cond.accepts(tree.value(tree.root)):
+            return
+        binding: Dict[str, Value] = {}
+        if root.var is not None:
+            binding[root.var] = tree.value(tree.root)
+        for complete in self._match_children(root, tree.root, tree, binding):
+            if self._constraints_final(complete):
+                yield complete
+
+    def _targets(
+        self, expr: PathExpr, source: NodeId, tree: DataTree
+    ) -> Iterator[NodeId]:
+        """Descendants reachable along a path matching ``expr``."""
+        stack: List[Tuple[NodeId, FrozenSet[int]]] = [
+            (source, expr.start_states())
+        ]
+        while stack:
+            node_id, states = stack.pop()
+            for child in tree.children(node_id):
+                advanced = expr.step(states, tree.label(child))
+                if not advanced:
+                    continue
+                if expr.accepting(advanced):
+                    yield child
+                stack.append((child, advanced))
+
+    def _match_children(
+        self,
+        pattern: RPNode,
+        node_id: NodeId,
+        tree: DataTree,
+        binding: Dict[str, Value],
+    ) -> Iterator[Dict[str, Value]]:
+        if not self._constraints_ok(binding):
+            return
+        if not pattern.children:
+            yield binding
+            return
+
+        def rec(index: int, current: Dict[str, Value]) -> Iterator[Dict[str, Value]]:
+            if index == len(pattern.children):
+                yield current
+                return
+            child = pattern.children[index]
+            assert child.edge is not None, "non-root pattern nodes need an edge"
+            for target in self._targets(child.edge, node_id, tree):
+                if child.label is not None and tree.label(target) != child.label:
+                    continue
+                value = tree.value(target)
+                if not child.cond.accepts(value):
+                    continue
+                extended = current
+                if child.var is not None:
+                    if child.var in current:
+                        if not values_equal(current[child.var], value):
+                            continue
+                    else:
+                        extended = dict(current)
+                        extended[child.var] = value
+                if not self._constraints_ok(extended):
+                    continue
+                for deeper in self._match_children(child, target, tree, extended):
+                    yield from rec(index + 1, deeper)
+
+        yield from rec(0, binding)
+
+    def _constraints_ok(self, binding: Dict[str, Value]) -> bool:
+        """No constraint already violated (unbound vars are pending)."""
+        for c in self._constraints:
+            if c.left in binding and c.right in binding:
+                equal = values_equal(binding[c.left], binding[c.right])
+                if (c.op == "=") != equal:
+                    return False
+        return True
+
+    def _constraints_final(self, binding: Dict[str, Value]) -> bool:
+        """At a complete valuation all constraint variables are bound."""
+        for c in self._constraints:
+            if c.left not in binding or c.right not in binding:
+                return False
+        return self._constraints_ok(binding)

@@ -1,0 +1,332 @@
+"""k-pebble tree automata and transducers (Section 4, Milo-Suciu-Vianu).
+
+A k-pebble machine walks a binary tree with up to k stack-disciplined
+pebbles; pebble k (the newest) is the head.  Transitions fire on
+(state, label under the head, presence of the older pebbles on the
+head's node) and either move (down-left / down-right / up-left /
+up-right / place / lift) or — for transducers — emit output nodes,
+spawning independent branches for binary output.
+
+The automaton's configuration space is finite (states × nodes^≤k), so
+acceptance is decidable by graph search in PTIME for fixed k — that is
+:meth:`PebbleAutomaton.accepts`.  *Emptiness*, in contrast, is
+non-elementary (Theorem 4.3); :meth:`PebbleAutomaton.find_accepted`
+offers only a bounded search over candidate trees, which is all an
+implementation can honestly provide.
+
+Theorem 4.2's maintenance result — the inputs consistent with a
+query-answer history form a k-pebble-recognizable language — is
+realized by :func:`product`, which intersects automata (acceptance of
+the product runs both components; the state space multiplies, staying
+polynomial per intersection step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product as iter_product
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .binary_encoding import NIL, Bin, bin_node, nil
+
+#: Move directions.
+DOWN_LEFT = "down-left"
+DOWN_RIGHT = "down-right"
+UP_LEFT = "up-left"  # move up; applies only when the head is a left child
+UP_RIGHT = "up-right"
+PLACE = "place"  # put the next pebble on the root
+LIFT = "lift"  # remove the head pebble
+
+
+@dataclass(frozen=True)
+class Move:
+    """A move transition: direction plus target state."""
+
+    direction: str
+    state: str
+
+
+#: Transition key: (state, label under head, frozenset of older pebbles here).
+Key = Tuple[str, str, FrozenSet[int]]
+
+
+class _Walker:
+    """Shared tree addressing: nodes are paths of 'L'/'R' from the root."""
+
+    def __init__(self, tree: Bin):
+        self._tree = tree
+        self._labels: Dict[str, str] = {}
+        self._index("", tree)
+
+    def _index(self, path: str, node: Bin) -> None:
+        self._labels[path] = node.label
+        if node.left is not None:
+            self._index(path + "L", node.left)
+        if node.right is not None:
+            self._index(path + "R", node.right)
+
+    def label(self, path: str) -> str:
+        return self._labels[path]
+
+    def exists(self, path: str) -> bool:
+        return path in self._labels
+
+    def move(self, path: str, direction: str) -> Optional[str]:
+        if direction == DOWN_LEFT:
+            target = path + "L"
+            return target if target in self._labels else None
+        if direction == DOWN_RIGHT:
+            target = path + "R"
+            return target if target in self._labels else None
+        if direction == UP_LEFT:
+            return path[:-1] if path.endswith("L") else None
+        if direction == UP_RIGHT:
+            return path[:-1] if path.endswith("R") else None
+        raise ValueError(direction)
+
+
+class PebbleAutomaton:
+    """A nondeterministic k-pebble tree automaton over binary trees."""
+
+    def __init__(
+        self,
+        k: int,
+        initial: str,
+        accepting: Iterable[str],
+        transitions: Dict[Key, Sequence[Move]],
+    ):
+        if k < 1:
+            raise ValueError("need at least one pebble")
+        self.k = k
+        self.initial = initial
+        self.accepting = frozenset(accepting)
+        self.transitions = {key: tuple(moves) for key, moves in transitions.items()}
+
+    # -- acceptance ---------------------------------------------------------
+
+    def accepts(self, tree: Bin) -> bool:
+        """Graph search over the finite configuration space."""
+        walker = _Walker(tree)
+        start = (self.initial, ("",))  # pebble 1 on the root
+        seen: Set[Tuple[str, Tuple[str, ...]]] = {start}
+        stack = [start]
+        while stack:
+            state, pebbles = stack.pop()
+            if state in self.accepting:
+                return True
+            head = pebbles[-1]
+            older_here = frozenset(
+                i for i, p in enumerate(pebbles[:-1], start=1) if p == head
+            )
+            key = (state, walker.label(head), older_here)
+            for move in self.transitions.get(key, ()):
+                nxt = self._apply(move, pebbles, walker)
+                if nxt is None:
+                    continue
+                config = (move.state, nxt)
+                if config not in seen:
+                    seen.add(config)
+                    stack.append(config)
+        return False
+
+    def _apply(
+        self, move: Move, pebbles: Tuple[str, ...], walker: _Walker
+    ) -> Optional[Tuple[str, ...]]:
+        if move.direction == PLACE:
+            if len(pebbles) >= self.k:
+                return None
+            return pebbles + ("",)
+        if move.direction == LIFT:
+            if len(pebbles) <= 1:
+                return None
+            return pebbles[:-1]
+        target = walker.move(pebbles[-1], move.direction)
+        if target is None:
+            return None
+        return pebbles[:-1] + (target,)
+
+    # -- emptiness is non-elementary (Theorem 4.3); bounded search only -------
+
+    def find_accepted(
+        self, alphabet: Iterable[str], max_nodes: int
+    ) -> Optional[Bin]:
+        """Search for an accepted tree with at most ``max_nodes`` real
+        (non-``#``) nodes.  None means none exists *within the bound* —
+        no conclusion about emptiness, per Theorem 4.3."""
+        labels = sorted(set(alphabet) - {NIL})
+        for candidate in _all_binary_trees(labels, max_nodes):
+            if self.accepts(candidate):
+                return candidate
+        return None
+
+
+def _all_binary_trees(labels: List[str], max_nodes: int) -> Iterator[Bin]:
+    def gen(budget: int) -> Iterator[Bin]:
+        yield nil()
+        if budget <= 0:
+            return
+        for label in labels:
+            for left_budget in range(budget):
+                for left in gen(left_budget):
+                    left_size = _real_size(left)
+                    for right in gen(budget - 1 - left_size):
+                        yield Bin(label, left, right)
+
+    for size in range(1, max_nodes + 1):
+        for tree in gen(size):
+            if _real_size(tree) == size:
+                yield tree
+
+
+def _real_size(tree: Bin) -> int:
+    if tree.is_nil():
+        return 0
+    return 1 + _real_size(tree.left) + _real_size(tree.right)  # type: ignore[arg-type]
+
+
+def product(*automata: PebbleAutomaton) -> "ProductAutomaton":
+    """Theorem 4.2's maintenance object: accepts the intersection."""
+    return ProductAutomaton(automata)
+
+
+class ProductAutomaton:
+    """Intersection of k-pebble automata.
+
+    Semantically exact: a tree is accepted iff every component accepts.
+    (A syntactic product machine exists by [34, 35]; running the
+    components separately has identical acceptance behaviour and the
+    same polynomial cost per check.)
+    """
+
+    def __init__(self, components: Sequence[PebbleAutomaton]):
+        if not components:
+            raise ValueError("need at least one component")
+        self.components = tuple(components)
+
+    def accepts(self, tree: Bin) -> bool:
+        return all(component.accepts(tree) for component in self.components)
+
+    def find_accepted(
+        self, alphabet: Iterable[str], max_nodes: int
+    ) -> Optional[Bin]:
+        labels = sorted(set(alphabet) - {NIL})
+        for candidate in _all_binary_trees(labels, max_nodes):
+            if self.accepts(candidate):
+                return candidate
+        return None
+
+
+class InverseImageAcceptor:
+    """Acceptor for ``{ T | transducer(T) = answer }`` (Theorem 4.2).
+
+    The theorem maintains, per query/answer pair, the set of inputs
+    consistent with the pair as a recognizable tree language.  For a
+    deterministic transducer the inverse image is decided by running the
+    machine and comparing outputs — the semantic form of the product
+    construction, with the same per-tree polynomial cost.
+    """
+
+    def __init__(self, transducer: "PebbleTransducer", answer: Bin):
+        self.transducer = transducer
+        self.answer = answer
+
+    def accepts(self, tree: Bin) -> bool:
+        return self.transducer.run(tree) == self.answer
+
+
+def history_acceptor(
+    type_automaton: PebbleAutomaton,
+    history: Sequence[Tuple["PebbleTransducer", Bin]],
+) -> ProductAutomaton:
+    """Theorem 4.2's maintained object: inputs satisfying the type and
+    reproducing every recorded transducer answer.
+
+    Incrementally extensible — each new pair adds one component, keeping
+    the representation linear in the history (the theorem's point), with
+    membership still polynomial per check."""
+    components: List[object] = [type_automaton]
+    components.extend(
+        InverseImageAcceptor(transducer, answer) for transducer, answer in history
+    )
+    return ProductAutomaton(components)  # type: ignore[arg-type]
+
+
+# -- transducers --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Out0:
+    """Nullary output: emit a leaf, branch halts."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class Out2:
+    """Binary output: emit a node, spawn left/right branches."""
+
+    label: str
+    left_state: str
+    right_state: str
+
+
+Action = object  # Move | Out0 | Out2
+
+
+class PebbleTransducer:
+    """A deterministic k-pebble tree transducer.
+
+    ``transitions`` maps a key to a single action (move or output).  A
+    branch with no applicable transition fails, making the whole run
+    fail (returns None).
+    """
+
+    def __init__(self, k: int, initial: str, transitions: Dict[Key, Action]):
+        self.k = k
+        self.initial = initial
+        self.transitions = dict(transitions)
+
+    def run(self, tree: Bin, max_steps: int = 100000) -> Optional[Bin]:
+        walker = _Walker(tree)
+        budget = [max_steps]
+
+        def branch(state: str, pebbles: Tuple[str, ...]) -> Optional[Bin]:
+            while True:
+                if budget[0] <= 0:
+                    return None
+                budget[0] -= 1
+                head = pebbles[-1]
+                older_here = frozenset(
+                    i for i, p in enumerate(pebbles[:-1], start=1) if p == head
+                )
+                key = (state, walker.label(head), older_here)
+                action = self.transitions.get(key)
+                if action is None:
+                    return None
+                if isinstance(action, Out0):
+                    return Bin(action.label)  # bare leaf, halts the branch
+                if isinstance(action, Out2):
+                    left = branch(action.left_state, pebbles)
+                    if left is None:
+                        return None
+                    right = branch(action.right_state, pebbles)
+                    if right is None:
+                        return None
+                    return Bin(action.label, left, right)
+                move: Move = action  # type: ignore[assignment]
+                if move.direction == PLACE:
+                    if len(pebbles) >= self.k:
+                        return None
+                    pebbles = pebbles + ("",)
+                elif move.direction == LIFT:
+                    if len(pebbles) <= 1:
+                        return None
+                    pebbles = pebbles[:-1]
+                else:
+                    target = walker.move(pebbles[-1], move.direction)
+                    if target is None:
+                        return None
+                    pebbles = pebbles[:-1] + (target,)
+                state = move.state
+
+        return branch(self.initial, ("",))

@@ -1,0 +1,75 @@
+"""Data values for k-pebble machines (Remark 4.4).
+
+The basic k-pebble transducer ignores data values.  The paper's remark:
+since a finite set of conditions induces finitely many equivalence
+classes of data values, the classes can be folded into the alphabet and
+a classical machine simulates value tests.
+
+:func:`condition_classes` computes the classes (the Lemma 2.3 partition
+cells); :func:`refine_labels` rewrites a data tree over the refined
+alphabet ``label#class``; :func:`class_of` maps a value to its class
+index so transitions can be generated per class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.conditions import Cond, ValueSet, interval_partition
+from ..core.tree import DataTree, NodeId, NodeSpec, node
+from ..core.values import Value
+
+
+def condition_classes(conds: Sequence[Cond]) -> Tuple[ValueSet, ...]:
+    """The equivalence classes of data values w.r.t. the conditions.
+
+    Every condition is constantly true or false on each class; the
+    classes partition the whole value domain.
+    """
+    return interval_partition(tuple(conds))
+
+
+def class_of(value: Value, classes: Sequence[ValueSet]) -> int:
+    """The index of the class containing ``value``."""
+    for index, cell in enumerate(classes):
+        if cell.contains(value):
+            return index
+    raise ValueError(f"value {value!r} not covered by the classes")  # pragma: no cover
+
+
+def refined_label(label: str, class_index: int) -> str:
+    return f"{label}#{class_index}"
+
+
+def refine_labels(tree: DataTree, conds: Sequence[Cond]) -> DataTree:
+    """Rewrite a data tree over the condition-refined alphabet.
+
+    Each node's label becomes ``label#i`` where i is its value's class.
+    The result carries the information every condition test needs, so a
+    value-blind k-pebble machine over the refined alphabet simulates an
+    extended machine with value tests (Remark 4.4).
+    """
+    if tree.is_empty():
+        return tree
+    classes = condition_classes(conds)
+
+    def build(node_id: NodeId) -> NodeSpec:
+        index = class_of(tree.value(node_id), classes)
+        return node(
+            node_id,
+            refined_label(tree.label(node_id), index),
+            tree.value(node_id),
+            [build(child) for child in tree.children(node_id)],
+        )
+
+    return DataTree.build(build(tree.root))
+
+
+def refined_alphabet(labels: Sequence[str], conds: Sequence[Cond]) -> List[str]:
+    """All refined labels a machine over the classes may see."""
+    classes = condition_classes(conds)
+    return [
+        refined_label(label, index)
+        for label in labels
+        for index in range(len(classes))
+    ]

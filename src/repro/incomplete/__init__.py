@@ -1,0 +1,20 @@
+"""Incomplete-information representation: conditional tree types and
+incomplete trees (paper Section 2), with the Theorem 2.8 decision
+procedures and a brute-force enumeration oracle."""
+
+from .certainty import certain_prefix, possible_prefix
+from .conditional import ConditionalTreeType
+from .enumerate import answer_set, canonical_form, enumerate_trees
+from .incomplete_tree import DataNode, IncompleteTree, data_nodes_from_tree
+
+__all__ = [
+    "ConditionalTreeType",
+    "DataNode",
+    "IncompleteTree",
+    "answer_set",
+    "canonical_form",
+    "certain_prefix",
+    "data_nodes_from_tree",
+    "enumerate_trees",
+    "possible_prefix",
+]

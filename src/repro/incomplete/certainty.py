@@ -1,0 +1,195 @@
+"""Certain and possible prefixes of an incomplete tree (Theorem 2.8).
+
+Given an incomplete tree T and a data tree T, the paper shows both
+questions below are decidable in PTIME:
+
+* *possible prefix*: some tree in rep(T) has T as a prefix relative to
+  the data nodes N;
+* *certain prefix*: rep(T) is non-empty and every tree in rep(T) has T
+  as a prefix relative to N.
+
+Both are computed by a bottom-up recursion over T.  ``Poss(n)`` /
+``Cert(n)`` collect the type symbols at which the subtree of T rooted at
+n possibly / certainly embeds; the child-level combinatorics is a
+bounded assignment (possible case) or an injective matching into
+guaranteed entries (certain case).
+
+One liberalization over the paper's presentation: a fresh (non-anchored)
+node of T may also embed onto a *data* node of the represented trees
+when label and value agree — the prefix definition only forces identity
+on N.  The brute-force oracle tests confirm this is the exact semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..core.matching import feasible_assignment, has_perfect_matching
+from ..core.tree import DataTree, NodeId
+from ..core.values import values_equal
+from .incomplete_tree import IncompleteTree
+
+
+def possible_prefix(prefix: DataTree, incomplete: IncompleteTree) -> bool:
+    """Is ``prefix`` a possible prefix of ``incomplete`` (relative to N)?"""
+    if prefix.is_empty():
+        return not incomplete.is_empty()
+    if incomplete.type.is_empty():
+        return False
+    tau = incomplete.type.normalized()
+    analysis = _Analysis(prefix, incomplete, tau)
+    if not analysis.anchors_consistent():
+        return False
+    poss = analysis.possible_sets()
+    return bool(poss[prefix.root] & tau.roots)
+
+
+def certain_prefix(prefix: DataTree, incomplete: IncompleteTree) -> bool:
+    """Is ``prefix`` a certain prefix of ``incomplete`` (relative to N)?
+
+    Requires rep(T) non-empty, per the paper's definition.
+    """
+    if incomplete.is_empty():
+        return False
+    if prefix.is_empty():
+        return True
+    if incomplete.allows_empty:
+        return False  # the empty tree is represented and contains nothing
+    if incomplete.type.is_empty():
+        return False
+    tau = incomplete.type.normalized()
+    analysis = _Analysis(prefix, incomplete, tau)
+    if not analysis.anchors_consistent():
+        return False
+    cert = analysis.certain_sets()
+    return tau.roots <= cert[prefix.root]
+
+
+class _Analysis:
+    """Shared machinery for the two recursions."""
+
+    def __init__(self, prefix: DataTree, incomplete: IncompleteTree, tau):
+        self._prefix = prefix
+        self._incomplete = incomplete
+        self._tau = tau
+        self._node_ids = incomplete.data_node_ids()
+        self._by_label: Dict[str, List[str]] = {}
+        self._by_node: Dict[NodeId, List[str]] = {}
+        for symbol in tau.symbols():
+            target = tau.sigma(symbol)
+            if target in self._node_ids:
+                self._by_node.setdefault(target, []).append(symbol)
+            else:
+                self._by_label.setdefault(target, []).append(symbol)
+
+    def anchors_consistent(self) -> bool:
+        """Anchored nodes of the prefix must agree with λ and ν."""
+        for node_id in self._prefix.node_ids():
+            if node_id in self._node_ids:
+                if self._prefix.label(node_id) != self._incomplete.data_label(node_id):
+                    return False
+                if not values_equal(
+                    self._prefix.value(node_id), self._incomplete.data_value(node_id)
+                ):
+                    return False
+        return True
+
+    def _candidates(self, node_id: NodeId, forced: bool) -> List[str]:
+        """Symbols whose σ-target can host this prefix node.
+
+        ``forced`` (certain case) additionally requires the symbol's
+        condition to pin the data value down to the node's value.
+        """
+        tree = self._prefix
+        label, value = tree.label(node_id), tree.value(node_id)
+        result: List[str] = []
+        if node_id in self._node_ids:
+            # anchored: only the node's own symbols
+            for symbol in self._by_node.get(node_id, ()):
+                if self._tau.cond(symbol).accepts(value):
+                    result.append(symbol)
+            return result
+        for symbol in self._by_label.get(label, ()):
+            cond = self._tau.cond(symbol)
+            if forced:
+                pinned = cond.forced_value()
+                if pinned is None or not values_equal(pinned, value):
+                    continue
+            elif not cond.accepts(value):
+                continue
+            result.append(symbol)
+        # a fresh node may also land on a data node with equal label/value
+        for data_id, symbols in self._by_node.items():
+            info_label = self._incomplete.data_label(data_id)
+            info_value = self._incomplete.data_value(data_id)
+            if info_label == label and values_equal(info_value, value):
+                for symbol in symbols:
+                    if self._tau.cond(symbol).accepts(value):
+                        result.append(symbol)
+        return result
+
+    # -- possible ---------------------------------------------------------------
+
+    def possible_sets(self) -> Dict[NodeId, FrozenSet[str]]:
+        tree, tau = self._prefix, self._tau
+        poss: Dict[NodeId, FrozenSet[str]] = {}
+        for node_id in reversed(list(tree.node_ids())):
+            children = tree.children(node_id)
+            good: Set[str] = set()
+            for symbol in self._candidates(node_id, forced=False):
+                if self._possibly_hosts(symbol, children, poss):
+                    good.add(symbol)
+            poss[node_id] = frozenset(good)
+        return poss
+
+    def _possibly_hosts(
+        self,
+        symbol: str,
+        children: Tuple[NodeId, ...],
+        poss: Dict[NodeId, FrozenSet[str]],
+    ) -> bool:
+        if not children:
+            return True  # extra required children can always be added
+        for atom in self._tau.mu(symbol):
+            slots = {
+                entry: (0, mult.max_count) for entry, mult in atom.items()
+            }
+            allowed = {
+                child: [entry for entry in slots if entry in poss[child]]
+                for child in children
+            }
+            if feasible_assignment(list(children), slots, allowed) is not None:
+                return True
+        return False
+
+    # -- certain ----------------------------------------------------------------
+
+    def certain_sets(self) -> Dict[NodeId, FrozenSet[str]]:
+        tree, tau = self._prefix, self._tau
+        cert: Dict[NodeId, FrozenSet[str]] = {}
+        for node_id in reversed(list(tree.node_ids())):
+            children = tree.children(node_id)
+            good: Set[str] = set()
+            for symbol in self._candidates(node_id, forced=True):
+                if all(
+                    self._certainly_hosts(atom, children, cert)
+                    for atom in tau.mu(symbol)
+                ):
+                    good.add(symbol)
+            cert[node_id] = frozenset(good)
+        return cert
+
+    def _certainly_hosts(self, atom, children, cert) -> bool:
+        """Every tree built with this atom must contain all the children:
+        an injective matching into entries with guaranteed presence."""
+        if not children:
+            return True
+        adjacency = {
+            child: [
+                entry
+                for entry, mult in atom.items()
+                if mult.required and entry in cert[child]
+            ]
+            for child in children
+        }
+        return has_perfect_matching(list(children), adjacency)

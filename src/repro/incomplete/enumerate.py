@@ -1,0 +1,212 @@
+"""Bounded enumeration of the trees represented by an incomplete tree.
+
+This is the library's *test oracle*: the representation-system
+identities proved in the paper (rep(T') = rep(T) ∩ q⁻¹(A),
+rep(q(T)) = q(rep(T)), certain/possible prefix, ...) are property-tested
+by enumerating rep(·) up to a node budget and comparing.
+
+Data values are chosen from representative samples of each symbol's
+condition, optionally augmented with caller-supplied pivot values
+(typically the constants of all conditions under test — one value per
+interval of the Lemma 2.3 decomposition is enough to exercise every
+behaviour).
+
+Enumerated trees use fresh node ids except for data nodes, which keep
+their identity; :func:`canonical_form` compares trees up to renaming of
+the non-data ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.multiplicity import Atom, Mult
+from ..core.tree import DataTree, NodeId, NodeSpec, node
+from ..core.values import Value, ValueInput, as_value
+from .conditional import ConditionalTreeType
+from .incomplete_tree import IncompleteTree
+
+#: Placeholder id assigned during generation, replaced in a final pass.
+_FRESH = "\x00fresh"
+
+
+def enumerate_trees(
+    incomplete: IncompleteTree,
+    max_nodes: int = 6,
+    values_per_cond: int = 1,
+    extra_values: Iterable[ValueInput] = (),
+    max_trees: Optional[int] = 20000,
+    per_mult_cap: int = 2,
+) -> List[DataTree]:
+    """All trees of ``rep(incomplete)`` with at most ``max_nodes`` nodes,
+    over representative data values.
+
+    ``per_mult_cap`` bounds how many children one ``+``/``*`` entry may
+    spawn.  Duplicate shapes (same canonical form) are removed.
+    """
+    tau = incomplete.type.normalized()
+    pivots = [as_value(v) for v in extra_values]
+    ctx = _Context(incomplete, tau, values_per_cond, pivots, per_mult_cap)
+
+    result: List[DataTree] = []
+    seen: Set[object] = set()
+    anchored = incomplete.data_node_ids()
+
+    def emit(tree: DataTree) -> bool:
+        form = canonical_form(tree, anchored)
+        if form not in seen:
+            seen.add(form)
+            result.append(tree)
+        return max_trees is None or len(result) < max_trees
+
+    if incomplete.allows_empty:
+        if not emit(DataTree.empty()):
+            return result
+    for root_symbol in sorted(tau.roots):
+        for spec in ctx.subtrees(root_symbol, max_nodes):
+            tree = _with_fresh_ids(spec, anchored)
+            if tree is not None and not emit(tree):
+                return result
+    return result
+
+
+def canonical_form(tree: DataTree, anchored: Iterable[NodeId] = ()) -> object:
+    """A hashable form identifying trees up to renaming of non-anchored ids."""
+    anchored_set = set(anchored)
+    if tree.is_empty():
+        return ("empty",)
+
+    def walk(node_id: NodeId) -> object:
+        ident = node_id if node_id in anchored_set else None
+        kids = tuple(sorted((walk(c) for c in tree.children(node_id)), key=repr))
+        return (tree.label(node_id), tree.value(node_id), ident, kids)
+
+    return walk(tree.root)
+
+
+def answer_set(
+    query,
+    trees: Iterable[DataTree],
+    anchored: Iterable[NodeId] = (),
+) -> Set[object]:
+    """Canonical forms of ``q(T)`` over a collection of trees."""
+    return {canonical_form(query.evaluate(t), anchored) for t in trees}
+
+
+class _Context:
+    """Shared state for one enumeration run."""
+
+    def __init__(
+        self,
+        incomplete: IncompleteTree,
+        tau: ConditionalTreeType,
+        values_per_cond: int,
+        pivots: Sequence[Value],
+        per_mult_cap: int,
+    ):
+        self._incomplete = incomplete
+        self._tau = tau
+        self._per_mult_cap = per_mult_cap
+        self._node_ids = incomplete.data_node_ids()
+        self._options: Dict[str, List[Tuple[Optional[NodeId], str, Value]]] = {}
+        for symbol in tau.symbols():
+            target = tau.sigma(symbol)
+            cond = tau.cond(symbol)
+            options: List[Tuple[Optional[NodeId], str, Value]] = []
+            if target in self._node_ids:
+                label = incomplete.data_label(target)
+                value = incomplete.data_value(target)
+                if cond.accepts(value):
+                    options.append((target, label, value))
+            else:
+                values: List[Value] = []
+                for pivot in pivots:
+                    if cond.accepts(pivot) and pivot not in values:
+                        values.append(pivot)
+                for sample in cond.samples(values_per_cond):
+                    if sample not in values:
+                        values.append(sample)
+                options.extend((None, target, value) for value in values)
+            self._options[symbol] = options
+
+    # Enumeration is lazy; recursion carries a node budget.
+
+    def subtrees(self, symbol: str, budget: int) -> Iterator[NodeSpec]:
+        if budget <= 0:
+            return
+        options = self._options[symbol]
+        if not options:
+            return
+        for atom in self._tau.mu(symbol):
+            for forest in self._forests_for_atom(atom, budget - 1):
+                for node_id, label, value in options:
+                    ident = node_id if node_id is not None else _FRESH
+                    yield NodeSpec(ident, label, value, forest)
+
+    def _forests_for_atom(
+        self, atom: Atom, budget: int
+    ) -> Iterator[Tuple[NodeSpec, ...]]:
+        entries = list(atom.items())
+        yield from self._expand_entries(entries, budget)
+
+    def _expand_entries(
+        self, entries: List[Tuple[str, Mult]], budget: int
+    ) -> Iterator[Tuple[NodeSpec, ...]]:
+        if not entries:
+            yield ()
+            return
+        (symbol, mult), rest = entries[0], entries[1:]
+        min_rest = sum(m.min_count for _s, m in rest)
+        max_here = mult.max_count
+        cap = self._per_mult_cap if max_here is None else max_here
+        cap = min(cap, budget - min_rest)
+        for count in range(mult.min_count, cap + 1):
+            for group in self._groups(symbol, count, budget - min_rest):
+                used = sum(_size(spec) for spec in group)
+                for rest_forest in self._expand_entries(rest, budget - used):
+                    yield group + rest_forest
+
+    def _groups(
+        self, symbol: str, count: int, budget: int
+    ) -> Iterator[Tuple[NodeSpec, ...]]:
+        if count == 0:
+            yield ()
+            return
+        if budget < count:
+            return
+        for first in self.subtrees(symbol, budget - (count - 1)):
+            used = _size(first)
+            for rest in self._groups(symbol, count - 1, budget - used):
+                yield (first,) + rest
+
+
+def _size(spec: NodeSpec) -> int:
+    return 1 + sum(_size(child) for child in spec.children)
+
+
+def _with_fresh_ids(spec: NodeSpec, anchored: Set[NodeId]) -> Optional[DataTree]:
+    """Replace placeholder ids with unique fresh ids; reject trees where a
+    data-node id would occur twice."""
+    counter = [0]
+    seen: Set[NodeId] = set()
+    ok = [True]
+
+    def walk(current: NodeSpec) -> NodeSpec:
+        if current.id == _FRESH:
+            while True:
+                ident = f"_e{counter[0]}"
+                counter[0] += 1
+                if ident not in anchored and ident not in seen:
+                    break
+            seen.add(ident)
+        else:
+            ident = current.id
+            if ident in seen:
+                ok[0] = False
+            seen.add(ident)
+        return NodeSpec(ident, current.label, current.value, tuple(walk(c) for c in current.children))
+
+    rebuilt = walk(spec)
+    if not ok[0]:
+        return None
+    return DataTree.build(rebuilt)

@@ -1,0 +1,175 @@
+"""XML serialization of incomplete trees.
+
+The paper's introduction emphasizes that incomplete trees "exhibit in a
+user-friendly way the partial information available as well as the
+missing information, and can be itself naturally represented and
+browsed as an XML document".  This module provides that document form,
+with an exact round trip::
+
+    <incomplete-tree allows-empty="false">
+      <data> ... the data nodes with λ/ν ... </data>
+      <type roots="s1 s2">
+        <symbol name="s" target="product" kind="label">
+          <cond> ... exact value-set ... </cond>
+          <alternative>
+            <child symbol="t" mult="*"/>
+          </alternative>
+        </symbol>
+      </type>
+    </incomplete-tree>
+
+Conditions serialize by their *denotation* (Lemma 2.3's interval/string
+normal form), so the round trip preserves semantics exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List
+from xml.etree import ElementTree as ET
+
+from ..core.conditions import Cond, ValueSet
+from ..core.intervals import Interval, IntervalSet
+from ..core.multiplicity import Atom, Disjunction, parse_mult
+from ..core.stringsets import StringSet
+from ..core.values import Value, value_repr
+from .conditional import ConditionalTreeType
+from .incomplete_tree import DataNode, IncompleteTree
+
+
+def cond_to_element(cond: Cond) -> ET.Element:
+    """Serialize a condition's exact denotation."""
+    element = ET.Element("cond")
+    values = cond.values
+    for interval in values.numbers.intervals:
+        attrs: Dict[str, str] = {}
+        if interval.low is not None:
+            attrs["low"] = str(interval.low)
+            attrs["low-closed"] = "1" if interval.low_closed else "0"
+        if interval.high is not None:
+            attrs["high"] = str(interval.high)
+            attrs["high-closed"] = "1" if interval.high_closed else "0"
+        ET.SubElement(element, "interval", attrs)
+    strings = ET.SubElement(
+        element,
+        "strings",
+        {"cofinite": "1" if values.strings.is_cofinite else "0"},
+    )
+    for member in sorted(values.strings.members):
+        ET.SubElement(strings, "s", {"v": member})
+    return element
+
+
+def cond_from_element(element: ET.Element) -> Cond:
+    """Inverse of :func:`cond_to_element`."""
+    intervals = []
+    strings = StringSet.empty()
+    for child in element:
+        if child.tag == "interval":
+            low = child.attrib.get("low")
+            high = child.attrib.get("high")
+            intervals.append(
+                Interval(
+                    Fraction(low) if low is not None else None,
+                    Fraction(high) if high is not None else None,
+                    child.attrib.get("low-closed") == "1",
+                    child.attrib.get("high-closed") == "1",
+                )
+            )
+        elif child.tag == "strings":
+            members = [s.attrib["v"] for s in child]
+            strings = StringSet(members, cofinite=child.attrib.get("cofinite") == "1")
+    return Cond.of(ValueSet(IntervalSet(intervals), strings))
+
+
+def incomplete_to_xml(incomplete: IncompleteTree) -> str:
+    """Serialize an incomplete tree to its XML document form."""
+    root = ET.Element(
+        "incomplete-tree",
+        {"allows-empty": "1" if incomplete.allows_empty else "0"},
+    )
+    data = ET.SubElement(root, "data")
+    node_ids = incomplete.data_node_ids()
+    for node_id in sorted(node_ids):
+        value = incomplete.data_value(node_id)
+        ET.SubElement(
+            data,
+            "node",
+            {
+                "id": node_id,
+                "label": incomplete.data_label(node_id),
+                "value": value_repr(value),
+                **({"kind": "str"} if isinstance(value, str) else {}),
+            },
+        )
+    tau = incomplete.type
+    type_el = ET.SubElement(
+        root, "type", {"roots": " ".join(sorted(tau.roots))}
+    )
+    for symbol in sorted(tau.symbols()):
+        target = tau.sigma(symbol)
+        symbol_el = ET.SubElement(
+            type_el,
+            "symbol",
+            {
+                "name": symbol,
+                "target": target,
+                "kind": "node" if target in node_ids else "label",
+            },
+        )
+        cond = tau.cond(symbol)
+        if not cond.is_true():
+            symbol_el.append(cond_to_element(cond))
+        for atom in tau.mu(symbol):
+            alternative = ET.SubElement(symbol_el, "alternative")
+            for entry, mult in atom.items():
+                ET.SubElement(
+                    alternative, "child", {"symbol": entry, "mult": mult.value}
+                )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def incomplete_from_xml(text: str) -> IncompleteTree:
+    """Inverse of :func:`incomplete_to_xml` (semantics-exact)."""
+    root = ET.fromstring(text)
+    if root.tag != "incomplete-tree":
+        raise ValueError(f"expected <incomplete-tree>, got <{root.tag}>")
+    allows_empty = root.attrib.get("allows-empty") == "1"
+
+    nodes: Dict[str, DataNode] = {}
+    data = root.find("data")
+    if data is not None:
+        for node_el in data:
+            raw = node_el.attrib["value"]
+            value: Value = (
+                raw if node_el.attrib.get("kind") == "str" else Fraction(raw)
+            )
+            nodes[node_el.attrib["id"]] = DataNode(node_el.attrib["label"], value)
+
+    type_el = root.find("type")
+    if type_el is None:
+        raise ValueError("missing <type> element")
+    roots = type_el.attrib.get("roots", "").split()
+    mu: Dict[str, Disjunction] = {}
+    cond: Dict[str, Cond] = {}
+    sigma: Dict[str, str] = {}
+    for symbol_el in type_el:
+        name = symbol_el.attrib["name"]
+        sigma[name] = symbol_el.attrib["target"]
+        atoms: List[Atom] = []
+        for child in symbol_el:
+            if child.tag == "cond":
+                cond[name] = cond_from_element(child)
+            elif child.tag == "alternative":
+                atoms.append(
+                    Atom(
+                        [
+                            (entry.attrib["symbol"], parse_mult(entry.attrib["mult"]))
+                            for entry in child
+                        ]
+                    )
+                )
+        mu[name] = Disjunction(atoms)
+    tau = ConditionalTreeType(roots, mu, cond, sigma)
+    return IncompleteTree(nodes, tau, allows_empty=allows_empty)

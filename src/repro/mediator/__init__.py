@@ -1,0 +1,16 @@
+"""Mediator layer: local queries, non-redundant completions
+(Theorem 3.19), simulated sources and the Webhouse front-end."""
+
+from .completion import completion_plan
+from .local_query import LocalQuery, overlay
+from .source import InMemorySource, SourceStats
+from .webhouse import Webhouse
+
+__all__ = [
+    "InMemorySource",
+    "LocalQuery",
+    "SourceStats",
+    "Webhouse",
+    "completion_plan",
+    "overlay",
+]

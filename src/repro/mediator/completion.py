@@ -1,0 +1,145 @@
+"""Non-redundant completions (Theorem 3.19).
+
+Given a reachable incomplete tree T and a ps-query q that cannot be
+fully answered locally, compute a set L of local queries such that
+extending the data tree with their answers suffices to answer q — while
+avoiding re-retrieval of work previous queries already did.
+
+The generation follows the paper's recursion: starting from ``q @ root``,
+a local query ``p @ n`` is split when some of p's child patterns cannot
+be matched inside the *missing* information below n (their answers can
+only come through already-known children, into which we recurse); the
+remaining branches stay in a pruned pattern asked at n.  Local queries
+that can only return already-known data, or that certainly return
+nothing, are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.query import PSQuery, Path, QueryNode
+from ..core.tree import DataTree, NodeId
+from ..answering.query_incomplete import type_possible_certain
+from ..incomplete.incomplete_tree import IncompleteTree
+from .local_query import LocalQuery
+
+
+def completion_plan(
+    incomplete: IncompleteTree, query: PSQuery
+) -> List[LocalQuery]:
+    """The non-redundant set of local queries completing T relative to q.
+
+    Empty when the data tree cannot anchor the query (root label
+    mismatch) — in that case ``q`` at the (virtual) document root is the
+    only option and the query is either already fully answerable or the
+    whole document is unknown; callers handle that case via
+    :func:`~repro.answering.answerable.fully_answerable`.
+    """
+    data_tree = incomplete.data_tree()
+    if data_tree.is_empty():
+        # nothing known: the trivial completion (ask q itself at the root)
+        # cannot be anchored locally; signal with the full query at no node
+        return [LocalQuery(query, "")]
+    if data_tree.label(data_tree.root) != query.root.label:
+        return []
+
+    tau = incomplete.type.normalized()
+    node_ids = incomplete.data_node_ids()
+    poss, _cert = type_possible_certain(incomplete, query)
+
+    symbols_of: Dict[NodeId, List[str]] = {}
+    for symbol in tau.symbols():
+        target = tau.sigma(symbol)
+        if target in node_ids:
+            symbols_of.setdefault(target, []).append(symbol)
+
+    plan: List[LocalQuery] = []
+
+    def missing_can_match(node: NodeId, child_path: Path) -> bool:
+        """Can the unknown region below ``node`` contain a match of the
+        subquery at ``child_path``?"""
+        for symbol in symbols_of.get(node, ()):
+            for atom in tau.mu(symbol):
+                for entry, _mult in atom.items():
+                    if tau.sigma(entry) in node_ids:
+                        continue  # known child, not missing information
+                    if entry in poss[child_path]:
+                        return True
+        return False
+
+    def data_children_matching(node: NodeId, child_path: Path) -> List[NodeId]:
+        result = []
+        for child in data_tree.children(node):
+            if any(s in poss[child_path] for s in symbols_of.get(child, ())):
+                result.append(child)
+        return result
+
+    def process(path: Path, node: NodeId) -> None:
+        qnode = query.node_at(path)
+        if qnode.extract:
+            # bar pattern: the whole subtree is requested; ask locally iff
+            # anything below the node may be missing
+            if _has_missing_below(tau, node_ids, symbols_of, node):
+                plan.append(LocalQuery(PSQuery(qnode), node))
+            return
+        if not qnode.children:
+            return  # the node itself is known; nothing to fetch
+        keep: List[int] = []
+        for i in range(len(qnode.children)):
+            child_path = path + (i,)
+            if missing_can_match(node, child_path):
+                keep.append(i)
+            else:
+                for child in data_children_matching(node, child_path):
+                    process(child_path, child)
+        if keep:
+            # the pruned pattern asked at the node covers the kept branches
+            # in full (the source evaluates on its complete subtree), so no
+            # further recursion is needed for them — that is exactly what
+            # keeps the completion non-redundant
+            pruned = _restrict_children(qnode, keep)
+            plan.append(LocalQuery(PSQuery(pruned), node))
+
+    process((), data_tree.root)
+    return _dedupe(plan)
+
+
+def _restrict_children(qnode: QueryNode, keep: Sequence[int]) -> QueryNode:
+    return QueryNode(
+        qnode.label,
+        qnode.cond,
+        qnode.extract,
+        tuple(qnode.children[i] for i in keep),
+    )
+
+
+def _has_missing_below(tau, node_ids, symbols_of, node: NodeId) -> bool:
+    """Is any non-data content possible anywhere below ``node``?"""
+    seen: Set[NodeId] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for symbol in symbols_of.get(current, ()):
+            for atom in tau.mu(symbol):
+                for entry, _mult in atom.items():
+                    target = tau.sigma(entry)
+                    if target in node_ids:
+                        stack.append(target)
+                    else:
+                        return True
+    return False
+
+
+def _dedupe(plan: List[LocalQuery]) -> List[LocalQuery]:
+    seen: Set[Tuple[object, NodeId]] = set()
+    result = []
+    for local in plan:
+        key = (local.query, local.node)
+        if key not in seen:
+            seen.add(key)
+            result.append(local)
+    return result

@@ -1,0 +1,76 @@
+"""Local queries ``p @ n`` (Section 3.4).
+
+A local ps-query is addressed at a known data node: it returns the
+answer of ``p`` on the subtree of the full input rooted at ``n``.  The
+mediator uses them to fetch only the missing information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.query import PSQuery
+from ..core.tree import DataTree, NodeId, _Record
+
+
+@dataclass(frozen=True)
+class LocalQuery:
+    """``query @ node``."""
+
+    query: PSQuery
+    node: NodeId
+
+    def size(self) -> int:
+        return self.query.size()
+
+    def __repr__(self) -> str:
+        return f"{self.query.root.label}-pattern({self.query.size()})@{self.node}"
+
+
+def overlay(base: DataTree, addition: DataTree) -> DataTree:
+    """Merge a local answer into the known prefix.
+
+    ``addition``'s root must be a node of ``base`` (the local query's
+    anchor); shared nodes must agree on label/value/parent.
+    """
+    if addition.is_empty():
+        return base
+    anchor = addition.root
+    if anchor not in base:
+        raise ValueError(f"anchor {anchor!r} of local answer not in base tree")
+    merged_nodes = {}
+    for node_id in base.node_ids():
+        merged_nodes[node_id] = [
+            base.label(node_id),
+            base.value(node_id),
+            base.parent(node_id),
+            list(base.children(node_id)),
+        ]
+    for node_id in addition.node_ids():
+        parent = addition.parent(node_id)
+        if node_id in merged_nodes:
+            record = merged_nodes[node_id]
+            if record[0] != addition.label(node_id) or record[1] != addition.value(node_id):
+                raise ValueError(f"conflicting data for node {node_id!r}")
+            if parent is not None and record[2] != parent:
+                raise ValueError(f"conflicting parent for node {node_id!r}")
+        else:
+            merged_nodes[node_id] = [
+                addition.label(node_id),
+                addition.value(node_id),
+                parent,
+                list(addition.children(node_id)),
+            ]
+            siblings = merged_nodes[parent][3]
+            if node_id not in siblings:
+                siblings.append(node_id)
+    # rebuild with child lists derived from the parent pointers
+    children_map = {nid: [] for nid in merged_nodes}
+    for nid, (_label, _value, parent, _children) in merged_nodes.items():
+        if parent is not None:
+            children_map[parent].append(nid)
+    records = {
+        nid: _Record(label, value, parent, tuple(children_map[nid]))
+        for nid, (label, value, parent, _children) in merged_nodes.items()
+    }
+    return DataTree(base.root, records)

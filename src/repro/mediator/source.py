@@ -1,0 +1,111 @@
+"""Simulated XML sources.
+
+The paper's Webhouse accumulates knowledge by querying remote XML
+documents.  We substitute an in-memory :class:`InMemorySource` wrapping
+a :class:`~repro.core.tree.DataTree`: it answers ps-queries against the
+full document or against the subtree rooted at a given node (the local
+queries of Section 3.4), and keeps transfer statistics so experiments
+can measure how much retrieval the mediator machinery saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.query import PSQuery
+from ..core.tree import DataTree, NodeId
+from ..core.treetype import TreeType
+
+
+@dataclass
+class SourceStats:
+    """Counters for one source."""
+
+    queries: int = 0
+    nodes_served: int = 0
+
+    def record(self, answer: DataTree) -> None:
+        self.queries += 1
+        self.nodes_served += len(answer)
+
+
+def merge_sources(
+    documents: "dict[str, DataTree]",
+    virtual_root_label: str = "sources",
+    virtual_root_id: NodeId = "virtual-root",
+) -> DataTree:
+    """Virtually merge several documents into one (Section 3.1).
+
+    The paper reduces the multi-source case to the single-document case
+    by merging the sources under a virtual root; each document hangs
+    under the new root and keeps its node ids (which must be disjoint
+    across sources).  Queries against the merged document start with the
+    virtual root label.
+    """
+    from ..core.tree import NodeSpec, node as make_node
+
+    seen: set = {virtual_root_id}
+    children = []
+    for name in sorted(documents):
+        doc = documents[name]
+        if doc.is_empty():
+            continue
+        for node_id in doc.node_ids():
+            if node_id in seen:
+                raise ValueError(
+                    f"node id {node_id!r} appears in several sources; "
+                    "ids must be disjoint to merge"
+                )
+            seen.add(node_id)
+
+        def build(node_id) -> NodeSpec:
+            return make_node(
+                node_id,
+                doc.label(node_id),
+                doc.value(node_id),
+                [build(c) for c in doc.children(node_id)],
+            )
+
+        children.append(build(doc.root))
+    return DataTree.build(
+        make_node(virtual_root_id, virtual_root_label, 0, children)
+    )
+
+
+class InMemorySource:
+    """A static XML document reachable through ps-queries only."""
+
+    def __init__(self, tree: DataTree, tree_type: Optional[TreeType] = None):
+        if tree_type is not None:
+            violation = tree_type.violation(tree)
+            if violation is not None:
+                raise ValueError(f"document violates its type: {violation}")
+        self._tree = tree
+        self._type = tree_type
+        self.stats = SourceStats()
+
+    @property
+    def tree_type(self) -> Optional[TreeType]:
+        return self._type
+
+    def document(self) -> DataTree:
+        """Direct access for test oracles; real clients must query."""
+        return self._tree
+
+    def ask(self, query: PSQuery) -> DataTree:
+        """Answer a ps-query against the whole document."""
+        answer = query.evaluate(self._tree)
+        self.stats.record(answer)
+        return answer
+
+    def ask_local(self, query: PSQuery, node_id: NodeId) -> DataTree:
+        """Answer ``query @ node_id``: evaluate on the subtree at the node."""
+        if node_id not in self._tree:
+            raise KeyError(f"unknown node {node_id!r}")
+        answer = query.evaluate(self._tree.subtree(node_id))
+        self.stats.record(answer)
+        return answer
+
+    def __repr__(self) -> str:
+        return f"InMemorySource({len(self._tree)} nodes, {self.stats.queries} queries)"

@@ -1,0 +1,192 @@
+"""The Webhouse: the paper's Section 1 scenario as a usable front-end.
+
+A :class:`Webhouse` accumulates incomplete knowledge about one source
+document by recording ps-query/answer pairs (Algorithm Refine), answers
+new queries locally whenever possible (Corollary 3.15 / Theorem 3.14),
+and otherwise plans non-redundant local queries against the source
+(Theorem 3.19), merging their answers into its knowledge.
+
+>>> wh = Webhouse(alphabet, tree_type=catalog_type)
+>>> wh.ask(source, query1)          # acquire knowledge
+>>> wh.can_answer(query3)           # True: answer locally, no source hit
+>>> answer, plan = wh.complete_and_answer(source, query4)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..answering.answerable import fully_answerable
+from ..answering.facts import certainly_nonempty, possibly_nonempty
+from ..answering.query_incomplete import query_incomplete
+from ..core.query import PSQuery
+from ..core.tree import DataTree
+from ..core.treetype import TreeType
+from ..incomplete.certainty import certain_prefix, possible_prefix
+from ..incomplete.incomplete_tree import IncompleteTree
+from ..refine.heuristics import forget_specializations
+from ..refine.inverse import universal_incomplete
+from ..refine.minimize import merge_equivalent_symbols
+from ..refine.refine import refine
+from ..refine.type_intersect import intersect_with_tree_type
+from .completion import completion_plan
+from .local_query import LocalQuery, overlay
+from .source import InMemorySource
+
+
+class Webhouse:
+    """Incomplete-information warehouse for one XML source."""
+
+    def __init__(
+        self,
+        alphabet: Iterable[str],
+        tree_type: Optional[TreeType] = None,
+        auto_minimize: bool = False,
+    ):
+        if tree_type is not None:
+            alphabet = set(alphabet) | set(tree_type.alphabet)
+        self._alphabet = sorted(set(alphabet))
+        self._tree_type = tree_type
+        self._auto_minimize = auto_minimize
+        self._state = universal_incomplete(self._alphabet)
+        self._knowledge_cache: Optional[IncompleteTree] = None
+        self.history: List[Tuple[PSQuery, DataTree]] = []
+
+    # -- acquisition -------------------------------------------------------------
+
+    def record(self, query: PSQuery, answer: DataTree) -> None:
+        """Refine knowledge with one query/answer pair (Theorem 3.4)."""
+        self._state = refine(self._state, query, answer, self._alphabet)
+        if self._auto_minimize:
+            self._state = merge_equivalent_symbols(self._state)
+        self._knowledge_cache = None
+        self.history.append((query, answer))
+
+    def ask(self, source: InMemorySource, query: PSQuery) -> DataTree:
+        """Query the source and fold the answer into knowledge."""
+        answer = source.ask(query)
+        self.record(query, answer)
+        return answer
+
+    def reset(self) -> None:
+        """Re-initialize to the bare type — the paper's answer to source
+        updates when no change information is available."""
+        self._state = universal_incomplete(self._alphabet)
+        self._knowledge_cache = None
+        self.history.clear()
+
+    # -- knowledge ------------------------------------------------------------------
+
+    @property
+    def knowledge(self) -> IncompleteTree:
+        """The incomplete tree (history ∩ source type, Theorem 3.5)."""
+        if self._knowledge_cache is None:
+            if self._tree_type is not None:
+                self._knowledge_cache = intersect_with_tree_type(
+                    self._state, self._tree_type
+                )
+            else:
+                self._knowledge_cache = self._state.normalized()
+        return self._knowledge_cache
+
+    def data_tree(self) -> DataTree:
+        """Everything known for sure — the data tree Td."""
+        return self.knowledge.data_tree()
+
+    def size(self) -> int:
+        return self.knowledge.size()
+
+    def compact(self, labels: Optional[Iterable[str]] = None) -> None:
+        """Apply the lossy forgetting heuristic (Section 3.2) in place."""
+        self._state = forget_specializations(self._state, labels)
+        self._knowledge_cache = None
+
+    # -- local answering -----------------------------------------------------------
+
+    def can_answer(self, query: PSQuery) -> bool:
+        """Corollary 3.15: is the query fully answerable locally?"""
+        answerable, _answer = fully_answerable(self.knowledge, query)
+        return answerable
+
+    def answer_locally(self, query: PSQuery) -> DataTree:
+        """The exact answer, from local data only.
+
+        Raises ``ValueError`` when the knowledge does not determine it.
+        """
+        answerable, answer = fully_answerable(self.knowledge, query)
+        if not answerable:
+            raise ValueError(
+                "query is not fully answerable from local knowledge; "
+                "use possible_answers() or complete_and_answer()"
+            )
+        return answer
+
+    def possible_answers(self, query: PSQuery) -> IncompleteTree:
+        """Theorem 3.14: an incomplete tree describing all possible
+        answers given current knowledge."""
+        return query_incomplete(self.knowledge, query)
+
+    def certain_answer_part(self, query: PSQuery) -> DataTree:
+        """The sure part of the answer: q evaluated on the data tree.
+
+        For reachable knowledge this is a prefix of every possible
+        answer."""
+        return query.evaluate(self.data_tree())
+
+    def answer_with_caveats(self, query: PSQuery) -> Tuple[DataTree, bool]:
+        """Example 3.4's reply shape: the complete sure part, plus a flag
+        telling whether the true answer may contain more.
+
+        Returns ``(sure_answer, may_have_more)``: when the flag is
+        False, ``sure_answer`` is the exact answer (the query was fully
+        answerable, Corollary 3.15); when True, the source holds — or
+        may hold — matches the local knowledge cannot see.
+        """
+        answerable, sure = fully_answerable(self.knowledge, query)
+        return sure, not answerable
+
+    def is_certain_prefix(self, prefix: DataTree) -> bool:
+        return certain_prefix(prefix, self.knowledge)
+
+    def is_possible_prefix(self, prefix: DataTree) -> bool:
+        return possible_prefix(prefix, self.knowledge)
+
+    def may_match(self, query: PSQuery) -> bool:
+        """Corollary 3.18: possibly non-empty answer."""
+        return possibly_nonempty(self.knowledge, query)
+
+    def must_match(self, query: PSQuery) -> bool:
+        """Corollary 3.18: certainly non-empty answer."""
+        return certainly_nonempty(self.knowledge, query)
+
+    # -- mediated answering ------------------------------------------------------------
+
+    def completion_plan(self, query: PSQuery) -> List[LocalQuery]:
+        """Theorem 3.19: non-redundant local queries completing the
+        knowledge relative to the query."""
+        return completion_plan(self.knowledge, query)
+
+    def complete_and_answer(
+        self, source: InMemorySource, query: PSQuery
+    ) -> Tuple[DataTree, List[LocalQuery]]:
+        """Answer the query by fetching only the missing information.
+
+        Returns the exact answer and the executed plan.  Local answers
+        are folded into knowledge for future queries.
+        """
+        plan = self.completion_plan(query)
+        merged = self.data_tree()
+        for local in plan:
+            if local.node == "":
+                # nothing known yet: the plan degenerates to the query
+                # itself at the document root (which also records it)
+                answer = self.ask(source, local.query)
+                return answer, plan
+            answer = source.ask_local(local.query, local.node)
+            if not answer.is_empty():
+                merged = overlay(merged, answer)
+        result = query.evaluate(merged)
+        return result, plan
+
+
+__all__ = ["Webhouse"]

@@ -1,0 +1,65 @@
+"""Executable hardness constructions (Theorems 3.6, 4.1, 4.5, 4.7)."""
+
+from .cfg import (
+    Grammar,
+    consistency_queries,
+    difference_query,
+    encode_derivation,
+    encode_pair,
+    pair_tree_type,
+)
+from .dependencies import (
+    FD,
+    IND,
+    encode_relation,
+    fd_query,
+    ind_query,
+    query_for,
+    relation_tree_type,
+    satisfies,
+)
+from .dnf import (
+    assignment_tree,
+    brute_force_validity,
+    certain_prefix_of_answers,
+    dnf_tree_type,
+    setup_query,
+    validity_query,
+)
+from .sat3 import (
+    SAT_ALPHABET,
+    SatInstance,
+    brute_force_sat,
+    build_instance,
+    decide_by_representation,
+    sat_tree_type,
+)
+
+__all__ = [
+    "FD",
+    "IND",
+    "Grammar",
+    "SAT_ALPHABET",
+    "SatInstance",
+    "assignment_tree",
+    "brute_force_sat",
+    "brute_force_validity",
+    "build_instance",
+    "certain_prefix_of_answers",
+    "consistency_queries",
+    "decide_by_representation",
+    "difference_query",
+    "dnf_tree_type",
+    "encode_derivation",
+    "encode_pair",
+    "encode_relation",
+    "fd_query",
+    "ind_query",
+    "pair_tree_type",
+    "query_for",
+    "relation_tree_type",
+    "sat_tree_type",
+    "satisfies",
+    "setup_query",
+    "validity_query",
+]

@@ -1,0 +1,143 @@
+"""The functional/inclusion-dependency reduction of Theorem 4.5.
+
+With branching, data-value joins and negation, query emptiness over the
+consistent inputs becomes undecidable, by reduction from implication of
+functional and inclusion dependencies.  This module builds the proof's
+artifacts: the relation-encoding tree type and, per dependency φ, the
+query q_φ with ``q_φ(T) = ∅  iff  the relation encoded by T satisfies φ``.
+
+The undecidability itself cannot (of course) be exhibited by running
+code; what the tests verify is the reduction's *invariant* — the
+equivalence above — on concrete relations, which is the entire content
+of the construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.conditions import Cond
+from ..core.tree import DataTree, node
+from ..core.treetype import TreeType
+from ..core.values import Value, ValueInput, as_value
+from ..extensions.extended_query import (
+    ENode,
+    ExtendedQuery,
+    VarConstraint,
+    enode,
+    negated,
+)
+
+#: A relation instance: tuples over attributes A1..An (by position).
+Relation = Sequence[Tuple[ValueInput, ...]]
+
+
+@dataclass(frozen=True)
+class FD:
+    """Functional dependency lhs → rhs (attribute positions, 1-based)."""
+
+    lhs: Tuple[int, ...]
+    rhs: int
+
+
+@dataclass(frozen=True)
+class IND:
+    """Inclusion dependency R[left] ⊆ R[right] (attribute positions)."""
+
+    left: Tuple[int, ...]
+    right: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.left) != len(self.right):
+            raise ValueError("inclusion dependency sides must have equal arity")
+
+
+def relation_tree_type(arity: int) -> TreeType:
+    """``root → tuple*; tuple → A1 ... An`` (the proof's encoding)."""
+    attrs = " ".join(f"A{i}" for i in range(1, arity + 1))
+    return TreeType.parse(f"root: root\nroot -> tuple*\ntuple -> {attrs}")
+
+
+def encode_relation(relation: Relation, arity: int) -> DataTree:
+    """The data tree encoding a relation instance."""
+    tuples = []
+    for t_index, row in enumerate(relation):
+        if len(row) != arity:
+            raise ValueError(f"row {row!r} does not have arity {arity}")
+        tuples.append(
+            node(
+                f"t{t_index}",
+                "tuple",
+                0,
+                [
+                    node(f"t{t_index}a{i}", f"A{i}", value)
+                    for i, value in enumerate(row, start=1)
+                ],
+            )
+        )
+    return DataTree.build(node("R", "root", 0, tuples))
+
+
+def fd_query(fd: FD) -> ExtendedQuery:
+    """q_φ for a functional dependency: matches a *violation* (two tuples
+    agreeing on lhs, differing on rhs), so emptiness ⟺ satisfaction."""
+    def tuple_pattern(suffix: str) -> ENode:
+        children = [
+            enode(f"A{a}", var=f"L{a}") for a in fd.lhs
+        ] + [enode(f"A{fd.rhs}", var=f"R{suffix}")]
+        return enode("tuple", children=children)
+
+    constraints = [VarConstraint("R1", "!=", "R2")]
+    return ExtendedQuery(
+        enode("root", children=[tuple_pattern("1"), tuple_pattern("2")]),
+        constraints,
+    )
+
+
+def ind_query(ind: IND) -> ExtendedQuery:
+    """q_φ for an inclusion dependency: matches a left-side tuple with
+    *no* right-side witness (via a negated subtree)."""
+    witness_children = [
+        enode(f"A{a}", var=f"V{k}")
+        for k, a in enumerate(ind.right, start=1)
+    ]
+    left_children = [
+        enode(f"A{a}", var=f"V{k}")
+        for k, a in enumerate(ind.left, start=1)
+    ]
+    return ExtendedQuery(
+        enode(
+            "root",
+            children=[
+                enode("tuple", children=left_children),
+                negated(enode("tuple", children=witness_children)),
+            ],
+        )
+    )
+
+
+def satisfies(relation: Relation, dep) -> bool:
+    """Direct relational semantics (ground truth for the tests)."""
+    rows = [tuple(as_value(v) for v in row) for row in relation]
+    if isinstance(dep, FD):
+        for r1 in rows:
+            for r2 in rows:
+                if all(r1[a - 1] == r2[a - 1] for a in dep.lhs):
+                    if r1[dep.rhs - 1] != r2[dep.rhs - 1]:
+                        return False
+        return True
+    if isinstance(dep, IND):
+        projections = {tuple(row[a - 1] for a in dep.right) for row in rows}
+        return all(
+            tuple(row[a - 1] for a in dep.left) in projections for row in rows
+        )
+    raise TypeError(f"unknown dependency {dep!r}")
+
+
+def query_for(dep) -> ExtendedQuery:
+    if isinstance(dep, FD):
+        return fd_query(dep)
+    if isinstance(dep, IND):
+        return ind_query(dep)
+    raise TypeError(f"unknown dependency {dep!r}")

@@ -1,0 +1,122 @@
+"""The DNF-validity reduction of Theorem 4.1.
+
+For ps-queries extended with *branching and optional subtrees*, the
+certain-prefix question becomes co-NP-hard, by reduction from validity
+of 3-DNF formulas.  This module materializes the proof's construction:
+
+* input type ``root → val``, ``val → var*``, ``var → x``: one ``var``
+  node per variable (value = the variable index), each with an ``x``
+  child holding its truth value;
+* the branching+optional query/answer pair forcing exactly one
+  representative per variable with a Boolean value;
+* the query q' whose body is, per disjunct, an *optional* ``val``
+  subtree matching the disjunct's satisfying assignment — the
+  one-node tree ``val`` is a certain prefix of q' answers iff the
+  formula is valid.
+
+Certainty over the (finite, 2^n-sized) space of consistent trees is
+decided by explicit enumeration of assignments — the reduction target
+is exactly this exponential, so the oracle is the honest algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import List, Sequence, Tuple
+
+from ..core.conditions import Cond
+from ..core.tree import DataTree, node
+from ..core.treetype import TreeType
+from ..extensions.extended_query import ENode, ExtendedQuery, enode, optional
+
+#: A disjunct of a 3-DNF formula: three signed literals.
+Disjunct = Tuple[int, int, int]
+
+
+def dnf_tree_type() -> TreeType:
+    return TreeType.parse(
+        """
+        root: root
+        root -> val
+        val  -> var*
+        var  -> x
+        """
+    )
+
+
+def brute_force_validity(n_vars: int, disjuncts: Sequence[Disjunct]) -> bool:
+    """Ground truth: every assignment satisfies some disjunct."""
+    for bits in iter_product((0, 1), repeat=n_vars):
+        if not any(
+            all((bits[abs(lit) - 1] == 1) == (lit > 0) for lit in disjunct)
+            for disjunct in disjuncts
+        ):
+            return False
+    return True
+
+
+def assignment_tree(bits: Sequence[int]) -> DataTree:
+    """The consistent input encoding one truth assignment."""
+    var_nodes = [
+        node(
+            f"v{i}",
+            "var",
+            i,
+            [node(f"x{i}", "x", bits[i - 1])],
+        )
+        for i in range(1, len(bits) + 1)
+    ]
+    return DataTree.build(
+        node("R", "root", 0, [node("V", "val", 0, var_nodes)])
+    )
+
+
+def setup_query(n_vars: int) -> ExtendedQuery:
+    """The branching+optional query q fixing the variable representatives.
+
+    Its recorded answer (one var per index, Boolean x) together with the
+    type restricts consistent inputs to assignment trees.
+    """
+    children: List[ENode] = [
+        enode("var", Cond.eq(i)) for i in range(1, n_vars + 1)
+    ]
+    children.append(
+        optional(
+            enode("var", children=[enode("x", ~(Cond.eq(0) | Cond.eq(1)))])
+        )
+    )
+    return ExtendedQuery(enode("root", children=[enode("val", children=children)]))
+
+
+def validity_query(disjuncts: Sequence[Disjunct]) -> ExtendedQuery:
+    """The paper's q': one optional val subtree per disjunct, matching
+    the disjunct's satisfying pattern."""
+    subtrees: List[ENode] = []
+    for disjunct in disjuncts:
+        var_children = [
+            enode(
+                "var",
+                Cond.eq(abs(lit)),
+                children=[enode("x", Cond.eq(1 if lit > 0 else 0))],
+            )
+            for lit in disjunct
+        ]
+        subtrees.append(optional(enode("val", children=var_children)))
+    return ExtendedQuery(enode("root", children=subtrees))
+
+
+def certain_prefix_of_answers(
+    n_vars: int, disjuncts: Sequence[Disjunct]
+) -> bool:
+    """Is the one-node ``val`` tree a certain prefix of q' answers over
+    the consistent inputs?  Equals DNF validity (Theorem 4.1)."""
+    query = validity_query(disjuncts)
+    for bits in iter_product((0, 1), repeat=n_vars):
+        answer = query.evaluate(assignment_tree(bits))
+        has_val = any(
+            answer.label(n) == "val" for n in answer.node_ids()
+        ) if not answer.is_empty() else False
+        if not has_val:
+            return False
+    return True

@@ -1,0 +1,240 @@
+"""The 3-SAT reduction of Theorem 3.6 (and Theorem 3.10's hardness).
+
+Given a 3-CNF formula, build the paper's tree type and ps-query/answer
+history so that the one-node tree ``root → val = 1`` is a *possible
+prefix* of the trees consistent with the history iff the formula is
+satisfiable.  The same construction drives the NP-hardness of
+conjunctive-tree emptiness (Theorem 3.10) and experiment E8's scaling
+benchmark.
+
+Encoding (following the proof):
+
+* input type: ``root → var* clause* val``; ``var → val``;
+  ``clause → lit1 lit2 lit3``; ``liti → vali``.  A ``var`` node's value
+  names a variable, its ``val`` child holds its truth value; a clause's
+  ``liti`` values are signed literals (+x or -x), each with a ``vali``
+  truth value.
+* the history pins the variables and clauses as data (non-empty
+  answers) and adds empty answers forcing: truth values in {0,1},
+  literal values consistent with variable values, and — the crux —
+  ``val = 1`` impossible when some clause has all-false literals.
+
+Literals are encoded numerically: variable i is ``i``; the positive
+literal is ``i`` and the negative one ``-i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.conditions import Cond
+from ..core.query import PSQuery, linear_query, pattern
+from ..core.tree import DataTree, node
+from ..core.treetype import TreeType
+from ..refine.conjunctive import ConjunctiveIncompleteTree, refine_plus_sequence
+from ..refine.refine import QueryAnswer
+
+#: A clause is three signed literals (±variable index, 1-based).
+Clause = Tuple[int, int, int]
+
+SAT_ALPHABET = (
+    "root",
+    "var",
+    "val",
+    "clause",
+    "lit1",
+    "lit2",
+    "lit3",
+    "val1",
+    "val2",
+    "val3",
+)
+
+
+def sat_tree_type() -> TreeType:
+    """The input type from the proof of Theorem 3.6."""
+    return TreeType.parse(
+        """
+        root: root
+        root   -> var* clause* val
+        var    -> val
+        clause -> lit1 lit2 lit3
+        lit1   -> val1
+        lit2   -> val2
+        lit3   -> val3
+        """
+    )
+
+
+@dataclass(frozen=True)
+class SatInstance:
+    """The reduction artifacts for one formula."""
+
+    n_vars: int
+    clauses: Tuple[Clause, ...]
+    tree_type: TreeType
+    history: Tuple[QueryAnswer, ...]
+    target_prefix: DataTree
+
+
+def brute_force_sat(n_vars: int, clauses: Sequence[Clause]) -> bool:
+    """Ground truth by exhaustive assignment."""
+    for bits in iter_product((0, 1), repeat=n_vars):
+        if all(
+            any(
+                (bits[abs(lit) - 1] == 1) == (lit > 0)
+                for lit in clause
+            )
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def build_instance(n_vars: int, clauses: Sequence[Clause]) -> SatInstance:
+    """Materialize the Theorem 3.6 query/answer history for a formula."""
+    clauses = tuple(clauses)
+    history: List[QueryAnswer] = []
+
+    # Query A: root/var — answer: one var node per variable
+    q_vars = linear_query(["root", "var"])
+    a_vars = DataTree.build(
+        node(
+            "R",
+            "root",
+            0,
+            [node(f"v{i}", "var", i) for i in range(1, n_vars + 1)],
+        )
+    )
+    history.append((q_vars, a_vars))
+
+    # Query B: root/clause/{lit1,lit2,lit3} — answer: the clause encoding
+    q_clauses = PSQuery(
+        pattern(
+            "root",
+            children=[
+                pattern(
+                    "clause",
+                    children=[pattern("lit1"), pattern("lit2"), pattern("lit3")],
+                )
+            ],
+        )
+    )
+    clause_nodes = []
+    for c_index, clause in enumerate(clauses):
+        clause_nodes.append(
+            node(
+                f"c{c_index}",
+                "clause",
+                0,
+                [
+                    node(f"c{c_index}l{j}", f"lit{j}", clause[j - 1])
+                    for j in (1, 2, 3)
+                ],
+            )
+        )
+    a_clauses = (
+        DataTree.build(node("R", "root", 0, clause_nodes))
+        if clauses
+        else DataTree.empty()
+    )
+    history.append((q_clauses, a_clauses))
+
+    not_boolean = ~(Cond.eq(0) | Cond.eq(1))
+
+    # Query C: var values are 0/1 (empty answer)
+    history.append(
+        (linear_query(["root", "var", "val"], [None, None, not_boolean]), DataTree.empty())
+    )
+    # root's own val is 0/1
+    history.append(
+        (linear_query(["root", "val"], [None, not_boolean]), DataTree.empty())
+    )
+    # Query D: literal values are 0/1
+    for j in (1, 2, 3):
+        history.append(
+            (
+                linear_query(
+                    ["root", "clause", f"lit{j}", f"val{j}"],
+                    [None, None, None, not_boolean],
+                ),
+                DataTree.empty(),
+            )
+        )
+
+    # Query E: literal truth values agree with variable truth values.
+    # For each variable i, truth v, literal occurrence (sign), position j:
+    # it is impossible that var i has value v while lit (sign·i) at
+    # position j has a value different from the literal's value under v.
+    seen: set = set()
+    for clause in clauses:
+        for j, lit in enumerate(clause, start=1):
+            i = abs(lit)
+            for v in (0, 1):
+                lit_value = v if lit > 0 else 1 - v
+                key = (i, v, lit, j)
+                if key in seen:
+                    continue
+                seen.add(key)
+                q = PSQuery(
+                    pattern(
+                        "root",
+                        children=[
+                            pattern("var", Cond.eq(i), [pattern("val", Cond.eq(v))]),
+                            pattern(
+                                "clause",
+                                children=[
+                                    pattern(
+                                        f"lit{j}",
+                                        Cond.eq(lit),
+                                        [pattern(f"val{j}", ~Cond.eq(lit_value))],
+                                    )
+                                ],
+                            ),
+                        ],
+                    )
+                )
+                history.append((q, DataTree.empty()))
+
+    # Query F: val = 1 forbids an all-false clause
+    q_false_clause = PSQuery(
+        pattern(
+            "root",
+            children=[
+                pattern("val", Cond.eq(1)),
+                pattern(
+                    "clause",
+                    children=[
+                        pattern("lit1", None, [pattern("val1", Cond.eq(0))]),
+                        pattern("lit2", None, [pattern("val2", Cond.eq(0))]),
+                        pattern("lit3", None, [pattern("val3", Cond.eq(0))]),
+                    ],
+                ),
+            ],
+        )
+    )
+    history.append((q_false_clause, DataTree.empty()))
+
+    target = DataTree.build(node("R", "root", 0, [node("target-val", "val", 1)]))
+    return SatInstance(
+        n_vars, clauses, sat_tree_type(), tuple(history), target
+    )
+
+
+def decide_by_representation(instance: SatInstance) -> bool:
+    """Decide satisfiability through the incomplete-information machinery.
+
+    Builds the conjunctive incomplete tree of the history plus the input
+    type, adds the ``val = 1`` requirement, and tests non-emptiness —
+    the NP algorithm of Theorem 3.10 / Remark 3.11.
+    """
+    conj = refine_plus_sequence(
+        SAT_ALPHABET, list(instance.history), instance.tree_type
+    )
+    # require val = 1: one more (virtual) query-answer pair stating that
+    # root/val=1 returns the target nodes
+    q_val = linear_query(["root", "val"], [None, Cond.eq(1)])
+    conj = conj.refine_plus(q_val, instance.target_prefix, SAT_ALPHABET)
+    return not conj.is_empty()

@@ -1,0 +1,33 @@
+"""Knowledge acquisition: Algorithm Refine and its building blocks
+(Lemmas 3.2/3.3, Theorems 3.4/3.5), plus the blowup countermeasures of
+Section 3.2 (conjunctive trees, linear queries, heuristics)."""
+
+from .conjunctive import ConjunctiveIncompleteTree, refine_plus_sequence
+from .heuristics import forget_specializations, probing_queries
+from .intersect import compatible, intersect, pair_symbol
+from .inverse import answer_witness, inverse_incomplete, universal_incomplete
+from .linear import is_linear, refine_linear_sequence
+from .minimize import merge_equivalent_symbols
+from .refine import QueryAnswer, consistent_with, refine, refine_sequence
+from .type_intersect import intersect_with_tree_type
+
+__all__ = [
+    "ConjunctiveIncompleteTree",
+    "forget_specializations",
+    "is_linear",
+    "merge_equivalent_symbols",
+    "probing_queries",
+    "refine_linear_sequence",
+    "refine_plus_sequence",
+    "QueryAnswer",
+    "answer_witness",
+    "compatible",
+    "consistent_with",
+    "intersect",
+    "intersect_with_tree_type",
+    "inverse_incomplete",
+    "pair_symbol",
+    "refine",
+    "refine_sequence",
+    "universal_incomplete",
+]

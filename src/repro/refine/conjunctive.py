@@ -1,0 +1,195 @@
+"""Conjunctive incomplete trees and Algorithm Refine⁺ (Section 3.2).
+
+The paper avoids the exponential blowup of Algorithm Refine by allowing
+*conjunctions* of disjunctions of multiplicity atoms — in automata
+terms, alternation instead of plain nondeterminism.  We realize the
+same object as a *layered* representation: a conjunctive incomplete
+tree is a sequence of ordinary (unambiguous) incomplete trees sharing
+their data nodes, denoting the intersection of their rep sets.
+
+The two presentations are equivalent: a layer contributes one conjunct
+to every rule of a (virtual) product symbol, and the paper's guess-π
+emptiness algorithm (Theorem 3.10) corresponds to materializing one
+layer-combination at a time.  The layered form directly gives the
+Theorem 3.8 / Corollary 3.9 size bound: Refine⁺ appends the Lemma 3.2
+inverse as a new layer, so after n steps the size is
+O(Σᵢ (|Aᵢ| + |qᵢ|)·|Σ|) — linear in the history.
+
+The price (Theorem 3.10): deciding emptiness requires materializing the
+product, which is worst-case exponential in the number of layers;
+:meth:`ConjunctiveIncompleteTree.is_empty` folds the layers with
+normalization after every step (pruning keeps easy instances easy, but
+SAT-derived families — experiment E8 — remain exponential, as they must
+unless P = NP).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.query import PSQuery
+from ..core.tree import DataTree
+from ..core.treetype import TreeType
+from ..core.values import values_equal
+from ..incomplete.incomplete_tree import DataNode, IncompleteTree
+from .intersect import compatible, intersect
+from .inverse import inverse_incomplete, universal_incomplete
+from .type_intersect import intersect_with_tree_type
+
+
+class ConjunctiveIncompleteTree:
+    """A conjunction (intersection) of incomplete trees.
+
+    The known source tree type, when present, is held separately and
+    applied *after* the layer product (Theorem 3.5's rewriting needs the
+    unambiguous form the layers have; see ``refine.type_intersect``).
+    """
+
+    __slots__ = ("_layers", "_tree_type")
+
+    def __init__(
+        self,
+        layers: Sequence[IncompleteTree],
+        tree_type: Optional[TreeType] = None,
+    ):
+        if not layers:
+            raise ValueError("a conjunctive incomplete tree needs >= 1 layer")
+        self._layers: Tuple[IncompleteTree, ...] = tuple(layers)
+        self._tree_type = tree_type
+        for i, left in enumerate(self._layers):
+            for right in self._layers[i + 1 :]:
+                if not compatible(left, right):
+                    raise ValueError("layers disagree on shared data nodes")
+
+    # -- constructors ------------------------------------------------------------
+
+    @staticmethod
+    def universal(alphabet: Iterable[str]) -> "ConjunctiveIncompleteTree":
+        return ConjunctiveIncompleteTree([universal_incomplete(alphabet)])
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def layers(self) -> Tuple[IncompleteTree, ...]:
+        return self._layers
+
+    @property
+    def tree_type(self) -> Optional[TreeType]:
+        return self._tree_type
+
+    def size(self) -> int:
+        """Corollary 3.9's measured quantity: total layer size."""
+        total = sum(layer.size() for layer in self._layers)
+        if self._tree_type is not None:
+            total += len(self._tree_type.alphabet)
+        return total
+
+    def data_nodes(self) -> Dict[str, DataNode]:
+        merged: Dict[str, DataNode] = {}
+        for layer in self._layers:
+            merged.update(layer.data_nodes())
+        return merged
+
+    @property
+    def allows_empty(self) -> bool:
+        return all(layer.allows_empty for layer in self._layers)
+
+    # -- semantics --------------------------------------------------------------------
+
+    def contains(self, tree: DataTree) -> bool:
+        """Membership stays PTIME: check every layer plus the type."""
+        if self._tree_type is not None:
+            if tree.is_empty() or not self._tree_type.satisfied_by(tree):
+                return False
+        return all(layer.contains(tree) for layer in self._layers)
+
+    def refine_plus(
+        self, query: PSQuery, answer: DataTree, alphabet: Iterable[str]
+    ) -> "ConjunctiveIncompleteTree":
+        """Algorithm Refine⁺ (Theorem 3.8): append the q⁻¹(A) layer.
+
+        O((|A| + |q|)·|Σ|) added size, O(1) additional work beyond the
+        Lemma 3.2 construction.
+        """
+        layer = inverse_incomplete(query, answer, alphabet)
+        if not all(compatible(layer, existing) for existing in self._layers):
+            # inconsistent answer: the represented set is empty
+            return ConjunctiveIncompleteTree(
+                list(self._layers) + [IncompleteTree.nothing(allows_empty=False)],
+                self._tree_type,
+            )
+        return ConjunctiveIncompleteTree(
+            list(self._layers) + [layer], self._tree_type
+        )
+
+    def with_tree_type(self, tree_type: TreeType) -> "ConjunctiveIncompleteTree":
+        """Record the source type (applied last, per Theorem 3.5)."""
+        return ConjunctiveIncompleteTree(self._layers, tree_type)
+
+    def to_incomplete_tree(self, normalize: bool = True) -> IncompleteTree:
+        """Materialize the product — the (possibly exponential) plain
+        incomplete tree with the same rep set."""
+        current = self._layers[0]
+        for layer in self._layers[1:]:
+            current = intersect(current, layer)
+            if normalize:
+                current = current.normalized()
+        if self._tree_type is not None:
+            current = intersect_with_tree_type(current, self._tree_type)
+        return current
+
+    def is_empty(self) -> bool:
+        """Emptiness (Theorem 3.10: NP-complete).
+
+        Folds the layers (smallest first) into a product, normalizing and
+        minimizing after every intersection, and stops early once the
+        product is provably empty.  The heuristics keep benign instances
+        fast; SAT-derived families (experiment E8) remain exponential,
+        as they must unless P = NP.
+        """
+        from .minimize import merge_equivalent_symbols
+        from .type_intersect import structural_weakening
+
+        layers = list(self._layers)
+        if self._tree_type is not None:
+            # sound early pruning: the type's unambiguous structural
+            # over-approximation joins the product up front; the exact
+            # (counting) constraints are still applied at the end
+            layers.append(structural_weakening(self._tree_type))
+        ordered = sorted(layers, key=lambda layer: layer.size())
+        current = ordered[0]
+        for layer in ordered[1:]:
+            current = merge_equivalent_symbols(
+                intersect(current, layer).normalized()
+            )
+            if current.is_empty():
+                return True
+        if self._tree_type is not None:
+            current = intersect_with_tree_type(current, self._tree_type)
+        return current.is_empty()
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConjunctiveIncompleteTree({len(self._layers)} layers, "
+            f"size={self.size()})"
+        )
+
+
+def refine_plus_sequence(
+    alphabet: Iterable[str],
+    history: Sequence[Tuple[PSQuery, DataTree]],
+    tree_type: Optional[TreeType] = None,
+) -> ConjunctiveIncompleteTree:
+    """Fold a query/answer history with Refine⁺ (size linear in history)."""
+    labels = sorted(set(alphabet))
+    if tree_type is not None:
+        labels = sorted(set(labels) | set(tree_type.alphabet))
+    current = ConjunctiveIncompleteTree.universal(labels)
+    for query, answer in history:
+        current = current.refine_plus(query, answer, labels)
+    if tree_type is not None:
+        current = current.with_tree_type(tree_type)
+    return current

@@ -1,0 +1,124 @@
+"""Heuristics for oversized incomplete trees (Section 3.2).
+
+Two remedies the paper sketches when the representation grows too large
+regardless of the complexity-theoretic countermeasures:
+
+1. **Probing** (Proposition 3.13, Example 3.3): ask a standard set of
+   auxiliary queries — for every node ``m`` of every asked query, the
+   root-to-``m`` label path with all conditions set to true, parents
+   before children.  The answers pin down the data values that Refine
+   would otherwise case-split on (the τ̄ types get condition ``¬true =
+   false`` and vanish), keeping the incomplete tree polynomial in the
+   extended history.
+
+2. **Forgetting** (graceful loss): replace groups of specializations of
+   a label by a single coarser specialization whose condition/rule is
+   the union of the group's.  The represented set can only grow (we
+   trade accuracy for size); in the limit this reverts to the bare
+   source type, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.conditions import Cond
+from ..core.multiplicity import Atom, Disjunction, Mult
+from ..core.query import PSQuery, QueryNode, pattern
+from ..core.tree import DataTree
+from ..incomplete.conditional import ConditionalTreeType
+from ..incomplete.incomplete_tree import IncompleteTree
+
+
+def probing_queries(queries: Iterable[PSQuery]) -> List[PSQuery]:
+    """Proposition 3.13's auxiliary queries.
+
+    For each node ``m`` of each query: the root-to-``m`` path with true
+    conditions.  Returned parents-before-children with duplicates
+    removed; |result| ≤ Σ|qᵢ| and each auxiliary query is no larger than
+    the query it comes from (conditions (i) and (ii) of the
+    proposition).
+    """
+    seen: Set[Tuple[str, ...]] = set()
+    result: List[PSQuery] = []
+    for query in queries:
+        for path in query.paths():
+            labels = tuple(
+                query.node_at(path[:depth]).label for depth in range(len(path) + 1)
+            )
+            if labels in seen:
+                continue
+            seen.add(labels)
+            current: Optional[QueryNode] = None
+            for label in reversed(labels):
+                current = pattern(label, None, [current] if current else [])
+            assert current is not None
+            result.append(PSQuery(current))
+    result.sort(key=lambda q: q.size())
+    return result
+
+
+def forget_specializations(
+    incomplete: IncompleteTree, labels: Optional[Iterable[str]] = None
+) -> IncompleteTree:
+    """Lossily coarsen: merge all non-data specializations of each label.
+
+    ``labels=None`` coarsens every label.  The result represents a
+    superset of the original trees and has at most one missing-information
+    specialization per label — size O(|Σ|²) regardless of history.
+    """
+    tau = incomplete.type
+    node_ids = incomplete.data_node_ids()
+    target_labels = set(labels) if labels is not None else None
+
+    def coarse_name(label: str) -> str:
+        return f"lossy:{label}"
+
+    rename: Dict[str, str] = {}
+    groups: Dict[str, List[str]] = {}
+    for symbol in sorted(tau.symbols()):
+        target = tau.sigma(symbol)
+        if target in node_ids:
+            continue
+        if target_labels is not None and target not in target_labels:
+            continue
+        groups.setdefault(target, []).append(symbol)
+        rename[symbol] = coarse_name(target)
+
+    def rewrite_atom(atom: Atom) -> Atom:
+        entries: Dict[str, Mult] = {}
+        for entry, mult in atom.items():
+            new = rename.get(entry, entry)
+            if new in entries:
+                # several specializations collapse: keep the laxest bound
+                old = entries[new]
+                entries[new] = Mult.STAR if Mult.STAR in (old, mult) else old
+            else:
+                entries[new] = mult
+        return Atom(entries)
+
+    mu: Dict[str, Disjunction] = {}
+    cond: Dict[str, Cond] = {}
+    sigma: Dict[str, str] = {}
+    for symbol in tau.symbols():
+        if symbol in rename:
+            continue
+        mu[symbol] = tau.mu(symbol).map_atoms(rewrite_atom)
+        cond[symbol] = tau.cond(symbol)
+        sigma[symbol] = tau.sigma(symbol)
+    for label, members in groups.items():
+        name = coarse_name(label)
+        merged_cond = Cond.false()
+        merged_mu = Disjunction.never()
+        for member in members:
+            merged_cond = merged_cond | tau.cond(member)
+            merged_mu = merged_mu.union(tau.mu(member).map_atoms(rewrite_atom))
+        mu[name] = merged_mu
+        cond[name] = merged_cond
+        sigma[name] = label
+
+    roots = sorted({rename.get(s, s) for s in tau.roots})
+    new_type = ConditionalTreeType(roots, mu, cond, sigma)
+    return IncompleteTree(
+        incomplete.data_nodes(), new_type, incomplete.allows_empty
+    ).normalized()

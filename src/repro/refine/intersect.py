@@ -1,0 +1,221 @@
+"""Intersection of unambiguous incomplete trees (Lemma 3.3).
+
+``intersect(T1, T2)`` builds an unambiguous incomplete tree T with
+``rep(T) = rep(T1) ∩ rep(T2)`` as a product construction, in time
+polynomial in |T1|·|T2|.  The two inputs must be *compatible* (shared
+data nodes agree on label and value) — otherwise the intersection is
+empty and an empty representation is returned.
+
+The construction mirrors tree-automata product: result symbols are
+compatible pairs of input symbols; the disjuncts of a pair's rule
+combine one disjunct from each side via the unique matching ρ between
+their entries.  Unambiguity (Definition 3.1) of the inputs is what makes
+ρ unique: every node of a represented tree has exactly one typing per
+side, so pairing entries loses no correlations.
+
+Only symbols reachable from the root pairs are generated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.multiplicity import Atom, Disjunction, Mult
+from ..core.values import values_equal
+from ..incomplete.conditional import ConditionalTreeType
+from ..incomplete.incomplete_tree import DataNode, IncompleteTree
+
+_MISS = object()  # memo sentinel
+
+#: Separator for pair-symbol names (kept readable for debugging).
+_SEP = "⋈"
+
+
+def pair_symbol(left: str, right: str) -> str:
+    return f"{left}{_SEP}{right}"
+
+
+def compatible(left: IncompleteTree, right: IncompleteTree) -> bool:
+    """Do the two trees agree on shared data nodes (paper's notion)?"""
+    shared = left.data_node_ids() & right.data_node_ids()
+    for node_id in shared:
+        if left.data_label(node_id) != right.data_label(node_id):
+            return False
+        if not values_equal(left.data_value(node_id), right.data_value(node_id)):
+            return False
+    return True
+
+
+def intersect(left: IncompleteTree, right: IncompleteTree) -> IncompleteTree:
+    """rep-intersection of two unambiguous incomplete trees.
+
+    Raises ``ValueError`` when an input violates Definition 3.1's
+    multiplicity discipline (data-node entries 1, others *): the pairing
+    ρ is only exact under it.  Intersect with the source *tree type*
+    last, via :func:`~repro.refine.type_intersect.intersect_with_tree_type`,
+    which performs the required disjunct expansion.
+    """
+    _check_unambiguous_multiplicities(left, "left")
+    _check_unambiguous_multiplicities(right, "right")
+    if not compatible(left, right):
+        return IncompleteTree.nothing(allows_empty=False)
+    builder = _Product(left, right)
+    return builder.run()
+
+
+def _check_unambiguous_multiplicities(tree: IncompleteTree, side: str) -> None:
+    tau = tree.type
+    node_ids = tree.data_node_ids()
+    for symbol in tau.symbols():
+        for atom in tau.mu(symbol):
+            for entry, mult in atom.items():
+                is_node = tau.sigma(entry) in node_ids
+                if is_node and mult is not Mult.ONE:
+                    raise ValueError(
+                        f"intersect: {side} operand has data-node entry "
+                        f"{entry!r} with multiplicity {mult.value!r} (need 1)"
+                    )
+                if not is_node and mult is not Mult.STAR:
+                    raise ValueError(
+                        f"intersect: {side} operand has entry {entry!r} with "
+                        f"multiplicity {mult.value!r} (need *); intersect with "
+                        "tree types via intersect_with_tree_type, last"
+                    )
+
+
+class _Product:
+    def __init__(self, left: IncompleteTree, right: IncompleteTree):
+        self._left = left
+        self._right = right
+        self._ltype = left.type
+        self._rtype = right.type
+        self._lnodes = left.data_node_ids()
+        self._rnodes = right.data_node_ids()
+        # result accumulators
+        self._sigma: Dict[str, str] = {}
+        self._cond: Dict[str, object] = {}
+        self._mu: Dict[str, Disjunction] = {}
+        self._pending: List[Tuple[str, str]] = []
+        self._names: Dict[Tuple[str, str], str] = {}
+        self._taken: Set[str] = set()
+        self._target_memo: Dict[Tuple[str, str], Optional[str]] = {}
+        # effective element label per symbol, to prune candidate pairs
+        self._llabel = {
+            s: left.data_label(t) if (t := self._ltype.sigma(s)) in self._lnodes else t
+            for s in self._ltype.symbols()
+        }
+        self._rlabel = {
+            s: right.data_label(t) if (t := self._rtype.sigma(s)) in self._rnodes else t
+            for s in self._rtype.symbols()
+        }
+
+    # -- pair compatibility (the three cases of the paper) ---------------------
+
+    def _pair_target(self, s1: str, s2: str) -> Optional[str]:
+        """The σ-target of a compatible pair, or None when incompatible
+        (memoized; this is the product's innermost operation)."""
+        key = (s1, s2)
+        cached = self._target_memo.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        result = self._pair_target_uncached(s1, s2)
+        self._target_memo[key] = result
+        return result
+
+    def _pair_target_uncached(self, s1: str, s2: str) -> Optional[str]:
+        t1, t2 = self._ltype.sigma(s1), self._rtype.sigma(s2)
+        n1, n2 = t1 in self._lnodes, t2 in self._rnodes
+        if n1 and n2:
+            return t1 if t1 == t2 else None
+        if n1:
+            if t1 in self._rnodes:
+                return None  # right knows this node but types it otherwise
+            if t2 != self._left.data_label(t1):
+                return None
+            if not self._rtype.cond(s2).accepts(self._left.data_value(t1)):
+                return None
+            return t1
+        if n2:
+            if t2 in self._lnodes:
+                return None
+            if t1 != self._right.data_label(t2):
+                return None
+            if not self._ltype.cond(s1).accepts(self._right.data_value(t2)):
+                return None
+            return t2
+        return t1 if t1 == t2 else None
+
+    def _enqueue(self, s1: str, s2: str) -> str:
+        key = (s1, s2)
+        if key not in self._names:
+            name = pair_symbol(s1, s2)
+            bump = 0
+            while name in self._taken:  # same rendered name from another pair
+                bump += 1
+                name = pair_symbol(s1, s2) + f"#{bump}"
+            self._names[key] = name
+            self._taken.add(name)
+            self._pending.append(key)
+        return self._names[key]
+
+    # -- disjunct combination ------------------------------------------------------
+
+    def _combine_atoms(self, a1: Atom, a2: Atom) -> Optional[Atom]:
+        """The paper's α1 ⋈ α2, or None when the matching fails."""
+        rho: List[Tuple[str, str, Mult]] = []
+        covered1: Set[str] = set()
+        covered2: Set[str] = set()
+        by_label: Dict[str, List[Tuple[str, Mult]]] = {}
+        for e2, m2 in a2.items():
+            by_label.setdefault(self._rlabel[e2], []).append((e2, m2))
+        for e1, m1 in a1.items():
+            for e2, m2 in by_label.get(self._llabel[e1], ()):
+                if self._pair_target(e1, e2) is None:
+                    continue
+                met = m1.meet(m2)
+                if met is None:
+                    continue
+                rho.append((e1, e2, met))
+                covered1.add(e1)
+                covered2.add(e2)
+        for e1, m1 in a1.items():
+            if m1.required and e1 not in covered1:
+                return None
+        for e2, m2 in a2.items():
+            if m2.required and e2 not in covered2:
+                return None
+        entries = [
+            (self._enqueue(e1, e2), met) for e1, e2, met in rho
+        ]
+        return Atom(entries)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> IncompleteTree:
+        roots: List[str] = []
+        for r1 in sorted(self._ltype.roots):
+            for r2 in sorted(self._rtype.roots):
+                if self._pair_target(r1, r2) is not None:
+                    roots.append(self._enqueue(r1, r2))
+
+        while self._pending:
+            s1, s2 = self._pending.pop()
+            name = self._names[(s1, s2)]
+            target = self._pair_target(s1, s2)
+            assert target is not None
+            self._sigma[name] = target
+            self._cond[name] = self._ltype.cond(s1) & self._rtype.cond(s2)
+            atoms = []
+            for a1 in self._ltype.mu(s1):
+                for a2 in self._rtype.mu(s2):
+                    combined = self._combine_atoms(a1, a2)
+                    if combined is not None:
+                        atoms.append(combined)
+            self._mu[name] = Disjunction(atoms)
+
+        nodes: Dict[str, DataNode] = {}
+        nodes.update(self._left.data_nodes())
+        nodes.update(self._right.data_nodes())
+        tau = ConditionalTreeType(roots, self._mu, self._cond, self._sigma)  # type: ignore[arg-type]
+        allows_empty = self._left.allows_empty and self._right.allows_empty
+        return IncompleteTree(nodes, tau, allows_empty=allows_empty)

@@ -1,0 +1,215 @@
+"""The inverse construction of Lemma 3.2.
+
+Given a ps-query ``q`` and an answer ``A``, build an unambiguous
+incomplete tree ``T_{q,A}`` with ``rep(T_{q,A}) = q⁻¹(A)`` — the set of
+data trees ``T`` with ``q(T) = A``.
+
+The specialized alphabet consists of four symbol families (paper
+notation in parentheses):
+
+* ``any:a`` (τ_a) — a node labeled ``a`` with no constraints,
+  children ``all*``;
+* ``viol:p`` (τ̄_m) — a node with the label of query node ``m`` (at path
+  ``p``) violating ``cond_q(m)``, children ``all*``;
+* ``fail:p`` (τ̂_m, internal ``m`` only) — a node satisfying
+  ``cond_q(m)`` but under which some child subquery cannot be matched;
+* ``node:n`` (τ_n) — answer node ``n`` itself, whose children are: its
+  answer children (exactly once each), failed candidates (``viol``/
+  ``fail`` stars) for each child pattern, and arbitrary nodes with
+  labels the query does not mention.
+
+Answer nodes matched by a bar pattern, and their descendants, have all
+their children known exactly (the bar extracts whole subtrees), so their
+rules list exactly the answer children — the closed-world reading the
+paper sketches for ā labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.conditions import Cond
+from ..core.multiplicity import Atom, Disjunction, Mult
+from ..core.query import PSQuery, Path
+from ..core.tree import DataTree, NodeId
+from ..incomplete.conditional import ConditionalTreeType
+from ..incomplete.incomplete_tree import DataNode, IncompleteTree
+
+
+def any_symbol(label: str) -> str:
+    """Symbol name for τ_a."""
+    return f"any:{label}"
+
+
+def _viol(path: Path) -> str:
+    return "viol:" + _path_key(path)
+
+
+def _fail(path: Path) -> str:
+    return "fail:" + _path_key(path)
+
+
+def _node_symbol(node_id: NodeId) -> str:
+    return f"node:{node_id}"
+
+
+def _path_key(path: Path) -> str:
+    return ".".join(map(str, path)) if path else "ε"
+
+
+def universal_incomplete(alphabet: Iterable[str]) -> IncompleteTree:
+    """The incomplete tree representing *all* trees over the alphabet
+    (plus the empty tree) — the refinement sequence's starting point."""
+    labels = sorted(set(alphabet))
+    all_star = Atom.stars([any_symbol(a) for a in labels])
+    mu = {any_symbol(a): Disjunction.single(all_star) for a in labels}
+    sigma = {any_symbol(a): a for a in labels}
+    tau = ConditionalTreeType(list(sigma), mu, {}, sigma)
+    return IncompleteTree({}, tau, allows_empty=True)
+
+
+def answer_witness(query: PSQuery, answer: DataTree) -> Dict[NodeId, Path]:
+    """Map each answer node to the query pattern node it realizes.
+
+    Descendants of bar-matched nodes map to the bar pattern's path.
+    Raises ``ValueError`` when ``answer`` cannot be an answer of
+    ``query`` (label mismatch, unmatched child, violated condition).
+    """
+    witness: Dict[NodeId, Path] = {}
+    if answer.is_empty():
+        return witness
+
+    def walk(node_id: NodeId, path: Path) -> None:
+        qnode = query.node_at(path)
+        if answer.label(node_id) != qnode.label:
+            raise ValueError(
+                f"answer node {node_id!r} has label {answer.label(node_id)!r}, "
+                f"query expects {qnode.label!r}"
+            )
+        if not qnode.cond.accepts(answer.value(node_id)):
+            raise ValueError(
+                f"answer node {node_id!r} violates condition {qnode.cond!r}"
+            )
+        witness[node_id] = path
+        if qnode.extract:
+            for descendant in answer.descendants(node_id):
+                witness[descendant] = path
+            return
+        child_paths = {
+            child.label: path + (i,) for i, child in enumerate(qnode.children)
+        }
+        for child in answer.children(node_id):
+            label = answer.label(child)
+            if label not in child_paths:
+                raise ValueError(
+                    f"answer node {child!r} (label {label!r}) does not "
+                    f"correspond to any child pattern of {_path_key(path)}"
+                )
+            walk(child, child_paths[label])
+
+    walk(answer.root, ())
+    return witness
+
+
+def inverse_incomplete(
+    query: PSQuery, answer: DataTree, alphabet: Iterable[str]
+) -> IncompleteTree:
+    """Lemma 3.2: the unambiguous incomplete tree for ``q⁻¹(A)``.
+
+    ``alphabet`` must contain every element label the source may use
+    (the ``all*`` rules range over it).
+    """
+    labels = sorted(set(alphabet) | query.labels() | answer.labels())
+    witness = answer_witness(query, answer)
+    clashes = sorted(set(witness) & set(labels))
+    if clashes:
+        raise ValueError(
+            f"answer node ids {clashes} coincide with element labels; node "
+            "ids and labels share one namespace in incomplete trees — "
+            "rename the document's node ids"
+        )
+
+    symbols: Dict[str, Tuple[str, Cond, Disjunction]] = {}
+    all_star_entries = [any_symbol(a) for a in labels]
+    all_star = Atom.stars(all_star_entries)
+
+    for label in labels:
+        symbols[any_symbol(label)] = (label, Cond.true(), Disjunction.single(all_star))
+
+    # viol:p and fail:p for every query node
+    for path in query.paths():
+        qnode = query.node_at(path)
+        symbols[_viol(path)] = (
+            qnode.label,
+            ~qnode.cond,
+            Disjunction.single(all_star),
+        )
+        if qnode.children:
+            atoms = []
+            for i, child in enumerate(qnode.children):
+                child_path = path + (i,)
+                entries: List[Tuple[str, Mult]] = [(_viol(child_path), Mult.STAR)]
+                if query.node_at(child_path).children:
+                    entries.append((_fail(child_path), Mult.STAR))
+                for a in labels:
+                    if a != child.label:
+                        entries.append((any_symbol(a), Mult.STAR))
+                atoms.append(Atom(entries))
+            symbols[_fail(path)] = (qnode.label, qnode.cond, Disjunction(atoms))
+
+    # node:n for every answer node
+    bar_region: Set[NodeId] = set()
+    for node_id, path in witness.items():
+        if query.node_at(path).extract:
+            bar_region.add(node_id)
+
+    for node_id, path in witness.items():
+        qnode = query.node_at(path)
+        cond = Cond.eq(answer.value(node_id))
+        if node_id in bar_region:
+            # closed world: children are exactly the answer children
+            atom = Atom(
+                [(_node_symbol(c), Mult.ONE) for c in answer.children(node_id)]
+            )
+            mu: Disjunction = Disjunction.single(atom)
+        elif not qnode.children:
+            mu = Disjunction.single(all_star)
+        else:
+            entries = [
+                (_node_symbol(c), Mult.ONE) for c in answer.children(node_id)
+            ]
+            child_labels = set()
+            for i, child in enumerate(qnode.children):
+                child_path = path + (i,)
+                child_labels.add(child.label)
+                entries.append((_viol(child_path), Mult.STAR))
+                if query.node_at(child_path).children:
+                    entries.append((_fail(child_path), Mult.STAR))
+            for a in labels:
+                if a not in child_labels:
+                    entries.append((any_symbol(a), Mult.STAR))
+            mu = Disjunction.single(Atom(entries))
+        symbols[_node_symbol(node_id)] = (node_id, cond, mu)
+
+    # roots
+    if answer.is_empty():
+        roots = [_viol(())]
+        if query.root.children:
+            roots.append(_fail(()))
+        roots.extend(any_symbol(a) for a in labels if a != query.root.label)
+        allows_empty = True
+    else:
+        roots = [_node_symbol(answer.root)]
+        allows_empty = False
+
+    tau = ConditionalTreeType(
+        roots,
+        {name: mu for name, (_t, _c, mu) in symbols.items()},
+        {name: cond for name, (_t, cond, _m) in symbols.items()},
+        {name: target for name, (target, _c, _m) in symbols.items()},
+    )
+    nodes = {
+        node_id: DataNode(answer.label(node_id), answer.value(node_id))
+        for node_id in witness
+    }
+    return IncompleteTree(nodes, tau, allows_empty=allows_empty)

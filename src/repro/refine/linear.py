@@ -1,0 +1,57 @@
+"""Linear ps-queries (Lemma 3.12).
+
+A ps-query is *linear* when its pattern is a single path.  The paper
+shows the Refine representation then stays polynomial in the history:
+the Lemma 3.2 inverse of a linear query contains no disjunction (the
+τ̂ rule has a single branch), and the per-depth conditions partition Q
+into linearly many intervals whose cells share downstream behaviour.
+
+``refine_linear_sequence`` realizes this as plain Refine followed by
+symbol minimization (:func:`~repro.refine.minimize.merge_equivalent_symbols`):
+interval cells with equal behaviour collapse into one specialization
+with the disjoined condition — the τ_u^d types of the paper's proof.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..core.query import PSQuery
+from ..core.tree import DataTree
+from ..core.treetype import TreeType
+from ..incomplete.incomplete_tree import IncompleteTree
+from .minimize import merge_equivalent_symbols
+from .refine import refine
+from .inverse import universal_incomplete
+from .type_intersect import intersect_with_tree_type
+
+
+def is_linear(query: PSQuery) -> bool:
+    """Single-path pattern test."""
+    return query.is_linear()
+
+
+def refine_linear_sequence(
+    alphabet: Iterable[str],
+    history: Sequence[Tuple[PSQuery, DataTree]],
+    tree_type: Optional[TreeType] = None,
+) -> IncompleteTree:
+    """Refine a history of *linear* queries, minimizing after each step.
+
+    Raises ``ValueError`` when a query is not linear — callers choosing
+    this fast path promise the Lemma 3.12 precondition.
+    """
+    labels = sorted(set(alphabet))
+    current = universal_incomplete(labels)
+    for query, answer in history:
+        if not query.is_linear():
+            raise ValueError(
+                f"refine_linear_sequence needs linear queries; {query!r} branches"
+            )
+        current = refine(current, query, answer, labels)
+        current = merge_equivalent_symbols(current)
+    if tree_type is not None:
+        current = merge_equivalent_symbols(
+            intersect_with_tree_type(current, tree_type)
+        )
+    return current

@@ -1,0 +1,42 @@
+"""Workloads: the paper's catalog example, random generators, and the
+blowup families of Section 3.2."""
+
+from .blowup import (
+    BLOWUP_ALPHABET,
+    linear_adversarial_queries,
+    linear_nested_queries,
+    pair_queries,
+    probe_queries_for_pairs,
+)
+from .catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    demo_catalog,
+    generate_catalog,
+    query1,
+    query2,
+    query3,
+    query4,
+    query5,
+)
+from .generators import random_history, random_ps_query, random_tree
+
+__all__ = [
+    "BLOWUP_ALPHABET",
+    "CATALOG_ALPHABET",
+    "catalog_type",
+    "demo_catalog",
+    "generate_catalog",
+    "linear_adversarial_queries",
+    "linear_nested_queries",
+    "pair_queries",
+    "probe_queries_for_pairs",
+    "query1",
+    "query2",
+    "query3",
+    "query4",
+    "query5",
+    "random_history",
+    "random_ps_query",
+    "random_tree",
+]

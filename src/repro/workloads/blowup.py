@@ -1,0 +1,77 @@
+"""Blowup families (Example 3.2 and friends) for experiment E6/E8.
+
+Three query families with empty answers over the alphabet
+``{root, a, b}``:
+
+* :func:`pair_queries` — Example 3.2's ``root → {a = i, b = i}``:
+  plain Refine doubles per step (2^n specializations), conjunctive
+  trees stay linear;
+* :func:`linear_nested_queries` — linear path queries with nested
+  per-level conditions: Lemma 3.12's benign case (constant after
+  minimization);
+* :func:`linear_adversarial_queries` — linear queries whose per-level
+  conditions are mutually independent, making downstream behaviour
+  genuinely context-dependent (see EXPERIMENTS.md E6's discussion of
+  the Lemma 3.12 proof sketch).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.conditions import Cond
+from ..core.query import PSQuery, linear_query, pattern
+from ..core.tree import DataTree
+
+BLOWUP_ALPHABET = ("root", "a", "b")
+
+QueryAnswer = Tuple[PSQuery, DataTree]
+
+
+def pair_queries(n: int) -> List[QueryAnswer]:
+    """Example 3.2: q_i = root → {a = i, b = i}, all answers empty."""
+    history = []
+    for i in range(1, n + 1):
+        query = PSQuery(
+            pattern(
+                "root",
+                children=[pattern("a", Cond.eq(i)), pattern("b", Cond.eq(i))],
+            )
+        )
+        history.append((query, DataTree.empty()))
+    return history
+
+
+def linear_nested_queries(n: int) -> List[QueryAnswer]:
+    """Linear root/a(< 10·i)/b queries: nested conditions, empty answers."""
+    return [
+        (
+            linear_query(["root", "a", "b"], [None, Cond.lt(10 * i), None]),
+            DataTree.empty(),
+        )
+        for i in range(1, n + 1)
+    ]
+
+
+def linear_adversarial_queries(n: int) -> List[QueryAnswer]:
+    """Linear chains root/a/a/... with one condition per query at its own
+    depth plus a final leaf condition: alive-sets are independent per
+    level, the hard case for polynomial maintenance."""
+    history = []
+    depth = n + 1
+    for i in range(1, n + 1):
+        labels = ["root"] + ["a"] * depth
+        conds = [None] * (depth + 1)
+        conds[i] = Cond.gt(0)
+        conds[depth] = Cond.eq(i)
+        history.append((linear_query(labels, conds), DataTree.empty()))
+    return history
+
+
+def probe_queries_for_pairs(n: int) -> List[QueryAnswer]:
+    """Example 3.3's rescue: ``root/a`` and ``root/b`` with the values
+    actually present (here: none), shrinking the Example 3.2 tree."""
+    return [
+        (linear_query(["root", "a"]), DataTree.empty()),
+        (linear_query(["root", "b"]), DataTree.empty()),
+    ]

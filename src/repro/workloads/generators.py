@@ -1,0 +1,107 @@
+"""Random workload generators for tests and benchmarks.
+
+Deterministic given a seed.  Trees are generated to *satisfy* a given
+tree type; ps-queries are generated to be well-formed over a type
+(labels follow the type's parent/child structure, so queries are never
+trivially empty by shape).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.conditions import Cond
+from ..core.multiplicity import Mult
+from ..core.query import PSQuery, QueryNode, pattern, subtree
+from ..core.tree import DataTree, NodeSpec, node
+from ..core.treetype import TreeType
+
+
+def random_tree(
+    tree_type: TreeType,
+    seed: int = 0,
+    max_depth: int = 5,
+    max_children_per_entry: int = 2,
+    values: Sequence[object] = (0, 1, 2, 5, 10),
+) -> DataTree:
+    """A random data tree satisfying the type.
+
+    Depth overruns are resolved by preferring minimal counts; types
+    whose required chains exceed ``max_depth`` raise ``ValueError``.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+
+    def grow(label: str, depth: int) -> NodeSpec:
+        if depth > max_depth:
+            raise ValueError(f"type requires depth beyond {max_depth}")
+        counter[0] += 1
+        ident = f"g{counter[0]}"
+        atom = tree_type.atom(label)
+        children: List[NodeSpec] = []
+        for child_label, mult in atom.items():
+            low = mult.min_count
+            high = mult.max_count
+            if high is None:
+                high = max(low, max_children_per_entry)
+            count = rng.randint(low, high) if depth < max_depth else low
+            for _ in range(count):
+                children.append(grow(child_label, depth + 1))
+        return node(ident, label, rng.choice(list(values)), children)
+
+    root_label = rng.choice(sorted(tree_type.roots))
+    return DataTree.build(grow(root_label, 1))
+
+
+def random_ps_query(
+    tree_type: TreeType,
+    seed: int = 0,
+    max_depth: int = 4,
+    cond_probability: float = 0.5,
+    bar_probability: float = 0.15,
+    values: Sequence[object] = (0, 1, 2, 5, 10),
+) -> PSQuery:
+    """A random well-formed ps-query following the type's structure."""
+    rng = random.Random(seed)
+
+    def random_cond() -> Cond:
+        if rng.random() >= cond_probability:
+            return Cond.true()
+        value = rng.choice(list(values))
+        op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
+        if isinstance(value, str) and op not in ("=", "!="):
+            op = "="
+        return Cond.atom(op, value)
+
+    def grow(label: str, depth: int) -> QueryNode:
+        atom = tree_type.atom(label)
+        child_labels = list(atom.symbols)
+        rng.shuffle(child_labels)
+        children: List[QueryNode] = []
+        if depth < max_depth and child_labels:
+            picked = child_labels[: rng.randint(0, min(2, len(child_labels)))]
+            for child_label in picked:
+                if rng.random() < bar_probability:
+                    children.append(subtree(child_label, random_cond()))
+                else:
+                    children.append(grow(child_label, depth + 1))
+        return pattern(label, random_cond(), children)
+
+    root_label = rng.choice(sorted(tree_type.roots))
+    return PSQuery(grow(root_label, 1))
+
+
+def random_history(
+    tree_type: TreeType,
+    document: DataTree,
+    n_queries: int,
+    seed: int = 0,
+    **query_kwargs,
+) -> List[Tuple[PSQuery, DataTree]]:
+    """``n_queries`` random queries evaluated on a fixed document."""
+    history = []
+    for i in range(n_queries):
+        query = random_ps_query(tree_type, seed=seed * 1000 + i, **query_kwargs)
+        history.append((query, query.evaluate(document)))
+    return history

@@ -1,0 +1,82 @@
+"""Shared fixtures: the paper's running examples and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cond, DataTree, PSQuery, node, pattern
+from repro.incomplete import ConditionalTreeType, IncompleteTree
+from repro.incomplete.incomplete_tree import DataNode
+from repro.core.multiplicity import Atom, Disjunction
+from repro.core.values import as_value
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    demo_catalog,
+    query1,
+    query2,
+    query3,
+    query4,
+    query5,
+)
+
+
+@pytest.fixture(scope="session")
+def catalog_tt():
+    return catalog_type()
+
+
+@pytest.fixture(scope="session")
+def catalog_doc():
+    return demo_catalog()
+
+
+@pytest.fixture(scope="session")
+def catalog_queries():
+    return {
+        1: query1(),
+        2: query2(),
+        3: query3(),
+        4: query4(),
+        5: query5(),
+    }
+
+
+@pytest.fixture()
+def example_2_2():
+    """The paper's Example 2.2 incomplete tree T and query q."""
+    tau = ConditionalTreeType(
+        roots=["r"],
+        mu={
+            "r": Disjunction.single(Atom.of(n="1", a="*")),
+            "a": Disjunction.single(Atom.of(b="*")),
+            "n": Disjunction.single(Atom.of(b="*")),
+            "b": Disjunction.leaf(),
+        },
+        cond={"r": Cond.eq(0), "n": Cond.eq(0), "a": Cond.ne(0)},
+        sigma={"r": "r", "n": "n", "a": "a", "b": "b"},
+    )
+    incomplete = IncompleteTree(
+        {"r": DataNode("root", as_value(0)), "n": DataNode("a", as_value(0))},
+        tau,
+    )
+    query = PSQuery(
+        pattern("root", Cond.eq(0), [pattern("a", children=[pattern("b")])])
+    )
+    return incomplete, query
+
+
+@pytest.fixture()
+def simple_tree():
+    """root(0) with two a-children, one having a b-grandchild."""
+    return DataTree.build(
+        node(
+            "r",
+            "root",
+            0,
+            [
+                node("x", "a", 5, [node("y", "b", 1)]),
+                node("z", "a", 0),
+            ],
+        )
+    )

@@ -1,0 +1,90 @@
+"""Corollary 3.15: full answerability from local knowledge."""
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern
+from repro.core.tree import DataTree, node
+from repro.answering.answerable import fully_answerable
+from repro.incomplete.enumerate import enumerate_trees
+from repro.incomplete.incomplete_tree import IncompleteTree
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.catalog import CATALOG_ALPHABET
+
+ALPHABET = ["root", "a", "b"]
+
+
+class TestCatalogScenario:
+    """Example 3.4: Query 3 is answerable after Queries 1-2; Query 4 not."""
+
+    def knowledge(self, catalog_tt, catalog_doc, catalog_queries):
+        history = [
+            (catalog_queries[1], catalog_queries[1].evaluate(catalog_doc)),
+            (catalog_queries[2], catalog_queries[2].evaluate(catalog_doc)),
+        ]
+        refined = refine_sequence(CATALOG_ALPHABET, history)
+        return intersect_with_tree_type(refined, catalog_tt)
+
+    def test_query3_answerable(self, catalog_tt, catalog_doc, catalog_queries):
+        knowledge = self.knowledge(catalog_tt, catalog_doc, catalog_queries)
+        answerable, answer = fully_answerable(knowledge, catalog_queries[3])
+        assert answerable
+        assert answer == catalog_queries[3].evaluate(catalog_doc)
+
+    def test_query4_not_answerable(self, catalog_tt, catalog_doc, catalog_queries):
+        knowledge = self.knowledge(catalog_tt, catalog_doc, catalog_queries)
+        answerable, _answer = fully_answerable(knowledge, catalog_queries[4])
+        assert not answerable
+
+    def test_query1_replay_answerable(self, catalog_tt, catalog_doc, catalog_queries):
+        # asking a recorded query again is trivially answerable
+        knowledge = self.knowledge(catalog_tt, catalog_doc, catalog_queries)
+        answerable, answer = fully_answerable(knowledge, catalog_queries[1])
+        assert answerable
+        assert answer == catalog_queries[1].evaluate(catalog_doc)
+
+
+class TestAnswerableOracle:
+    def test_answerable_means_constant_answers(self, example_2_2):
+        incomplete, query = example_2_2
+        answerable, local = fully_answerable(incomplete, query)
+        trees = enumerate_trees(
+            incomplete, max_nodes=6, values_per_cond=1, extra_values=[0, 1]
+        )
+        answers = {repr(sorted(query.evaluate(t).node_ids())) for t in trees}
+        if answerable:
+            assert len(answers) == 1
+        else:
+            assert len(answers) > 1
+
+    def test_pinned_knowledge_is_answerable(self):
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        src = DataTree.build(node("r", "root", 0, [node("x", "a", 5)]))
+        knowledge = refine_sequence(ALPHABET, [(q, q.evaluate(src))])
+        answerable, answer = fully_answerable(knowledge, q)
+        assert answerable
+        assert set(answer.node_ids()) == {"r", "x"}
+
+    def test_unknown_region_blocks(self):
+        q1 = linear_query(["root", "a"], [None, Cond.gt(0)])
+        src = DataTree.build(node("r", "root", 0, [node("x", "a", 5)]))
+        knowledge = refine_sequence(ALPHABET, [(q1, q1.evaluate(src))])
+        # asking about b's: nothing known
+        q2 = linear_query(["root", "b"])
+        answerable, _ = fully_answerable(knowledge, q2)
+        assert not answerable
+
+    def test_empty_rep_vacuously_answerable(self):
+        nothing = IncompleteTree.nothing(allows_empty=False)
+        answerable, answer = fully_answerable(nothing, PSQuery(pattern("root")))
+        assert answerable
+        assert answer.is_empty()
+
+    def test_certainly_empty_answer_is_answerable(self):
+        # knowledge proves no a > 100 exists: query answer surely empty
+        q1 = linear_query(["root", "a"])
+        src = DataTree.build(node("r", "root", 0, [node("x", "a", 5)]))
+        knowledge = refine_sequence(ALPHABET, [(q1, q1.evaluate(src))])
+        q2 = linear_query(["root", "a"], [None, Cond.gt(100)])
+        answerable, answer = fully_answerable(knowledge, q2)
+        assert answerable
+        assert answer.is_empty()

@@ -1,0 +1,104 @@
+"""First-child/next-sibling encoding round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import DataTree, node
+from repro.extensions.binary_encoding import (
+    NIL,
+    Bin,
+    bin_node,
+    decode,
+    encode,
+    nil,
+)
+
+
+class TestEncode:
+    def test_single_node(self):
+        tree = DataTree.single("r", "root")
+        binary = encode(tree)
+        assert binary.label == "root"
+        assert binary.left.is_nil() and binary.right.is_nil()
+
+    def test_children_become_left_chain(self):
+        tree = DataTree.build(
+            node("r", "root", 0, [node("a", "a", 0), node("b", "b", 0)])
+        )
+        binary = encode(tree)
+        assert binary.left.label == "a"
+        assert binary.left.right.label == "b"
+        assert binary.left.left.is_nil()
+
+    def test_empty_tree(self):
+        assert encode(DataTree.empty()).is_nil()
+
+    def test_size(self):
+        tree = DataTree.build(node("r", "root", 0, [node("a", "a", 0)]))
+        binary = encode(tree)
+        # 2 real nodes + nil markers
+        assert binary.size() >= 2
+        assert binary.labels() >= {"root", "a", NIL}
+
+
+class TestDecode:
+    def test_roundtrip_shape(self):
+        tree = DataTree.build(
+            node(
+                "r",
+                "root",
+                0,
+                [node("a", "a", 0, [node("c", "c", 0)]), node("b", "b", 0)],
+            )
+        )
+        back = decode(encode(tree))
+        assert back.isomorphic_to(
+            DataTree.build(
+                node(
+                    "r2",
+                    "root",
+                    0,
+                    [node("a2", "a", 0, [node("c2", "c", 0)]), node("b2", "b", 0)],
+                )
+            )
+        )
+
+    def test_decode_nil_is_empty(self):
+        assert decode(nil()).is_empty()
+
+    def test_decode_rejects_sibling_roots(self):
+        import pytest
+
+        forest = Bin("a", nil(), Bin("b", nil(), nil()))
+        with pytest.raises(ValueError):
+            decode(forest)
+
+
+labels = st.sampled_from(["a", "b", "c"])
+
+
+def tree_specs(depth):
+    ids = st.integers(min_value=0, max_value=10**9).map(lambda i: f"n{i}")
+    if depth == 0:
+        return st.builds(lambda i, l: node(i, l), ids, labels)
+    return st.builds(
+        lambda i, l, kids: node(i, l, 0, kids),
+        ids,
+        labels,
+        st.lists(tree_specs(depth - 1), max_size=3),
+    )
+
+
+@given(tree_specs(2))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_isomorphic(spec):
+    try:
+        tree = DataTree.build(spec)
+    except ValueError:
+        return  # duplicate random ids
+    back = decode(encode(tree))
+    # values are dropped by design; compare label structure
+    def shape(t, n):
+        return (t.label(n), sorted(shape(t, c) for c in t.children(n)))
+
+    assert shape(back, back.root) == shape(tree, tree.root)

@@ -1,0 +1,61 @@
+"""Experiment E6 growth shapes and E15's branching blowup (small sizes;
+the benchmarks sweep further)."""
+
+import pytest
+
+from repro.extensions.branching import (
+    blowup_incomplete_tree,
+    blowup_query,
+    count_possible_answers,
+)
+from repro.refine.conjunctive import refine_plus_sequence
+from repro.refine.linear import refine_linear_sequence
+from repro.refine.refine import refine_sequence
+from repro.workloads.blowup import (
+    BLOWUP_ALPHABET,
+    linear_nested_queries,
+    pair_queries,
+    probe_queries_for_pairs,
+)
+
+
+class TestGrowthShapes:
+    def test_who_wins(self):
+        """At n=6 the ordering is: plain >> conjunctive ≈ linear-min."""
+        n = 6
+        plain = refine_sequence(BLOWUP_ALPHABET, pair_queries(n)).size()
+        conj = refine_plus_sequence(BLOWUP_ALPHABET, pair_queries(n)).size()
+        assert plain > 2 * conj
+
+    def test_crossover_exists(self):
+        """For small histories plain Refine is *smaller* (the paper's
+        trade-off): conjunctive trees pay a constant per-layer cost."""
+        plain_1 = refine_sequence(BLOWUP_ALPHABET, pair_queries(1)).size()
+        conj_1 = refine_plus_sequence(BLOWUP_ALPHABET, pair_queries(1)).size()
+        assert plain_1 < conj_1
+
+    def test_probing_rescue(self):
+        n = 5
+        plain = refine_sequence(BLOWUP_ALPHABET, pair_queries(n)).size()
+        rescued = refine_sequence(
+            BLOWUP_ALPHABET, probe_queries_for_pairs(n) + pair_queries(n)
+        ).size()
+        assert rescued < plain
+
+
+class TestBranchingBlowup:
+    def test_incomplete_tree_valid(self):
+        incomplete = blowup_incomplete_tree(3)
+        assert incomplete.validate() == []
+        assert not incomplete.is_empty()
+
+    def test_query_shape(self):
+        q = blowup_query(3)
+        assert len(q.root.children) == 3
+
+    @pytest.mark.parametrize("n,expected_min", [(1, 2), (2, 6)])
+    def test_answer_counts_grow(self, n, expected_min):
+        """The number of distinct possible answers grows super-poly
+        (n! assignments are all distinguishable)."""
+        count = count_possible_answers(n)
+        assert count >= expected_min

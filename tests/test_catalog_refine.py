@@ -1,0 +1,179 @@
+"""Experiment E3: the incomplete trees of Figures 8-9 — semantic checks.
+
+We do not compare against the figures' drawings; we assert the semantic
+facts the figures encode (Example 3.1's narrative):
+
+* after Query 1: missing products are non-electronics or cost ≥ 200;
+* after Query 2: Nikon certainly has no picture; Olympus' price is
+  certainly ≥ 200; missing products are non-elec, or expensive
+  non-cameras, or expensive cameras without pictures.
+"""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.tree import DataTree, node
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.incomplete.certainty import certain_prefix, possible_prefix
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    demo_catalog,
+    query1,
+    query2,
+)
+
+
+def product_prefix(pid, children):
+    return DataTree.build(
+        node("cat0", "catalog", 0, [node(pid, "product", 0, children)])
+    )
+
+
+def fresh_product(children, pid="fresh-p"):
+    return DataTree.build(
+        node("cat0", "catalog", 0, [node(pid, "product", 0, children)])
+    )
+
+
+@pytest.fixture(scope="module")
+def after_q1(catalog_tt=None):
+    tt = catalog_type()
+    doc = demo_catalog()
+    refined = refine_sequence(
+        CATALOG_ALPHABET, [(query1(), query1().evaluate(doc))]
+    )
+    return intersect_with_tree_type(refined, tt), doc
+
+
+@pytest.fixture(scope="module")
+def after_q2():
+    tt = catalog_type()
+    doc = demo_catalog()
+    refined = refine_sequence(
+        CATALOG_ALPHABET,
+        [(query1(), query1().evaluate(doc)), (query2(), query2().evaluate(doc))],
+    )
+    return intersect_with_tree_type(refined, tt), doc
+
+
+class TestAfterQuery1:
+    """Figure 8: product1 (cat != elec) and product2 (price >= 200)."""
+
+    def test_source_still_represented(self, after_q1):
+        knowledge, doc = after_q1
+        assert knowledge.contains(doc)
+
+    def test_missing_cheap_elec_impossible(self, after_q1):
+        knowledge, _doc = after_q1
+        ghost = fresh_product(
+            [
+                node("g-price", "price", 150),
+                node("g-cat", "cat", "elec"),
+            ]
+        )
+        assert not possible_prefix(ghost, knowledge)
+
+    def test_missing_expensive_elec_possible(self, after_q1):
+        knowledge, _doc = after_q1
+        ghost = fresh_product(
+            [node("g-price", "price", 500), node("g-cat", "cat", "elec")]
+        )
+        assert possible_prefix(ghost, knowledge)
+
+    def test_missing_cheap_nonelec_possible(self, after_q1):
+        knowledge, _doc = after_q1
+        ghost = fresh_product(
+            [node("g-price", "price", 10), node("g-cat", "cat", "garden")]
+        )
+        assert possible_prefix(ghost, knowledge)
+
+    def test_known_products_certain(self, after_q1):
+        knowledge, _doc = after_q1
+        canon = product_prefix(
+            "p-canon", [node("p-canon-price", "price", 120)]
+        )
+        assert certain_prefix(canon, knowledge)
+
+
+class TestAfterQuery2:
+    """Figure 9: the refined categories of Example 3.1."""
+
+    def test_source_still_represented(self, after_q2):
+        knowledge, doc = after_q2
+        assert knowledge.contains(doc)
+
+    def test_nikon_certainly_has_no_picture(self, after_q2):
+        knowledge, _doc = after_q2
+        nikon_pic = product_prefix(
+            "p-nikon", [node("g-pic", "picture", "n.jpg")]
+        )
+        assert not possible_prefix(nikon_pic, knowledge)
+
+    def test_olympus_price_certainly_at_least_200(self, after_q2):
+        knowledge, _doc = after_q2
+        cheap = product_prefix("p-olympus", [node("g-price", "price", 100)])
+        assert not possible_prefix(cheap, knowledge)
+        fine = product_prefix("p-olympus", [node("g-price", "price", 250)])
+        assert possible_prefix(fine, knowledge)
+
+    def test_olympus_has_some_price_certainly(self, after_q2):
+        knowledge, _doc = after_q2
+        # the type forces a price child; its value is pinned >= 200 but not
+        # to a constant, so no specific price is certain
+        some = product_prefix("p-olympus", [node("g-price", "price", 250)])
+        assert not certain_prefix(some, knowledge)
+
+    def test_missing_expensive_pictured_camera_impossible(self, after_q2):
+        """A camera with a picture would have been returned by Query 2."""
+        knowledge, _doc = after_q2
+        ghost = fresh_product(
+            [
+                node("g-price", "price", 500),
+                node("g-cat", "cat", "elec", [node("g-sub", "subcat", "camera")]),
+                node("g-pic", "picture", "g.jpg"),
+            ]
+        )
+        assert not possible_prefix(ghost, knowledge)
+
+    def test_missing_expensive_unpictured_camera_possible(self, after_q2):
+        """product2c of Figure 9 — the Leica-shaped hole."""
+        knowledge, _doc = after_q2
+        ghost = fresh_product(
+            [
+                node("g-price", "price", 500),
+                node("g-cat", "cat", "elec", [node("g-sub", "subcat", "camera")]),
+            ]
+        )
+        assert possible_prefix(ghost, knowledge)
+
+    def test_missing_expensive_noncamera_possible(self, after_q2):
+        """product2b of Figure 9."""
+        knowledge, _doc = after_q2
+        ghost = fresh_product(
+            [
+                node("g-price", "price", 500),
+                node("g-cat", "cat", "elec", [node("g-sub", "subcat", "tv")]),
+                node("g-pic", "picture", "g.jpg"),
+            ]
+        )
+        assert possible_prefix(ghost, knowledge)
+
+    def test_canon_fully_known(self, after_q2):
+        knowledge, _doc = after_q2
+        canon = product_prefix(
+            "p-canon",
+            [
+                node("p-canon-name", "name", "Canon"),
+                node("p-canon-price", "price", 120),
+                node("p-canon-pic0", "picture", "c.jpg"),
+                node(
+                    "p-canon-cat",
+                    "cat",
+                    "elec",
+                    [node("p-canon-subcat", "subcat", "camera")],
+                ),
+            ],
+        )
+        assert certain_prefix(canon, knowledge)

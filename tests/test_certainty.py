@@ -1,0 +1,176 @@
+"""Theorem 2.8: certain/possible prefix — checked against the
+enumeration oracle."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.multiplicity import Atom, Disjunction
+from repro.core.tree import DataTree, node
+from repro.core.values import as_value
+from repro.incomplete.certainty import certain_prefix, possible_prefix
+from repro.incomplete.conditional import ConditionalTreeType
+from repro.incomplete.enumerate import enumerate_trees
+from repro.incomplete.incomplete_tree import DataNode, IncompleteTree
+
+
+class TestExample22Prefixes:
+    def test_root_alone_certain(self, example_2_2):
+        incomplete, _q = example_2_2
+        prefix = DataTree.build(node("r", "root", 0))
+        assert certain_prefix(prefix, incomplete)
+        assert possible_prefix(prefix, incomplete)
+
+    def test_data_node_certain(self, example_2_2):
+        incomplete, _q = example_2_2
+        prefix = DataTree.build(node("r", "root", 0, [node("n", "a", 0)]))
+        assert certain_prefix(prefix, incomplete)
+
+    def test_fresh_node_onto_data_node(self, example_2_2):
+        incomplete, _q = example_2_2
+        # a fresh a=0 node can only embed onto data node n -> still certain
+        prefix = DataTree.build(node("r", "root", 0, [node("q", "a", 0)]))
+        assert certain_prefix(prefix, incomplete)
+
+    def test_extra_a_possible_not_certain(self, example_2_2):
+        incomplete, _q = example_2_2
+        prefix = DataTree.build(node("r", "root", 0, [node("q", "a", 7)]))
+        assert possible_prefix(prefix, incomplete)
+        assert not certain_prefix(prefix, incomplete)
+
+    def test_violating_value_impossible(self, example_2_2):
+        incomplete, _q = example_2_2
+        # two fresh a=0 nodes: only one data node carries value 0
+        prefix = DataTree.build(
+            node("r", "root", 0, [node("q1", "a", 0), node("q2", "a", 0)])
+        )
+        assert not possible_prefix(prefix, incomplete)
+
+    def test_empty_prefix(self, example_2_2):
+        incomplete, _q = example_2_2
+        assert possible_prefix(DataTree.empty(), incomplete)
+        assert certain_prefix(DataTree.empty(), incomplete)
+
+    def test_anchored_mismatch_impossible(self, example_2_2):
+        incomplete, _q = example_2_2
+        wrong_value = DataTree.build(node("r", "root", 5))
+        assert not possible_prefix(wrong_value, incomplete)
+        wrong_label = DataTree.build(node("r", "catalog", 0))
+        assert not possible_prefix(wrong_label, incomplete)
+
+
+class TestEdgeCases:
+    def test_empty_rep(self):
+        nothing = IncompleteTree.nothing(allows_empty=False)
+        prefix = DataTree.build(node("x", "a", 0))
+        assert not possible_prefix(prefix, nothing)
+        assert not certain_prefix(prefix, nothing)
+        assert not certain_prefix(DataTree.empty(), nothing)
+
+    def test_allows_empty_blocks_certainty(self, example_2_2):
+        incomplete, _q = example_2_2
+        loose = incomplete.with_allows_empty(True)
+        prefix = DataTree.build(node("r", "root", 0))
+        assert not certain_prefix(prefix, loose)
+        assert possible_prefix(prefix, loose)
+
+    def test_certain_needs_forced_value(self):
+        # star 'a' children have cond > 0: a=5 prefix is possible but a
+        # tree could use a=7 instead -> not certain
+        tau = ConditionalTreeType(
+            ["t-r"],
+            {
+                "t-r": Disjunction.single(Atom.of(**{"t-a": "*"})),
+                "t-a": Disjunction.leaf(),
+            },
+            {"t-r": Cond.eq(0), "t-a": Cond.gt(0)},
+            {"t-r": "r", "t-a": "a"},
+        )
+        incomplete = IncompleteTree({"r": DataNode("root", as_value(0))}, tau)
+        prefix = DataTree.build(node("r", "root", 0, [node("f", "a", 5)]))
+        assert possible_prefix(prefix, incomplete)
+        assert not certain_prefix(prefix, incomplete)
+
+    def test_certain_with_pinned_required_child(self):
+        tau = ConditionalTreeType(
+            ["t-r"],
+            {
+                "t-r": Disjunction.single(Atom.of(**{"t-a": "*", "t-n": "1"})),
+                "t-a": Disjunction.leaf(),
+                "t-n": Disjunction.leaf(),
+            },
+            {"t-r": Cond.eq(0), "t-a": Cond.gt(0), "t-n": Cond.eq(9)},
+            {"t-r": "r", "t-a": "a", "t-n": "m"},
+        )
+        incomplete = IncompleteTree(
+            {"r": DataNode("root", as_value(0)), "m": DataNode("a", as_value(9))},
+            tau,
+        )
+        prefix = DataTree.build(node("r", "root", 0, [node("f", "a", 9)]))
+        # the fresh a=9 embeds onto the guaranteed data node m
+        assert certain_prefix(prefix, incomplete)
+
+    def test_disjunction_breaks_certainty(self):
+        # r -> a | b: neither child label is certain
+        tau = ConditionalTreeType.simple(
+            ["r"],
+            {
+                "r": Disjunction([Atom.of(a="1"), Atom.of(b="1")]),
+                "a": Disjunction.leaf(),
+                "b": Disjunction.leaf(),
+            },
+            {"r": Cond.eq(0), "a": Cond.eq(0), "b": Cond.eq(0)},
+        )
+        incomplete = IncompleteTree({}, tau)
+        child_a = DataTree.build(node("x", "r", 0, [node("y", "a", 0)]))
+        assert possible_prefix(child_a, incomplete)
+        assert not certain_prefix(child_a, incomplete)
+        root_only = DataTree.build(node("x", "r", 0))
+        assert certain_prefix(root_only, incomplete)
+
+
+class TestAgainstOracle:
+    """Exhaustive comparison on a small incomplete tree."""
+
+    @pytest.fixture()
+    def setting(self, example_2_2):
+        incomplete, _q = example_2_2
+        trees = enumerate_trees(
+            incomplete, max_nodes=5, values_per_cond=1, extra_values=[0, 1, -1]
+        )
+        return incomplete, trees
+
+    def candidate_prefixes(self):
+        b = lambda spec: DataTree.build(spec)  # noqa: E731
+        yield b(node("r", "root", 0))
+        yield b(node("r", "root", 0, [node("n", "a", 0)]))
+        yield b(node("r", "root", 0, [node("n", "a", 0, [node("f", "b", 0)])]))
+        yield b(node("r", "root", 0, [node("f1", "a", 1)]))
+        yield b(node("r", "root", 0, [node("f1", "a", 1), node("f2", "a", -1)]))
+        yield b(node("r", "root", 0, [node("f1", "a", 1, [node("f2", "b", 0)])]))
+        yield b(node("r", "root", 0, [node("f1", "b", 0)]))  # impossible label
+
+    def test_possible_matches_oracle(self, setting):
+        incomplete, trees = setting
+        anchored = list(incomplete.data_node_ids())
+        for prefix in self.candidate_prefixes():
+            oracle = any(
+                prefix.is_prefix_of(t, relative_to=anchored) for t in trees
+            )
+            got = possible_prefix(prefix, incomplete)
+            # oracle is bounded: it may miss witnesses, never invent them
+            if oracle:
+                assert got, f"oracle found a witness but possible_prefix=False\n{prefix.pretty()}"
+            if not got:
+                assert not oracle
+
+    def test_certain_matches_oracle(self, setting):
+        incomplete, trees = setting
+        anchored = list(incomplete.data_node_ids())
+        for prefix in self.candidate_prefixes():
+            oracle = all(
+                prefix.is_prefix_of(t, relative_to=anchored) for t in trees
+            )
+            got = certain_prefix(prefix, incomplete)
+            # certain => every enumerated tree contains it
+            if got:
+                assert oracle, f"claimed certain but an enumerated tree lacks it\n{prefix.pretty()}"

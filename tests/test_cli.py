@@ -1,0 +1,43 @@
+"""CLI entry point tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["repro", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "cameras known for sure" in out
+        assert "Leica" in out
+
+    def test_blowup(self, capsys):
+        assert main(["repro", "blowup", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "conjunctive" in out
+        assert "93" in out  # plain size at n=3
+
+    def test_xml(self, tmp_path, capsys):
+        from repro.core.tree import DataTree, node
+        from repro.core.xml_io import tree_to_xml
+
+        doc = DataTree.build(node("r", "root", 0, [node("a1", "a", "x")]))
+        path = tmp_path / "doc.xml"
+        path.write_text(tree_to_xml(doc))
+        assert main(["repro", "xml", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "root[r]" in out
+
+    def test_help(self, capsys):
+        assert main(["repro", "--help"]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_no_command(self):
+        assert main(["repro"]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert main(["repro", "nonsense"]) == 2
+
+    def test_xml_missing_file_argument(self):
+        assert main(["repro", "xml"]) == 2

@@ -1,0 +1,119 @@
+"""Theorem 3.19: non-redundant completions actually complete."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern
+from repro.core.tree import DataTree, node
+from repro.mediator.completion import completion_plan
+from repro.mediator.local_query import overlay
+from repro.mediator.source import InMemorySource
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    demo_catalog,
+    generate_catalog,
+    query1,
+    query2,
+    query4,
+)
+
+ALPHABET = ["root", "a", "b"]
+
+
+def run_plan(plan, source, data_tree, query):
+    merged = data_tree
+    for local in plan:
+        answer = source.ask_local(local.query, local.node)
+        if not answer.is_empty():
+            merged = overlay(merged, answer)
+    return query.evaluate(merged)
+
+
+class TestCatalogCompletion:
+    @pytest.fixture()
+    def knowledge(self, catalog_tt, catalog_doc, catalog_queries):
+        history = [
+            (catalog_queries[1], catalog_queries[1].evaluate(catalog_doc)),
+            (catalog_queries[2], catalog_queries[2].evaluate(catalog_doc)),
+        ]
+        return intersect_with_tree_type(
+            refine_sequence(CATALOG_ALPHABET, history), catalog_tt
+        )
+
+    def test_completion_answers_query4(self, knowledge, catalog_doc, catalog_queries):
+        plan = completion_plan(knowledge, catalog_queries[4])
+        assert plan
+        source = InMemorySource(catalog_doc)
+        answer = run_plan(plan, source, knowledge.data_tree(), catalog_queries[4])
+        assert answer == catalog_queries[4].evaluate(catalog_doc)
+
+    def test_plan_cheaper_than_full_document(self, knowledge, catalog_doc, catalog_queries):
+        plan = completion_plan(knowledge, catalog_queries[4])
+        source = InMemorySource(catalog_doc)
+        run_plan(plan, source, knowledge.data_tree(), catalog_queries[4])
+        assert source.stats.nodes_served < len(catalog_doc)
+
+    def test_completion_on_larger_catalog(self, catalog_tt):
+        doc = generate_catalog(20, seed=5)
+        source = InMemorySource(doc, catalog_tt)
+        history = [(query1(), query1().evaluate(doc)), (query2(), query2().evaluate(doc))]
+        knowledge = intersect_with_tree_type(
+            refine_sequence(CATALOG_ALPHABET, history), catalog_tt
+        )
+        plan = completion_plan(knowledge, query4())
+        answer = run_plan(plan, source, knowledge.data_tree(), query4())
+        assert answer == query4().evaluate(doc)
+
+
+class TestSmallCases:
+    def test_no_knowledge_degenerates(self):
+        from repro.refine.inverse import universal_incomplete
+
+        q = linear_query(["root", "a"])
+        plan = completion_plan(universal_incomplete(ALPHABET), q)
+        assert len(plan) == 1 and plan[0].node == ""
+
+    def test_fully_known_region_needs_nothing(self):
+        # bar query recorded: the whole subtree below x is known
+        from repro.core.query import subtree
+
+        src = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 5, [node("y", "b", 1)])])
+        )
+        q = PSQuery(pattern("root", children=[subtree("a", Cond.gt(0))]))
+        knowledge = refine_sequence(ALPHABET, [(q, q.evaluate(src))])
+        plan = completion_plan(knowledge, q)
+        # asking the same query again: everything already local
+        assert plan == []
+
+    def test_partial_knowledge_targets_missing_branch(self):
+        q1 = linear_query(["root", "a"], [None, Cond.gt(0)])
+        src = DataTree.build(
+            node(
+                "r",
+                "root",
+                0,
+                [node("x", "a", 5, [node("y", "b", 1)]), node("z", "a", -1)],
+            )
+        )
+        knowledge = refine_sequence(ALPHABET, [(q1, q1.evaluate(src))])
+        q2 = PSQuery(
+            pattern("root", children=[pattern("a", None, [pattern("b")])])
+        )
+        plan = completion_plan(knowledge, q2)
+        assert plan
+        source = InMemorySource(src)
+        answer = run_plan(plan, source, knowledge.data_tree(), q2)
+        assert answer == q2.evaluate(src)
+
+    def test_plans_have_no_duplicate_queries(self, catalog_tt, catalog_doc):
+        history = [(query1(), query1().evaluate(catalog_doc))]
+        knowledge = intersect_with_tree_type(
+            refine_sequence(CATALOG_ALPHABET, history), catalog_tt
+        )
+        plan = completion_plan(knowledge, query2())
+        keys = [(p.query, p.node) for p in plan]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,235 @@
+"""Conditional tree type tests: emptiness (Lemma 2.5), useful symbols
+(Corollary 2.6), normalization and membership."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.multiplicity import Atom, Disjunction
+from repro.core.tree import DataTree, node
+from repro.core.treetype import TreeType
+from repro.incomplete.conditional import ConditionalTreeType
+
+
+def simple(mu, roots=("r",), cond=None):
+    return ConditionalTreeType.simple(roots, mu, cond)
+
+
+class TestEmptiness:
+    def test_leaf_type_nonempty(self):
+        tau = simple({"r": Disjunction.leaf()})
+        assert not tau.is_empty()
+
+    def test_unsatisfiable_root_condition(self):
+        tau = simple({"r": Disjunction.leaf()}, cond={"r": Cond.false()})
+        assert tau.is_empty()
+
+    def test_required_dead_child(self):
+        # r needs an 'a' child, but 'a' needs itself: no finite tree
+        tau = simple(
+            {"r": Disjunction.single(Atom.of(a="1")), "a": Disjunction.single(Atom.of(a="1"))}
+        )
+        assert tau.is_empty()
+
+    def test_recursion_with_escape(self):
+        # a -> a | leaf: finite trees exist
+        tau = simple(
+            {"r": Disjunction.single(Atom.of(a="1")),
+             "a": Disjunction([Atom.of(a="1"), Atom.leaf()])}
+        )
+        assert not tau.is_empty()
+
+    def test_optional_dead_child_is_fine(self):
+        tau = simple(
+            {"r": Disjunction.single(Atom.of(a="*")),
+             "a": Disjunction.single(Atom.of(a="1"))}
+        )
+        assert not tau.is_empty()
+
+    def test_never_disjunction(self):
+        tau = simple({"r": Disjunction.never()})
+        assert tau.is_empty()
+
+
+class TestUsefulAndNormalize:
+    def test_unreachable_symbol_dropped(self):
+        tau = simple(
+            {"r": Disjunction.leaf(), "ghost": Disjunction.leaf()}
+        )
+        assert "ghost" not in tau.useful_symbols()
+        assert "ghost" not in tau.normalized().symbols()
+
+    def test_unproductive_star_entry_removed(self):
+        tau = simple(
+            {"r": Disjunction.single(Atom.of(dead="*")),
+             "dead": Disjunction.single(Atom.of(dead="1"))}
+        )
+        normalized = tau.normalized()
+        assert normalized.mu("r").atoms[0].is_leaf()
+
+    def test_unrealizable_atom_removed(self):
+        tau = simple(
+            {
+                "r": Disjunction([Atom.of(dead="1"), Atom.leaf()]),
+                "dead": Disjunction.single(Atom.of(dead="1")),
+            }
+        )
+        normalized = tau.normalized()
+        assert len(normalized.mu("r")) == 1
+
+    def test_normalize_idempotent(self):
+        tau = simple(
+            {"r": Disjunction.single(Atom.of(a="*")), "a": Disjunction.leaf()}
+        )
+        once = tau.normalized()
+        assert once.normalized() == once
+
+    def test_normalization_preserves_membership(self):
+        tau = simple(
+            {
+                "r": Disjunction([Atom.of(a="+", dead="*"), Atom.of(b="1")]),
+                "a": Disjunction.leaf(),
+                "b": Disjunction.leaf(),
+                "dead": Disjunction.single(Atom.of(dead="1")),
+            }
+        )
+        tree = DataTree.build(node("n1", "r", 0, [node("n2", "a", 0)]))
+        assert tau.contains(tree) == tau.normalized().contains(tree)
+
+
+class TestMembership:
+    TAU = simple(
+        {
+            "r": Disjunction.single(Atom.of(a="+", b="?")),
+            "a": Disjunction.leaf(),
+            "b": Disjunction.leaf(),
+        },
+        cond={"a": Cond.gt(0)},
+    )
+
+    def test_member(self):
+        tree = DataTree.build(
+            node("1", "r", 0, [node("2", "a", 1), node("3", "a", 2), node("4", "b", 0)])
+        )
+        assert self.TAU.contains(tree)
+
+    def test_condition_violation(self):
+        tree = DataTree.build(node("1", "r", 0, [node("2", "a", 0)]))
+        assert not self.TAU.contains(tree)
+
+    def test_count_violation(self):
+        tree = DataTree.build(
+            node("1", "r", 0, [node("2", "a", 1), node("3", "b", 0), node("4", "b", 0)])
+        )
+        assert not self.TAU.contains(tree)
+
+    def test_missing_required(self):
+        tree = DataTree.build(node("1", "r", 0, [node("2", "b", 0)]))
+        assert not self.TAU.contains(tree)
+
+    def test_empty_tree_not_member(self):
+        assert not self.TAU.contains(DataTree.empty())
+
+    def test_specialization_membership(self):
+        # two specializations of 'a' with exclusive conditions
+        tau = ConditionalTreeType(
+            ["r"],
+            {
+                "r": Disjunction.single(Atom.of(a_small="*", a_big="*")),
+                "a_small": Disjunction.leaf(),
+                "a_big": Disjunction.leaf(),
+            },
+            {"a_small": Cond.lt(10), "a_big": Cond.ge(10)},
+            {"r": "r", "a_small": "a", "a_big": "a"},
+        )
+        ok = DataTree.build(node("1", "r", 0, [node("2", "a", 5), node("3", "a", 50)]))
+        assert tau.contains(ok)
+        assert tau.symbols_for_target("a") == ("a_big", "a_small")
+
+    def test_disjunction_choice(self):
+        tau = simple(
+            {
+                "r": Disjunction([Atom.of(a="1"), Atom.of(b="1")]),
+                "a": Disjunction.leaf(),
+                "b": Disjunction.leaf(),
+            }
+        )
+        assert tau.contains(DataTree.build(node("1", "r", 0, [node("2", "a", 0)])))
+        assert tau.contains(DataTree.build(node("1", "r", 0, [node("2", "b", 0)])))
+        assert not tau.contains(
+            DataTree.build(node("1", "r", 0, [node("2", "a", 0), node("3", "b", 0)]))
+        )
+
+
+class TestLifting:
+    def test_from_tree_type(self):
+        tt = TreeType.parse("root: r\nr -> a+ b?")
+        tau = ConditionalTreeType.from_tree_type(tt)
+        tree = DataTree.build(node("1", "r", 0, [node("2", "a", 0)]))
+        assert tau.contains(tree) == tt.satisfied_by(tree)
+        bad = DataTree.build(node("1", "r", 0, [node("2", "b", 0)]))
+        assert tau.contains(bad) == tt.satisfied_by(bad) == False  # noqa: E712
+
+    def test_with_roots(self):
+        tau = simple({"r": Disjunction.leaf(), "s": Disjunction.leaf()}, roots=("r",))
+        re_rooted = tau.with_roots(["s"])
+        assert re_rooted.roots == {"s"}
+
+    def test_renamed_requires_injective(self):
+        tau = simple({"r": Disjunction.single(Atom.of(a="*")), "a": Disjunction.leaf()})
+        with pytest.raises(ValueError):
+            tau.renamed({"r": "x", "a": "x"})
+        renamed = tau.renamed({"a": "a2"})
+        assert "a2" in renamed.symbols()
+
+    def test_unknown_symbol_in_rule_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionalTreeType(
+                ["r"], {"r": Disjunction.single(Atom.of(zzz="*"))}, {}, {"r": "r"}
+            )
+
+
+class TestEmptinessAgainstEnumeration:
+    """Emptiness (Lemma 2.5) vs the enumeration oracle on random types."""
+
+    def _random_type(self, seed):
+        import random
+
+        from repro.core.multiplicity import Atom, Disjunction, Mult
+
+        rng = random.Random(seed)
+        symbols = [f"s{i}" for i in range(rng.randint(2, 5))]
+        mu = {}
+        cond = {}
+        for symbol in symbols:
+            atoms = []
+            for _ in range(rng.randint(1, 2)):
+                entries = []
+                for child in rng.sample(symbols, k=rng.randint(0, 2)):
+                    entries.append(
+                        (child, rng.choice([Mult.ONE, Mult.OPT, Mult.PLUS, Mult.STAR]))
+                    )
+                try:
+                    atoms.append(Atom(entries))
+                except ValueError:
+                    continue  # duplicate child pick
+            mu[symbol] = Disjunction(atoms)
+            if rng.random() < 0.3:
+                cond[symbol] = Cond.false() if rng.random() < 0.2 else Cond.gt(0)
+        roots = rng.sample(symbols, k=rng.randint(1, len(symbols)))
+        return ConditionalTreeType.simple(roots, mu, cond)
+
+    def test_emptiness_consistent_with_enumeration(self):
+        from repro.incomplete.enumerate import enumerate_trees
+        from repro.incomplete.incomplete_tree import IncompleteTree
+
+        for seed in range(60):
+            tau = self._random_type(seed)
+            trees = enumerate_trees(
+                IncompleteTree({}, tau), max_nodes=5, values_per_cond=1
+            )
+            if tau.is_empty():
+                assert not trees, f"seed {seed}: empty type produced a tree"
+            # non-empty types may still have all witnesses beyond the
+            # budget; when the oracle finds one, confirm membership
+            for tree in trees[:5]:
+                assert tau.contains(tree), f"seed {seed}"

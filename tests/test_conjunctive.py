@@ -1,0 +1,113 @@
+"""Conjunctive incomplete trees: Theorem 3.8, Corollary 3.9, Theorem 3.10."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import linear_query
+from repro.core.tree import DataTree, node
+from repro.core.treetype import TreeType
+from repro.refine.conjunctive import (
+    ConjunctiveIncompleteTree,
+    refine_plus_sequence,
+)
+from repro.refine.refine import consistent_with, refine_sequence
+from repro.workloads.blowup import BLOWUP_ALPHABET, pair_queries
+
+
+class TestRefinePlus:
+    def test_size_linear_in_history(self):
+        """Corollary 3.9 on the Example 3.2 family."""
+        sizes = []
+        for n in range(1, 7):
+            conj = refine_plus_sequence(BLOWUP_ALPHABET, pair_queries(n))
+            sizes.append(conj.size())
+        increments = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert len(set(increments)) == 1, f"growth not linear: {sizes}"
+
+    def test_plain_refine_exponential_same_family(self):
+        """Example 3.2: the plain representation doubles per step."""
+        sizes = [
+            refine_sequence(BLOWUP_ALPHABET, pair_queries(n)).size()
+            for n in range(1, 7)
+        ]
+        increments = [b - a for a, b in zip(sizes, sizes[1:])]
+        ratios = [b / a for a, b in zip(increments, increments[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios), sizes
+
+    def test_membership_agrees_with_plain(self):
+        history = pair_queries(3)
+        conj = refine_plus_sequence(BLOWUP_ALPHABET, history)
+        plain = refine_sequence(BLOWUP_ALPHABET, history)
+        candidates = [
+            DataTree.build(node("r", "root", 0)),
+            DataTree.build(node("r", "root", 0, [node("x", "a", 1)])),
+            DataTree.build(
+                node("r", "root", 0, [node("x", "a", 1), node("y", "b", 2)])
+            ),
+            DataTree.build(
+                node("r", "root", 0, [node("x", "a", 1), node("y", "b", 1)])
+            ),
+            DataTree.build(
+                node("r", "root", 0, [node("x", "a", 9), node("y", "b", 9)])
+            ),
+            DataTree.empty(),
+        ]
+        for tree in candidates:
+            assert conj.contains(tree) == plain.contains(tree)
+            assert conj.contains(tree) == consistent_with(tree, history)
+
+    def test_materialization_agrees(self):
+        history = pair_queries(2)
+        conj = refine_plus_sequence(BLOWUP_ALPHABET, history)
+        materialized = conj.to_incomplete_tree()
+        plain = refine_sequence(BLOWUP_ALPHABET, history)
+        samples = [
+            DataTree.build(node("r", "root", 0, [node("x", "a", v)]))
+            for v in (1, 2, 3)
+        ]
+        for tree in samples:
+            assert materialized.contains(tree) == plain.contains(tree)
+
+    def test_incompatible_answer_empties(self):
+        q = linear_query(["root", "a"])
+        a1 = DataTree.build(node("r", "root", 0, [node("x", "a", 1)]))
+        a2 = DataTree.build(node("r", "root", 0, [node("x", "a", 2)]))
+        conj = ConjunctiveIncompleteTree.universal(BLOWUP_ALPHABET)
+        conj = conj.refine_plus(q, a1, BLOWUP_ALPHABET)
+        conj = conj.refine_plus(q, a2, BLOWUP_ALPHABET)
+        assert conj.is_empty()
+
+
+class TestEmptiness:
+    def test_consistent_history_nonempty(self):
+        conj = refine_plus_sequence(BLOWUP_ALPHABET, pair_queries(3))
+        assert not conj.is_empty()
+
+    def test_with_type_constraints(self):
+        # type requires exactly one a=5 and the history forbids a=5
+        tt = TreeType.parse("root: root\nroot -> a")
+        q = linear_query(["root", "a"], [None, Cond.ne(5)])
+        src = DataTree.build(node("r", "root", 0, [node("x", "a", 5)]))
+        # history says: the a != 5 query returned nothing => all a's are 5...
+        conj = refine_plus_sequence(
+            BLOWUP_ALPHABET, [(q, DataTree.empty())], tree_type=tt
+        )
+        assert not conj.is_empty()  # a tree with one a = 5 child exists
+        assert conj.contains(src)
+        q_all = linear_query(["root", "a"])
+        conj2 = conj.refine_plus(q_all, DataTree.empty(), BLOWUP_ALPHABET)
+        # now no a at all is allowed, but the type demands one: empty
+        assert conj2.is_empty()
+
+    def test_type_checked_in_membership(self):
+        tt = TreeType.parse("root: root\nroot -> a")
+        conj = refine_plus_sequence(BLOWUP_ALPHABET, [], tree_type=tt)
+        assert conj.contains(
+            DataTree.build(node("r", "root", 0, [node("x", "a", 0)]))
+        )
+        assert not conj.contains(DataTree.build(node("r", "root", 0)))
+        assert not conj.contains(DataTree.empty())
+
+    def test_requires_layer(self):
+        with pytest.raises(ValueError):
+            ConjunctiveIncompleteTree([])

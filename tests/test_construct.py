@@ -1,0 +1,116 @@
+"""Construction queries (Section 4): Skolem heads over pattern bodies."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.tree import DataTree, node
+from repro.extensions.construct import ConstructionQuery, head
+from repro.extensions.extended_query import ExtendedQuery, enode
+
+
+def doc():
+    return DataTree.build(
+        node(
+            "r",
+            "root",
+            0,
+            [
+                node("c1", "c", 0, [node("x1", "x", 1), node("y1", "y", 10)]),
+                node("c2", "c", 0, [node("x2", "x", 2)]),
+                node("c3", "c", 0, [node("y3", "y", 10)]),
+            ],
+        )
+    )
+
+
+class TestPaperCountingExample:
+    """The body binds X to x-values and Y to y-values; the head emits one
+    a per X and one b per Y — the language whose answers have equal
+    counts cannot be captured by incomplete trees."""
+
+    def build_query(self):
+        body = ExtendedQuery(
+            enode(
+                "root",
+                children=[
+                    enode("c", children=[enode("x", var="X")]),
+                    enode("c", children=[enode("y", var="Y")]),
+                ],
+            )
+        )
+        return ConstructionQuery(
+            body,
+            head(
+                "root",
+                "root",
+                children=[
+                    head("a", "f", args=["X"], value_var="X"),
+                    head("b", "g", args=["Y"], value_var="Y"),
+                ],
+            ),
+        )
+
+    def test_bindings_enumerated(self):
+        q = self.build_query()
+        bindings = q.bindings(doc())
+        xs = {b["X"] for b in bindings}
+        ys = {b["Y"] for b in bindings}
+        assert xs == {1, 2}
+        assert ys == {10}
+
+    def test_skolem_identification(self):
+        q = self.build_query()
+        answer = q.evaluate(doc())
+        a_nodes = [n for n in answer.node_ids() if answer.label(n) == "a"]
+        b_nodes = [n for n in answer.node_ids() if answer.label(n) == "b"]
+        # one a per distinct X (2), one b per distinct Y (1)
+        assert len(a_nodes) == 2
+        assert len(b_nodes) == 1
+        values = {answer.value(n) for n in a_nodes}
+        assert values == {1, 2}
+
+    def test_empty_body_empty_answer(self):
+        q = self.build_query()
+        empty_doc = DataTree.build(node("r", "root", 0))
+        assert q.evaluate(empty_doc).is_empty()
+
+
+class TestHeadMechanics:
+    def test_nested_head(self):
+        body = ExtendedQuery(
+            enode("root", children=[enode("c", children=[enode("x", var="X")])])
+        )
+        q = ConstructionQuery(
+            body,
+            head(
+                "out",
+                "out",
+                children=[
+                    head(
+                        "group",
+                        "g",
+                        args=["X"],
+                        children=[head("value", "v", args=["X"], value_var="X")],
+                    )
+                ],
+            ),
+        )
+        answer = q.evaluate(doc())
+        groups = [n for n in answer.node_ids() if answer.label(n) == "group"]
+        assert len(groups) == 2
+        for g in groups:
+            assert len(answer.children(g)) == 1
+
+    def test_value_default_zero(self):
+        body = ExtendedQuery(enode("root", var="R"))
+        q = ConstructionQuery(body, head("out", "out"))
+        answer = q.evaluate(doc())
+        assert answer.value(answer.root) == 0
+
+    def test_non_constant_root_rejected(self):
+        body = ExtendedQuery(
+            enode("root", children=[enode("c", children=[enode("x", var="X")])])
+        )
+        q = ConstructionQuery(body, head("out", "out", args=["X"]))
+        with pytest.raises(ValueError):
+            q.evaluate(doc())

@@ -1,0 +1,108 @@
+"""The CWA/OWA combination the paper's related-work section highlights.
+
+"Incomplete trees reconcile the two approaches ... They allow to
+describe with flexible precision the missing information, by stating
+that some facts are not in the document (CWA) but also that some data
+still ignored may exist (OWA)."
+
+These tests make the two modalities concrete:
+
+* OWA: after an ordinary query, unseen siblings may exist (``all*``
+  rules keep the world open);
+* CWA: a *bar* query extracts whole subtrees, closing them — nothing
+  below a bar-matched node beyond what was returned can exist;
+* mixed: empty answers close specific regions (no product under $200)
+  while leaving others open.
+"""
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern, subtree
+from repro.core.tree import DataTree, node
+from repro.incomplete.certainty import possible_prefix
+from repro.refine.refine import refine_sequence
+
+ALPHABET = ["root", "a", "b"]
+
+
+def source():
+    return DataTree.build(
+        node(
+            "r",
+            "root",
+            0,
+            [node("x", "a", 5, [node("y", "b", 1)]), node("z", "a", 9)],
+        )
+    )
+
+
+class TestOpenWorld:
+    def test_unseen_siblings_possible(self):
+        """A plain query leaves room for more data (OWA)."""
+        q = linear_query(["root", "a"], [None, Cond.eq(5)])
+        knowledge = refine_sequence(ALPHABET, [(q, q.evaluate(source()))])
+        ghost = DataTree.build(node("r", "root", 0, [node("g", "a", 7)]))
+        assert possible_prefix(ghost, knowledge)
+
+    def test_unseen_children_possible(self):
+        q = linear_query(["root", "a"], [None, Cond.eq(5)])
+        knowledge = refine_sequence(ALPHABET, [(q, q.evaluate(source()))])
+        # nothing was said about x's children: a b-child may exist
+        deeper = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 5, [node("g", "b", 3)])])
+        )
+        assert possible_prefix(deeper, knowledge)
+
+
+class TestClosedWorld:
+    def test_bar_closes_the_subtree(self):
+        """A bar query extracts everything below the match: the region
+        becomes closed-world."""
+        q = PSQuery(pattern("root", children=[subtree("a", Cond.eq(5))]))
+        knowledge = refine_sequence(ALPHABET, [(q, q.evaluate(source()))])
+        # a second b-child under x would have been extracted
+        extra = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 5, [node("g", "b", 3)])])
+        )
+        assert not possible_prefix(extra, knowledge)
+        # the extracted child, of course, remains
+        known = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 5, [node("y", "b", 1)])])
+        )
+        assert possible_prefix(known, knowledge)
+
+    def test_empty_answer_closes_a_region(self):
+        """An empty answer is a negative fact: no a = 5 exists (CWA on
+        the region), while other values stay open (OWA)."""
+        q = linear_query(["root", "a"], [None, Cond.eq(5)])
+        knowledge = refine_sequence(ALPHABET, [(q, DataTree.empty())])
+        closed = DataTree.build(node("r", "root", 0, [node("g", "a", 5)]))
+        open_ = DataTree.build(node("r", "root", 0, [node("g", "a", 6)]))
+        assert not possible_prefix(closed, knowledge)
+        assert possible_prefix(open_, knowledge)
+
+
+class TestMixedModality:
+    def test_both_at_once(self):
+        """One knowledge state can be closed here and open there."""
+        q_bar = PSQuery(pattern("root", children=[subtree("a", Cond.eq(5))]))
+        q_neg = linear_query(["root", "b"])
+        history = [
+            (q_bar, q_bar.evaluate(source())),
+            (q_neg, DataTree.empty()),  # no b children of the root at all
+        ]
+        knowledge = refine_sequence(ALPHABET, history)
+        # CWA: no root-level b
+        assert not possible_prefix(
+            DataTree.build(node("r", "root", 0, [node("g", "b", 1)])), knowledge
+        )
+        # CWA: nothing new below x
+        assert not possible_prefix(
+            DataTree.build(
+                node("r", "root", 0, [node("x", "a", 5, [node("g", "b", 2)])])
+            ),
+            knowledge,
+        )
+        # OWA: more a's (with value != 5) may exist
+        assert possible_prefix(
+            DataTree.build(node("r", "root", 0, [node("g", "a", 6)])), knowledge
+        )

@@ -1,0 +1,104 @@
+"""Enumeration-oracle sanity: everything enumerated is a member, and
+small members are all enumerated."""
+
+from repro.core.conditions import Cond
+from repro.core.multiplicity import Atom, Disjunction
+from repro.core.tree import DataTree, node
+from repro.incomplete.conditional import ConditionalTreeType
+from repro.incomplete.enumerate import answer_set, canonical_form, enumerate_trees
+from repro.incomplete.incomplete_tree import IncompleteTree
+
+
+def small_incomplete():
+    tau = ConditionalTreeType.simple(
+        ["r"],
+        {
+            "r": Disjunction.single(Atom.of(a="?", b="*")),
+            "a": Disjunction.leaf(),
+            "b": Disjunction.leaf(),
+        },
+        {"a": Cond.gt(0)},
+    )
+    return IncompleteTree({}, tau)
+
+
+class TestEnumerate:
+    def test_enumerated_are_members(self, example_2_2):
+        incomplete, _q = example_2_2
+        for tree in enumerate_trees(incomplete, max_nodes=5, extra_values=[0, 1]):
+            assert incomplete.contains(tree)
+
+    def test_exhaustive_up_to_budget(self):
+        incomplete = small_incomplete()
+        trees = enumerate_trees(incomplete, max_nodes=3, values_per_cond=1)
+        shapes = {
+            tuple(sorted(t.label(n) for n in t.node_ids())) for t in trees
+        }
+        # r | r,a | r,b | r,a,b | r,b,b  — all shapes with <= 3 nodes
+        assert ("r",) in shapes
+        assert ("a", "r") in shapes
+        assert ("b", "r") in shapes
+        assert ("a", "b", "r") in shapes
+        assert ("b", "b", "r") in shapes
+
+    def test_budget_respected(self):
+        for tree in enumerate_trees(small_incomplete(), max_nodes=4):
+            assert len(tree) <= 4
+
+    def test_allows_empty_included(self):
+        incomplete = small_incomplete().with_allows_empty(True)
+        trees = enumerate_trees(incomplete, max_nodes=2)
+        assert any(t.is_empty() for t in trees)
+
+    def test_max_trees_cap(self):
+        trees = enumerate_trees(small_incomplete(), max_nodes=6, max_trees=3)
+        assert len(trees) == 3
+
+    def test_pivot_values_used(self):
+        incomplete = small_incomplete()
+        trees = enumerate_trees(
+            incomplete, max_nodes=2, values_per_cond=0, extra_values=[7]
+        )
+        values = {t.value(n) for t in trees for n in t.node_ids()}
+        assert 7 in values
+
+    def test_data_node_ids_kept(self, example_2_2):
+        incomplete, _q = example_2_2
+        for tree in enumerate_trees(incomplete, max_nodes=4):
+            if not tree.is_empty():
+                assert tree.root == "r"
+                assert "n" in tree
+
+
+class TestCanonicalForm:
+    def test_fresh_ids_ignored(self):
+        a = DataTree.build(node("x", "r", 0, [node("y", "a", 1)]))
+        b = DataTree.build(node("p", "r", 0, [node("q", "a", 1)]))
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_anchored_ids_matter(self):
+        a = DataTree.build(node("x", "r", 0))
+        b = DataTree.build(node("p", "r", 0))
+        assert canonical_form(a, ["x", "p"]) != canonical_form(b, ["x", "p"])
+
+    def test_child_order_ignored(self):
+        a = DataTree.build(node("x", "r", 0, [node("y", "a", 1), node("z", "b", 2)]))
+        b = DataTree.build(node("x", "r", 0, [node("z", "b", 2), node("y", "a", 1)]))
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_values_matter(self):
+        a = DataTree.build(node("x", "r", 0))
+        b = DataTree.build(node("x", "r", 1))
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_empty(self):
+        assert canonical_form(DataTree.empty()) == ("empty",)
+
+
+class TestAnswerSet:
+    def test_answer_set_collects_canonical_answers(self, example_2_2):
+        incomplete, query = example_2_2
+        trees = enumerate_trees(incomplete, max_nodes=4, extra_values=[0, 1])
+        answers = answer_set(query, trees, anchored=["r", "n"])
+        assert ("empty",) in answers  # some sources yield no match
+        assert len(answers) > 1

@@ -1,0 +1,107 @@
+"""Error handling across the public API: bad inputs fail loudly and
+informatively, never silently."""
+
+import pytest
+
+from repro import (
+    Cond,
+    DataTree,
+    InMemorySource,
+    TreeType,
+    Webhouse,
+    linear_query,
+    node,
+)
+from repro.core.query import PSQuery, pattern
+from repro.refine.inverse import answer_witness, inverse_incomplete
+from repro.workloads.catalog import catalog_type, demo_catalog, query1
+
+
+class TestSourceValidation:
+    def test_source_rejects_type_violation(self):
+        bad_doc = DataTree.build(node("r", "product", 0))  # wrong root
+        with pytest.raises(ValueError, match="violates its type"):
+            InMemorySource(bad_doc, catalog_type())
+
+    def test_local_query_unknown_node(self):
+        source = InMemorySource(demo_catalog())
+        with pytest.raises(KeyError):
+            source.ask_local(linear_query(["product"]), "nonexistent")
+
+
+class TestRefineValidation:
+    def test_answer_must_match_query(self):
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        fake_answer = DataTree.build(node("r", "root", 0, [node("x", "a", -5)]))
+        with pytest.raises(ValueError, match="violates condition"):
+            inverse_incomplete(q, fake_answer, ["root", "a"])
+
+    def test_answer_label_mismatch(self):
+        q = linear_query(["root", "a"])
+        fake = DataTree.build(node("r", "catalog", 0))
+        with pytest.raises(ValueError, match="label"):
+            answer_witness(q, fake)
+
+    def test_node_id_label_collision_detected(self):
+        # a document whose node id equals an element label would corrupt
+        # the shared namespace; the construction refuses
+        q = linear_query(["root", "a"])
+        doc = DataTree.build(node("root", "root", 0, [node("x", "a", 1)]))
+        with pytest.raises(ValueError, match="coincide with element labels"):
+            inverse_incomplete(q, q.evaluate(doc), ["root", "a"])
+
+
+class TestWebhouseGuards:
+    def test_answer_locally_raises_when_unanswerable(self):
+        tt = catalog_type()
+        source = InMemorySource(demo_catalog(), tt)
+        wh = Webhouse(tt.alphabet, tree_type=tt)
+        wh.ask(source, query1())
+        from repro.workloads.catalog import query4
+
+        with pytest.raises(ValueError, match="not fully answerable"):
+            wh.answer_locally(query4())
+
+    def test_alphabet_extended_by_type(self):
+        tt = catalog_type()
+        wh = Webhouse(["catalog"], tree_type=tt)  # too-narrow alphabet
+        # the tree type's alphabet is folded in: queries over it work
+        source = InMemorySource(demo_catalog(), tt)
+        answer = wh.ask(source, query1())
+        assert not answer.is_empty()
+
+
+class TestQueryStructureErrors:
+    def test_bar_with_children_rejected(self):
+        from repro.core.query import QueryNode
+
+        with pytest.raises(ValueError, match="leaves"):
+            QueryNode("a", Cond.true(), True, (pattern("b"),))
+
+    def test_duplicate_sibling_labels_rejected(self):
+        with pytest.raises(ValueError, match="share label"):
+            pattern("r", children=[pattern("a"), pattern("a")])
+
+
+class TestTreeTypeErrors:
+    def test_parse_reports_offending_line(self):
+        with pytest.raises(ValueError, match="not a rule"):
+            TreeType.parse("root: r\nthis is not a rule")
+
+    def test_violation_messages_are_specific(self):
+        tt = TreeType.parse("root: r\nr -> a")
+        message = tt.violation(DataTree.single("x", "r"))
+        assert message is not None and "a" in message
+
+
+class TestDataTreeErrors:
+    def test_restrict_error_names_problem(self):
+        tree = DataTree.build(node("r", "root", 0, [node("a", "a", 0)]))
+        with pytest.raises(ValueError, match="root"):
+            tree.restrict(["a"])
+
+    def test_merge_error_names_node(self):
+        left = DataTree.build(node("r", "root", 0, [node("a", "a", 1)]))
+        right = DataTree.build(node("r", "root", 0, [node("a", "a", 2)]))
+        with pytest.raises(ValueError, match="'a'"):
+            left.merged_with(right)

@@ -1,0 +1,141 @@
+"""Theorem 3.17 / Corollary 3.18: certain and possible answer facts."""
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern
+from repro.core.tree import DataTree, node
+from repro.answering.facts import (
+    certain_answer_prefix,
+    certainly_nonempty,
+    possible_answer_prefix,
+    possibly_nonempty,
+)
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.catalog import CATALOG_ALPHABET
+
+ALPHABET = ["root", "a", "b"]
+
+
+def knowledge():
+    q = linear_query(["root", "a"], [None, Cond.gt(0)])
+    src = DataTree.build(
+        node("r", "root", 0, [node("x", "a", 5), node("z", "a", -1)])
+    )
+    return refine_sequence(ALPHABET, [(q, q.evaluate(src))])
+
+
+class TestNonEmptiness:
+    def test_recorded_match_is_certain(self):
+        k = knowledge()
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        assert certainly_nonempty(k, q)
+        assert possibly_nonempty(k, q)
+
+    def test_unknown_is_possible_not_certain(self):
+        k = knowledge()
+        q = linear_query(["root", "b"])
+        assert possibly_nonempty(k, q)
+        assert not certainly_nonempty(k, q)
+
+    def test_excluded_is_impossible(self):
+        k = knowledge()
+        # all a > 0 are known to be exactly {x=5}; a > 1000 can't exist
+        q = linear_query(["root", "a"], [None, Cond.gt(1000)])
+        assert not possibly_nonempty(k, q)
+        assert not certainly_nonempty(k, q)
+
+    def test_example_3_4_more_cameras(self, catalog_tt, catalog_doc, catalog_queries):
+        history = [
+            (catalog_queries[1], catalog_queries[1].evaluate(catalog_doc)),
+            (catalog_queries[2], catalog_queries[2].evaluate(catalog_doc)),
+        ]
+        k = intersect_with_tree_type(
+            refine_sequence(CATALOG_ALPHABET, history), catalog_tt
+        )
+        # expensive cameras may exist (Olympus is one; Leica hidden)
+        assert possibly_nonempty(k, catalog_queries[5])
+        # and in fact certainly: Olympus is a known camera with price>=200 forced
+        assert certainly_nonempty(k, catalog_queries[5])
+
+
+class TestAnswerPrefixes:
+    def test_known_match_is_certain_prefix(self):
+        k = knowledge()
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        prefix = DataTree.build(node("r", "root", 0, [node("x", "a", 5)]))
+        assert certain_answer_prefix(prefix, k, q)
+        assert possible_answer_prefix(prefix, k, q)
+
+    def test_excluded_node_impossible_in_answer(self):
+        k = knowledge()
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        # z has value -1; it can never appear in the q-answer
+        prefix = DataTree.build(node("r", "root", 0, [node("z", "a", -1)]))
+        assert not possible_answer_prefix(prefix, k, q)
+
+    def test_possible_but_uncertain_prefix(self):
+        k = knowledge()
+        q = linear_query(["root", "b"])
+        prefix = DataTree.build(node("r", "root", 0, [node("f", "b", 2)]))
+        assert possible_answer_prefix(prefix, k, q)
+        assert not certain_answer_prefix(prefix, k, q)
+
+
+class TestAgainstOracle:
+    """Answer-fact predicates validated by enumerating rep(T) and
+    evaluating the query on every member."""
+
+    def setting(self):
+        from repro.incomplete.enumerate import enumerate_trees
+
+        k = knowledge()
+        trees = enumerate_trees(
+            k, max_nodes=6, values_per_cond=1, extra_values=[0, 5, -1, 2]
+        )
+        assert trees
+        return k, trees
+
+    def test_possibly_nonempty_oracle(self):
+        k, trees = self.setting()
+        for q in [
+            linear_query(["root", "a"], [None, Cond.gt(0)]),
+            linear_query(["root", "b"]),
+            linear_query(["root", "a"], [None, Cond.gt(1000)]),
+        ]:
+            oracle = any(not q.evaluate(t).is_empty() for t in trees)
+            got = possibly_nonempty(k, q)
+            if oracle:
+                assert got  # a bounded witness exists => must be possible
+            if not got:
+                assert not oracle
+
+    def test_certainly_nonempty_oracle(self):
+        k, trees = self.setting()
+        for q in [
+            linear_query(["root", "a"], [None, Cond.gt(0)]),
+            linear_query(["root", "b"]),
+        ]:
+            got = certainly_nonempty(k, q)
+            if got:
+                assert all(not q.evaluate(t).is_empty() for t in trees)
+
+    def test_answer_prefix_oracle(self):
+        from repro.core.tree import node as n
+
+        k, trees = self.setting()
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        prefix = DataTree.build(n("r", "root", 0, [n("x", "a", 5)]))
+        got_cert = certain_answer_prefix(prefix, k, q)
+        got_poss = possible_answer_prefix(prefix, k, q)
+        anchored = list(k.data_node_ids())
+        answers = [q.evaluate(t) for t in trees]
+        oracle_poss = any(
+            prefix.is_prefix_of(a, relative_to=anchored) for a in answers
+        )
+        oracle_cert = all(
+            prefix.is_prefix_of(a, relative_to=anchored) for a in answers
+        )
+        if oracle_poss:
+            assert got_poss
+        if got_cert:
+            assert oracle_cert

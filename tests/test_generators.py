@@ -1,0 +1,72 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.core.treetype import TreeType
+from repro.workloads.catalog import catalog_type, generate_catalog
+from repro.workloads.generators import random_history, random_ps_query, random_tree
+
+
+class TestRandomTree:
+    def test_satisfies_type(self):
+        tt = catalog_type()
+        for seed in range(5):
+            tree = random_tree(tt, seed=seed)
+            assert tt.satisfied_by(tree), tt.violation(tree)
+
+    def test_deterministic(self):
+        tt = catalog_type()
+        assert random_tree(tt, seed=3) == random_tree(tt, seed=3)
+
+    def test_depth_guard(self):
+        tt = TreeType.parse("root: a\na -> a")
+        with pytest.raises(ValueError):
+            random_tree(tt, max_depth=4)
+
+
+class TestRandomQuery:
+    def test_well_formed(self):
+        tt = catalog_type()
+        for seed in range(10):
+            query = random_ps_query(tt, seed=seed)
+            assert query.root.label in tt.roots
+
+    def test_evaluates_against_generated_trees(self):
+        tt = catalog_type()
+        tree = random_tree(tt, seed=0)
+        for seed in range(10):
+            query = random_ps_query(tt, seed=seed)
+            query.evaluate(tree)  # must not raise
+
+    def test_deterministic(self):
+        tt = catalog_type()
+        assert random_ps_query(tt, seed=5) == random_ps_query(tt, seed=5)
+
+
+class TestHistories:
+    def test_history_answers_match(self):
+        tt = catalog_type()
+        doc = generate_catalog(8, seed=1)
+        history = random_history(tt, doc, n_queries=5, seed=2)
+        assert len(history) == 5
+        for query, answer in history:
+            assert query.evaluate(doc) == answer
+
+
+class TestCatalogGenerator:
+    def test_type_conformance(self):
+        tt = catalog_type()
+        for n in (1, 10, 40):
+            assert tt.satisfied_by(generate_catalog(n, seed=n))
+
+    def test_size_scales(self):
+        small = generate_catalog(5, seed=0)
+        large = generate_catalog(50, seed=0)
+        assert len(large) > len(small)
+
+    def test_camera_fraction(self):
+        doc = generate_catalog(60, seed=0, camera_fraction=1.0)
+        subcats = {
+            doc.value(n) for n in doc.node_ids() if doc.label(n) == "subcat"
+        }
+        assert subcats == {"camera"}

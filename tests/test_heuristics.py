@@ -1,0 +1,156 @@
+"""Section 3.2 heuristics: probing (Prop 3.13) and lossy forgetting."""
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern
+from repro.core.tree import DataTree, node
+from repro.refine.heuristics import forget_specializations, probing_queries
+from repro.refine.refine import refine_sequence
+from repro.workloads.blowup import BLOWUP_ALPHABET, pair_queries
+
+
+class TestProbingQueries:
+    def test_one_query_per_pattern_path(self):
+        q = PSQuery(
+            pattern("root", children=[pattern("a", Cond.eq(1)), pattern("b")])
+        )
+        probes = probing_queries([q])
+        # paths: root, root/a, root/b
+        assert len(probes) == 3
+        assert all(p.is_linear() for p in probes)
+        assert all(
+            p.node_at(path).cond.is_true() for p in probes for path in p.paths()
+        )
+
+    def test_size_bound(self):
+        """Prop 3.13 (i)-(ii): at most Σ|q_i| probes, none larger than
+        its source query."""
+        history = pair_queries(4)
+        queries = [q for q, _a in history]
+        probes = probing_queries(queries)
+        assert len(probes) <= sum(q.size() for q in queries)
+        assert all(p.size() <= max(q.size() for q in queries) for p in probes)
+
+    def test_parents_before_children(self):
+        q = linear_query(["root", "a", "b"])
+        probes = probing_queries([q])
+        sizes = [p.size() for p in probes]
+        assert sizes == sorted(sizes)
+
+    def test_deduplication_across_queries(self):
+        history = pair_queries(5)
+        probes = probing_queries(q for q, _a in history)
+        # all five queries share the same three label paths
+        assert len(probes) == 3
+
+    def test_probing_shrinks_blowup(self):
+        """Example 3.3: with probe answers folded in, the representation
+        stays polynomial (here: far below plain Refine's exponential)."""
+        n = 6
+        history = pair_queries(n)
+        plain = refine_sequence(BLOWUP_ALPHABET, history)
+        probes = [
+            (p, DataTree.empty())
+            for p in probing_queries(q for q, _a in history)
+        ]
+        # probes answered first, then the original queries
+        rescued = refine_sequence(BLOWUP_ALPHABET, probes + history)
+        assert rescued.size() < plain.size() / 4
+
+
+class TestForgetting:
+    def test_superset_of_original(self):
+        history = pair_queries(3)
+        exact = refine_sequence(BLOWUP_ALPHABET, history)
+        lossy = forget_specializations(exact)
+        assert lossy.size() < exact.size()
+        # every exactly-represented tree is still represented
+        probes = [
+            DataTree.build(node("r", "root", 0)),
+            DataTree.build(node("r", "root", 0, [node("x", "a", 9)])),
+            DataTree.build(
+                node("r", "root", 0, [node("x", "a", 9), node("y", "b", 7)])
+            ),
+        ]
+        for tree in probes:
+            if exact.contains(tree):
+                assert lossy.contains(tree)
+
+    def test_loses_cross_correlations(self):
+        history = pair_queries(2)
+        exact = refine_sequence(BLOWUP_ALPHABET, history)
+        lossy = forget_specializations(exact)
+        # a=1 together with b=1 violates query 1... exact knows that
+        bad = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 1), node("y", "b", 1)])
+        )
+        assert not exact.contains(bad)
+        # the coarse version may or may not keep it; it must keep the
+        # per-label ranges though: values are unconstrained individually
+        solo = DataTree.build(node("r", "root", 0, [node("x", "a", 1)]))
+        assert lossy.contains(solo)
+
+    def test_selective_labels(self):
+        history = pair_queries(2)
+        exact = refine_sequence(BLOWUP_ALPHABET, history)
+        partially = forget_specializations(exact, labels=["a"])
+        assert partially.size() <= exact.size()
+
+    def test_preserves_data_nodes(self):
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        src = DataTree.build(node("r", "root", 0, [node("x", "a", 3)]))
+        exact = refine_sequence(BLOWUP_ALPHABET, [(q, q.evaluate(src))])
+        lossy = forget_specializations(exact)
+        assert {"r", "x"} <= lossy.data_node_ids()
+        assert lossy.contains(src)
+
+
+class TestProbingFullFlow:
+    """Proposition 3.13 against a real source: probes retrieve the data
+    values, after which the original queries' refinement stays small
+    and the knowledge still answers them exactly."""
+
+    def test_probe_then_refine_on_live_source(self):
+        from repro.core.tree import node as n
+        from repro.refine.refine import consistent_with
+
+        src = DataTree.build(
+            n(
+                "r",
+                "root",
+                0,
+                [n("x1", "a", 1), n("x2", "a", 4), n("y1", "b", 2)],
+            )
+        )
+        history = [(q, q.evaluate(src)) for q, _e in pair_queries(4)]
+        probes = [
+            (p, p.evaluate(src))
+            for p in probing_queries(q for q, _a in history)
+        ]
+        plain = refine_sequence(BLOWUP_ALPHABET, history)
+        rescued = refine_sequence(BLOWUP_ALPHABET, probes + history)
+        assert rescued.size() < plain.size()
+        assert rescued.contains(src)
+        # rescued knowledge is at least as precise: everything it admits
+        # is consistent with the probe-extended history
+        mutated = DataTree.build(
+            n("r", "root", 0, [n("x1", "a", 1), n("x2", "a", 4)])
+        )
+        assert rescued.contains(mutated) == consistent_with(
+            mutated, probes + history
+        )
+
+    def test_probed_knowledge_pins_all_values(self):
+        from repro.core.tree import node as n
+
+        src = DataTree.build(
+            n("r", "root", 0, [n("x1", "a", 2), n("y1", "b", 2)])
+        )
+        history = [(q, q.evaluate(src)) for q, _e in pair_queries(3)]
+        probes = [
+            (p, p.evaluate(src))
+            for p in probing_queries(q for q, _a in history)
+        ]
+        rescued = refine_sequence(BLOWUP_ALPHABET, probes + history)
+        # all a/b values are data now: an extra unseen 'a' is impossible
+        extra = src.with_subtree("r", n("ghost", "a", 7))
+        assert not rescued.contains(extra)

@@ -1,0 +1,162 @@
+"""Incomplete tree tests (Definition 2.7, Example 2.2, Definition 3.1)."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.multiplicity import Atom, Disjunction, Mult
+from repro.core.tree import DataTree, node
+from repro.core.values import as_value
+from repro.incomplete.conditional import ConditionalTreeType
+from repro.incomplete.incomplete_tree import (
+    DataNode,
+    IncompleteTree,
+    data_nodes_from_tree,
+)
+
+
+class TestExample22:
+    """The paper's Example 2.2 (first incomplete tree)."""
+
+    def test_validates(self, example_2_2):
+        incomplete, _q = example_2_2
+        assert incomplete.validate() == []
+
+    def test_unambiguous(self, example_2_2):
+        incomplete, _q = example_2_2
+        assert incomplete.is_unambiguous()
+        assert incomplete.is_unambiguous(strict=True)
+
+    def test_membership_semantics(self, example_2_2):
+        incomplete, _q = example_2_2
+        # the minimal tree: r with child n
+        minimal = DataTree.build(node("r", "root", 0, [node("n", "a", 0)]))
+        assert incomplete.contains(minimal)
+        # extra a-children must have nonzero values
+        ok = DataTree.build(
+            node("r", "root", 0, [node("n", "a", 0), node("x", "a", 3)])
+        )
+        assert incomplete.contains(ok)
+        bad = DataTree.build(
+            node("r", "root", 0, [node("n", "a", 0), node("x", "a", 0)])
+        )
+        assert not incomplete.contains(bad)
+        # missing the mandatory data node n
+        missing = DataTree.build(node("r", "root", 0, [node("x", "a", 3)]))
+        assert not incomplete.contains(missing)
+
+    def test_wrong_root_id(self, example_2_2):
+        incomplete, _q = example_2_2
+        other = DataTree.build(node("other", "root", 0, [node("n", "a", 0)]))
+        assert not incomplete.contains(other)
+
+    def test_data_tree(self, example_2_2):
+        incomplete, _q = example_2_2
+        td = incomplete.data_tree()
+        assert td.root == "r"
+        assert set(td.node_ids()) == {"r", "n"}
+        assert td.label("n") == "a"
+
+    def test_not_empty(self, example_2_2):
+        incomplete, _q = example_2_2
+        assert not incomplete.is_empty()
+
+    def test_empty_tree_only_with_flag(self, example_2_2):
+        incomplete, _q = example_2_2
+        assert not incomplete.contains(DataTree.empty())
+        assert incomplete.with_allows_empty(True).contains(DataTree.empty())
+
+
+class TestValidation:
+    def test_node_symbol_must_pin_value(self):
+        tau = ConditionalTreeType(
+            ["t-r"],
+            {"t-r": Disjunction.leaf()},
+            {"t-r": Cond.gt(0)},  # does not pin a single value
+            {"t-r": "r"},
+        )
+        incomplete = IncompleteTree({"r": DataNode("root", as_value(1))}, tau)
+        assert any("force value" in p for p in incomplete.validate())
+
+    def test_node_entry_multiplicity_checked(self):
+        tau = ConditionalTreeType(
+            ["t-r"],
+            {
+                "t-r": Disjunction.single(Atom([("t-n", Mult.STAR)])),
+                "t-n": Disjunction.leaf(),
+            },
+            {"t-r": Cond.eq(0), "t-n": Cond.eq(0)},
+            {"t-r": "r", "t-n": "n"},
+        )
+        incomplete = IncompleteTree(
+            {"r": DataNode("root", as_value(0)), "n": DataNode("a", as_value(0))},
+            tau,
+        )
+        assert any("multiplicity" in p for p in incomplete.validate())
+
+    def test_node_under_non_data_parent_flagged(self):
+        tau = ConditionalTreeType(
+            ["t-a"],
+            {
+                "t-a": Disjunction.single(Atom([("t-n", Mult.ONE)])),
+                "t-n": Disjunction.leaf(),
+            },
+            {"t-n": Cond.eq(0)},
+            {"t-a": "a", "t-n": "n"},
+        )
+        incomplete = IncompleteTree({"n": DataNode("b", as_value(0))}, tau)
+        assert any("requirement 4" in p for p in incomplete.validate())
+
+
+class TestAmbiguity:
+    def test_overlapping_star_conditions_flagged(self):
+        tau = ConditionalTreeType(
+            ["r"],
+            {
+                "r": Disjunction.single(Atom.of(a1="*", a2="*")),
+                "a1": Disjunction.leaf(),
+                "a2": Disjunction.leaf(),
+            },
+            {"a1": Cond.lt(10), "a2": Cond.lt(20)},  # overlap on (-inf,10)
+            {"r": "r", "a1": "a", "a2": "a"},
+        )
+        incomplete = IncompleteTree({}, tau)
+        assert not incomplete.is_unambiguous()
+        assert any("(2)" in r for r in incomplete.ambiguity_reasons())
+
+    def test_condition_3_only_strict(self):
+        tau = ConditionalTreeType(
+            ["r"],
+            {
+                "r": Disjunction.single(Atom.of(a1="*", a2="*")),
+                "a1": Disjunction.leaf(),
+                "a2": Disjunction.leaf(),
+            },
+            {"a1": Cond.lt(10), "a2": Cond.ge(10)},  # exclusive
+            {"r": "r", "a1": "a", "a2": "a"},
+        )
+        incomplete = IncompleteTree({}, tau)
+        assert incomplete.is_unambiguous()
+        assert not incomplete.is_unambiguous(strict=True)
+
+
+class TestMisc:
+    def test_nothing(self):
+        nothing = IncompleteTree.nothing(allows_empty=True)
+        assert not nothing.is_empty()
+        assert nothing.contains(DataTree.empty())
+        truly_nothing = IncompleteTree.nothing(allows_empty=False)
+        assert truly_nothing.is_empty()
+
+    def test_data_nodes_from_tree(self, simple_tree):
+        nodes = data_nodes_from_tree(simple_tree)
+        assert set(nodes) == {"r", "x", "y", "z"}
+        assert nodes["y"].label == "b"
+
+    def test_size_counts_nodes_and_type(self, example_2_2):
+        incomplete, _q = example_2_2
+        assert incomplete.size() == 2 + incomplete.type.size()
+
+    def test_pretty_mentions_data(self, example_2_2):
+        incomplete, _q = example_2_2
+        text = incomplete.pretty()
+        assert "data nodes" in text and "roots:" in text

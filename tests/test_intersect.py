@@ -1,0 +1,122 @@
+"""Lemma 3.3: intersection of unambiguous incomplete trees."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.multiplicity import Atom, Disjunction, Mult
+from repro.core.query import PSQuery, linear_query, pattern
+from repro.core.tree import DataTree, node
+from repro.incomplete.conditional import ConditionalTreeType
+from repro.incomplete.enumerate import enumerate_trees
+from repro.incomplete.incomplete_tree import DataNode, IncompleteTree
+from repro.core.values import as_value
+from repro.refine.intersect import compatible, intersect
+from repro.refine.inverse import inverse_incomplete, universal_incomplete
+
+ALPHABET = ["root", "a", "b"]
+
+
+def source():
+    return DataTree.build(
+        node(
+            "r",
+            "root",
+            0,
+            [node("x", "a", 5, [node("y", "b", 1)]), node("z", "a", 0)],
+        )
+    )
+
+
+class TestCompatibility:
+    def test_disjoint_nodes_compatible(self):
+        left = universal_incomplete(ALPHABET)
+        right = universal_incomplete(ALPHABET)
+        assert compatible(left, right)
+
+    def test_shared_node_conflict(self):
+        q1 = linear_query(["root", "a"])
+        t1 = DataTree.build(node("r", "root", 0, [node("x", "a", 1)]))
+        t2 = DataTree.build(node("r", "root", 0, [node("x", "a", 2)]))
+        left = inverse_incomplete(q1, q1.evaluate(t1), ALPHABET)
+        right = inverse_incomplete(q1, q1.evaluate(t2), ALPHABET)
+        assert not compatible(left, right)
+        result = intersect(left, right)
+        assert result.is_empty()
+
+
+class TestProduct:
+    def test_membership_is_conjunction(self):
+        src = source()
+        q1 = linear_query(["root", "a"], [None, Cond.gt(2)])
+        q2 = PSQuery(pattern("root", children=[pattern("a", None, [pattern("b")])]))
+        left = inverse_incomplete(q1, q1.evaluate(src), ALPHABET)
+        right = inverse_incomplete(q2, q2.evaluate(src), ALPHABET)
+        both = intersect(left, right)
+        assert both.validate() == []
+        assert both.is_unambiguous()
+
+        candidates = [src]
+        candidates.extend(
+            enumerate_trees(left, max_nodes=5, extra_values=[0, 1, 3, 5])[:80]
+        )
+        candidates.extend(
+            enumerate_trees(right, max_nodes=5, extra_values=[0, 1, 3, 5])[:80]
+        )
+        for tree in candidates:
+            expected = left.contains(tree) and right.contains(tree)
+            assert both.contains(tree) == expected
+
+    def test_intersection_with_universal_is_identity_on_membership(self):
+        src = source()
+        q = linear_query(["root", "a"], [None, Cond.gt(2)])
+        layer = inverse_incomplete(q, q.evaluate(src), ALPHABET)
+        both = intersect(universal_incomplete(ALPHABET), layer)
+        for tree in enumerate_trees(layer, max_nodes=4, extra_values=[0, 3, 5]):
+            assert both.contains(tree)
+        assert both.contains(src)
+
+    def test_allows_empty_anded(self):
+        empty_ok = universal_incomplete(ALPHABET)
+        assert intersect(empty_ok, empty_ok).allows_empty
+        q = linear_query(["root"])
+        nonempty = inverse_incomplete(
+            q, q.evaluate(source()), ALPHABET
+        )  # non-empty answer forbids the empty tree
+        assert not intersect(empty_ok, nonempty).allows_empty
+
+    def test_data_nodes_merged(self):
+        src = source()
+        q1 = linear_query(["root", "a"], [None, Cond.gt(2)])
+        q2 = linear_query(["root", "a"], [None, Cond.eq(0)])
+        left = inverse_incomplete(q1, q1.evaluate(src), ALPHABET)
+        right = inverse_incomplete(q2, q2.evaluate(src), ALPHABET)
+        both = intersect(left, right)
+        assert {"r", "x", "z"} <= both.data_node_ids()
+
+
+class TestGuards:
+    def test_rejects_non_unambiguous_multiplicities(self):
+        tau = ConditionalTreeType.simple(
+            ["r"],
+            {"r": Disjunction.single(Atom.of(a="+")), "a": Disjunction.leaf()},
+        )
+        bad = IncompleteTree({}, tau)
+        with pytest.raises(ValueError, match="multiplicity"):
+            intersect(bad, universal_incomplete(ALPHABET))
+
+    def test_rejects_star_data_node_entry(self):
+        tau = ConditionalTreeType(
+            ["t-r"],
+            {
+                "t-r": Disjunction.single(Atom([("t-n", Mult.STAR)])),
+                "t-n": Disjunction.leaf(),
+            },
+            {"t-r": Cond.eq(0), "t-n": Cond.eq(0)},
+            {"t-r": "r", "t-n": "n"},
+        )
+        bad = IncompleteTree(
+            {"r": DataNode("root", as_value(0)), "n": DataNode("a", as_value(0))},
+            tau,
+        )
+        with pytest.raises(ValueError, match="data-node entry"):
+            intersect(bad, universal_incomplete(ALPHABET))

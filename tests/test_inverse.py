@@ -1,0 +1,159 @@
+"""Lemma 3.2: the q⁻¹(A) construction is exact."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern, subtree
+from repro.core.tree import DataTree, node
+from repro.incomplete.enumerate import enumerate_trees
+from repro.refine.inverse import (
+    answer_witness,
+    inverse_incomplete,
+    universal_incomplete,
+)
+
+ALPHABET = ["root", "a", "b"]
+
+
+def source():
+    return DataTree.build(
+        node(
+            "r",
+            "root",
+            0,
+            [
+                node("x", "a", 5, [node("y", "b", 1)]),
+                node("z", "a", 0),
+                node("w", "a", 3),
+            ],
+        )
+    )
+
+
+def q_basic():
+    return PSQuery(
+        pattern("root", children=[pattern("a", Cond.ne(0), [pattern("b")])])
+    )
+
+
+class TestWitness:
+    def test_maps_answer_nodes_to_pattern_paths(self):
+        q = q_basic()
+        answer = q.evaluate(source())
+        witness = answer_witness(q, answer)
+        assert witness["r"] == ()
+        assert witness["x"] == (0,)
+        assert witness["y"] == (0, 0)
+
+    def test_rejects_non_answers(self):
+        q = q_basic()
+        fake = DataTree.build(node("r", "root", 0, [node("x", "a", 0)]))
+        with pytest.raises(ValueError):
+            answer_witness(q, fake)  # violates the a != 0 condition
+
+    def test_rejects_stray_labels(self):
+        q = q_basic()
+        fake = DataTree.build(node("r", "root", 0, [node("q", "b", 0)]))
+        with pytest.raises(ValueError):
+            answer_witness(q, fake)
+
+    def test_empty_answer(self):
+        assert answer_witness(q_basic(), DataTree.empty()) == {}
+
+    def test_bar_descendants(self):
+        q = PSQuery(pattern("root", children=[subtree("a", Cond.eq(5))]))
+        answer = q.evaluate(source())
+        witness = answer_witness(q, answer)
+        assert witness["y"] == (0,)
+
+
+class TestUniversal:
+    def test_contains_everything(self, simple_tree):
+        universal = universal_incomplete(ALPHABET)
+        assert universal.contains(simple_tree)
+        assert universal.contains(DataTree.empty())
+        assert universal.validate() == []
+        assert universal.is_unambiguous()
+
+    def test_alien_labels_rejected(self):
+        universal = universal_incomplete(["root"])
+        alien = DataTree.build(node("r", "zzz", 0))
+        assert not universal.contains(alien)
+
+
+class TestInverseExactness:
+    """rep(T_{q,A}) = {T | q(T) = A} — both directions."""
+
+    def exactness_check(self, query, src, budget=5, values=(0, 1, 3, 5)):
+        answer = query.evaluate(src)
+        inverse = inverse_incomplete(query, answer, ALPHABET)
+        assert inverse.validate() == []
+        assert inverse.is_unambiguous()
+        assert inverse.contains(src)
+        for tree in enumerate_trees(
+            inverse, max_nodes=budget, values_per_cond=1, extra_values=values
+        ):
+            assert query.evaluate(tree) == answer, tree.pretty()
+        return inverse
+
+    def test_basic_query(self):
+        self.exactness_check(q_basic(), source())
+
+    def test_linear_query(self):
+        q = linear_query(["root", "a"], [None, Cond.gt(2)])
+        self.exactness_check(q, source())
+
+    def test_bar_query(self):
+        q = PSQuery(pattern("root", children=[subtree("a", Cond.eq(5))]))
+        inverse = self.exactness_check(q, source())
+        # below-bar: a tree with an extra child under y is NOT consistent
+        extended = source().with_subtree("y", node("extra", "b", 9))
+        assert not inverse.contains(extended)
+
+    def test_empty_answer(self):
+        q = PSQuery(
+            pattern("root", children=[pattern("a", Cond.gt(100), [pattern("b")])])
+        )
+        answer = q.evaluate(source())
+        assert answer.is_empty()
+        inverse = inverse_incomplete(q, answer, ALPHABET)
+        assert inverse.contains(source())
+        assert inverse.contains(DataTree.empty())
+        for tree in enumerate_trees(
+            inverse, max_nodes=4, extra_values=[0, 101]
+        ):
+            assert q.evaluate(tree).is_empty()
+
+    def test_rejects_trees_with_more_matches(self):
+        q = q_basic()
+        answer = q.evaluate(source())
+        inverse = inverse_incomplete(q, answer, ALPHABET)
+        extra_match = source().with_subtree(
+            "r", node("v", "a", 7, [node("u", "b", 2)])
+        )
+        assert not inverse.contains(extra_match)
+
+    def test_rejects_trees_missing_answer_nodes(self):
+        q = q_basic()
+        answer = q.evaluate(source())
+        inverse = inverse_incomplete(q, answer, ALPHABET)
+        shrunk = DataTree.build(node("r", "root", 0, [node("z", "a", 0)]))
+        assert not inverse.contains(shrunk)
+
+    def test_allows_irrelevant_variation(self):
+        q = q_basic()
+        answer = q.evaluate(source())
+        inverse = inverse_incomplete(q, answer, ALPHABET)
+        # adding a failing 'a' (no b child) keeps the answer unchanged
+        varied = source().with_subtree("r", node("v", "a", 7))
+        assert inverse.contains(varied)
+
+    def test_root_value_pinned(self):
+        q = q_basic()
+        answer = q.evaluate(source())
+        inverse = inverse_incomplete(q, answer, ALPHABET)
+        rerooted = DataTree.build(
+            node("r", "root", 1, [node("x", "a", 5, [node("y", "b", 1)]),
+                                  node("z", "a", 0), node("w", "a", 3)])
+        )
+        assert not inverse.contains(rerooted)  # answer fixed root value 0

@@ -1,0 +1,101 @@
+"""Lemma 3.12: linear ps-queries keep the representation small."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern
+from repro.core.tree import DataTree, node
+from repro.refine.linear import is_linear, refine_linear_sequence
+from repro.refine.refine import consistent_with, refine_sequence
+from repro.workloads.blowup import (
+    BLOWUP_ALPHABET,
+    linear_adversarial_queries,
+    linear_nested_queries,
+)
+
+
+class TestLinearDetection:
+    def test_path_query_is_linear(self):
+        assert is_linear(linear_query(["root", "a", "b"]))
+
+    def test_branching_is_not(self):
+        q = PSQuery(pattern("root", children=[pattern("a"), pattern("b")]))
+        assert not is_linear(q)
+
+    def test_nonlinear_rejected(self):
+        q = PSQuery(pattern("root", children=[pattern("a"), pattern("b")]))
+        with pytest.raises(ValueError):
+            refine_linear_sequence(BLOWUP_ALPHABET, [(q, DataTree.empty())])
+
+
+class TestLinearSizes:
+    def test_nested_conditions_constant_size(self):
+        sizes = [
+            refine_linear_sequence(
+                BLOWUP_ALPHABET, linear_nested_queries(n)
+            ).size()
+            for n in range(1, 8)
+        ]
+        assert max(sizes) == min(sizes), sizes
+
+    def test_beats_plain_refine(self):
+        n = 7
+        history = linear_nested_queries(n)
+        linear_size = refine_linear_sequence(BLOWUP_ALPHABET, history).size()
+        plain_size = refine_sequence(BLOWUP_ALPHABET, history).size()
+        assert linear_size < plain_size
+
+    def test_adversarial_family_grows(self):
+        """The reproduction finding discussed in EXPERIMENTS.md: when
+        per-level conditions are independent, downstream behaviours
+        genuinely differ and minimization cannot stay constant."""
+        sizes = [
+            refine_linear_sequence(
+                BLOWUP_ALPHABET, linear_adversarial_queries(n)
+            ).size()
+            for n in range(1, 5)
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+
+class TestLinearCorrectness:
+    def test_agrees_with_plain(self):
+        import random
+
+        history = linear_nested_queries(4)
+        fast = refine_linear_sequence(BLOWUP_ALPHABET, history)
+        slow = refine_sequence(BLOWUP_ALPHABET, history)
+        rng = random.Random(1)
+        values = [0, 5, 15, 25, 35, 45]
+        for trial in range(300):
+            kids = []
+            for k in range(rng.randint(0, 3)):
+                sub = (
+                    [node(f"b{trial}_{k}", "b", rng.choice(values))]
+                    if rng.random() < 0.6
+                    else []
+                )
+                kids.append(node(f"a{trial}_{k}", "a", rng.choice(values), sub))
+            tree = DataTree.build(node(f"r{trial}", "root", 0, kids))
+            assert fast.contains(tree) == slow.contains(tree) == consistent_with(
+                tree, history
+            )
+
+    def test_nonempty_answers(self):
+        src = DataTree.build(
+            node(
+                "r",
+                "root",
+                0,
+                [node("x", "a", 5, [node("y", "b", 0)]), node("z", "a", 50)],
+            )
+        )
+        history = [
+            (q, q.evaluate(src)) for q, _e in linear_nested_queries(3)
+        ]
+        fast = refine_linear_sequence(BLOWUP_ALPHABET, history)
+        assert fast.contains(src)
+        assert not fast.contains(
+            DataTree.build(node("r", "root", 0, [node("z", "a", 50)]))
+        )

@@ -1,0 +1,113 @@
+"""Local queries and answer overlay (Section 3.4 plumbing)."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern
+from repro.core.tree import DataTree, node
+from repro.mediator.local_query import LocalQuery, overlay
+from repro.mediator.source import InMemorySource
+from repro.mediator.webhouse import Webhouse
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    demo_catalog,
+    query1,
+    query2,
+    query4,
+    query5,
+)
+
+
+def base_tree():
+    return DataTree.build(
+        node("r", "root", 0, [node("x", "a", 5), node("z", "a", 0)])
+    )
+
+
+class TestOverlay:
+    def test_graft_below_anchor(self):
+        addition = DataTree.build(node("x", "a", 5, [node("y", "b", 1)]))
+        merged = overlay(base_tree(), addition)
+        assert merged.children("x") == ("y",)
+        assert merged.parent("y") == "x"
+        assert len(merged) == 4
+
+    def test_empty_addition_is_noop(self):
+        assert overlay(base_tree(), DataTree.empty()) == base_tree()
+
+    def test_unknown_anchor_rejected(self):
+        addition = DataTree.build(node("ghost", "a", 5))
+        with pytest.raises(ValueError):
+            overlay(base_tree(), addition)
+
+    def test_conflicting_value_rejected(self):
+        addition = DataTree.build(node("x", "a", 99))
+        with pytest.raises(ValueError):
+            overlay(base_tree(), addition)
+
+    def test_conflicting_parent_rejected(self):
+        tree = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 5, [node("y", "b", 1)])])
+        )
+        addition = DataTree.build(node("r", "root", 0, [node("y", "b", 1)]))
+        with pytest.raises(ValueError):
+            overlay(tree, addition)
+
+    def test_idempotent_on_shared_nodes(self):
+        addition = DataTree.build(node("x", "a", 5, [node("y", "b", 1)]))
+        once = overlay(base_tree(), addition)
+        twice = overlay(once, addition)
+        assert once == twice
+
+    def test_multiple_overlays_commute(self):
+        add1 = DataTree.build(node("x", "a", 5, [node("y", "b", 1)]))
+        add2 = DataTree.build(node("z", "a", 0, [node("w", "b", 2)]))
+        one = overlay(overlay(base_tree(), add1), add2)
+        other = overlay(overlay(base_tree(), add2), add1)
+        assert one == other
+
+
+class TestLocalQuery:
+    def test_repr_and_size(self):
+        lq = LocalQuery(linear_query(["a", "b"]), "x")
+        assert lq.size() == 2
+        assert "@x" in repr(lq)
+
+    def test_source_local_evaluation(self):
+        doc = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 5, [node("y", "b", 1)])])
+        )
+        source = InMemorySource(doc)
+        answer = source.ask_local(linear_query(["a", "b"]), "x")
+        assert set(answer.node_ids()) == {"x", "y"}
+        with pytest.raises(KeyError):
+            source.ask_local(linear_query(["a"]), "ghost")
+
+
+class TestAnswerWithCaveats:
+    @pytest.fixture()
+    def webhouse(self, catalog_tt, catalog_doc):
+        source = InMemorySource(catalog_doc, catalog_tt)
+        wh = Webhouse(CATALOG_ALPHABET, tree_type=catalog_tt)
+        wh.ask(source, query1())
+        wh.ask(source, query2())
+        return wh
+
+    def test_incomplete_answer_flagged(self, webhouse, catalog_doc):
+        sure, may_have_more = webhouse.answer_with_caveats(query4())
+        assert may_have_more  # the Leica is invisible
+        names = {
+            sure.value(n) for n in sure.node_ids() if sure.label(n) == "name"
+        }
+        assert names == {"Canon", "Nikon", "Olympus"}
+        # the sure part is a prefix of the true answer
+        true_answer = query4().evaluate(catalog_doc)
+        assert sure.is_prefix_of(true_answer, relative_to=list(sure.node_ids()))
+
+    def test_complete_answer_not_flagged(self, webhouse, catalog_doc):
+        from repro.workloads.catalog import query3
+
+        sure, may_have_more = webhouse.answer_with_caveats(query3())
+        assert not may_have_more
+        assert sure == query3().evaluate(catalog_doc)

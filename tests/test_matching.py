@@ -1,0 +1,140 @@
+"""Matching / bounded-assignment tests, with a brute-force oracle."""
+
+from itertools import product as iter_product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import (
+    Dinic,
+    feasible_assignment,
+    has_perfect_matching,
+    max_bipartite_matching,
+)
+
+
+class TestDinic:
+    def test_simple_path(self):
+        d = Dinic()
+        d.add_edge("s", "a", 3)
+        d.add_edge("a", "t", 2)
+        assert d.max_flow("s", "t") == 2
+
+    def test_parallel_paths(self):
+        d = Dinic()
+        d.add_edge("s", "a", 1)
+        d.add_edge("s", "b", 1)
+        d.add_edge("a", "t", 1)
+        d.add_edge("b", "t", 1)
+        assert d.max_flow("s", "t") == 2
+
+    def test_missing_nodes(self):
+        assert Dinic().max_flow("x", "y") == 0
+
+
+class TestBipartiteMatching:
+    def test_perfect(self):
+        adj = {1: ["a", "b"], 2: ["a"]}
+        match = max_bipartite_matching([1, 2], adj)
+        assert len(match) == 2
+        assert match[2] == "a" and match[1] == "b"
+
+    def test_augmenting_path_needed(self):
+        adj = {1: ["a"], 2: ["a", "b"], 3: ["b", "c"]}
+        assert has_perfect_matching([1, 2, 3], adj)
+
+    def test_imperfect(self):
+        adj = {1: ["a"], 2: ["a"]}
+        assert not has_perfect_matching([1, 2], adj)
+
+    def test_empty_left(self):
+        assert has_perfect_matching([], {})
+
+
+def brute_force_assignment(items, slots, allowed):
+    """Try all assignments (oracle)."""
+    names = list(slots)
+    if not items:
+        return all(low == 0 for low, _h in slots.values())
+    for combo in iter_product(*[list(allowed.get(i, [])) or [None] for i in items]):
+        if None in combo:
+            continue
+        counts = {name: 0 for name in names}
+        for slot in combo:
+            counts[slot] += 1
+        ok = all(
+            counts[name] >= slots[name][0]
+            and (slots[name][1] is None or counts[name] <= slots[name][1])
+            for name in names
+        )
+        if ok:
+            return True
+    return False
+
+
+class TestFeasibleAssignment:
+    def test_exact_counts(self):
+        slots = {"x": (1, 1), "y": (1, 1)}
+        allowed = {1: ["x", "y"], 2: ["x", "y"]}
+        result = feasible_assignment([1, 2], slots, allowed)
+        assert result is not None
+        assert sorted(result.values()) == ["x", "y"]
+
+    def test_lower_bound_unmet(self):
+        slots = {"x": (2, None)}
+        allowed = {1: ["x"]}
+        assert feasible_assignment([1], slots, allowed) is None
+
+    def test_upper_bound_exceeded(self):
+        slots = {"x": (0, 1)}
+        allowed = {1: ["x"], 2: ["x"]}
+        assert feasible_assignment([1, 2], slots, allowed) is None
+
+    def test_item_without_slot(self):
+        assert feasible_assignment([1], {"x": (0, None)}, {1: []}) is None
+
+    def test_unbounded_star_slot(self):
+        slots = {"x": (0, None)}
+        allowed = {i: ["x"] for i in range(5)}
+        result = feasible_assignment(list(range(5)), slots, allowed)
+        assert result is not None and len(result) == 5
+
+    def test_assignment_respects_allowed(self):
+        slots = {"x": (1, 1), "y": (0, None)}
+        allowed = {1: ["y"], 2: ["x", "y"]}
+        result = feasible_assignment([1, 2], slots, allowed)
+        assert result is not None
+        assert result[1] == "y" and result[2] == "x"
+
+
+slot_bounds = st.sampled_from([(0, None), (1, 1), (0, 1), (1, None)])
+
+
+@given(
+    n_items=st.integers(min_value=0, max_value=4),
+    n_slots=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+@settings(max_examples=300, deadline=None)
+def test_feasible_assignment_matches_brute_force(n_items, n_slots, data):
+    slot_names = [f"s{i}" for i in range(n_slots)]
+    slots = {name: data.draw(slot_bounds, label=name) for name in slot_names}
+    items = list(range(n_items))
+    allowed = {
+        i: data.draw(
+            st.lists(st.sampled_from(slot_names), unique=True, min_size=0),
+            label=f"allowed{i}",
+        )
+        for i in items
+    }
+    got = feasible_assignment(items, slots, allowed)
+    want = brute_force_assignment(items, slots, allowed)
+    assert (got is not None) == want
+    if got is not None:
+        counts = {name: 0 for name in slot_names}
+        for item, slot in got.items():
+            assert slot in allowed[item]
+            counts[slot] += 1
+        for name, (low, high) in slots.items():
+            assert counts[name] >= low
+            assert high is None or counts[name] <= high

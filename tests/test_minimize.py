@@ -1,0 +1,73 @@
+"""Symbol minimization: rep-preserving fusion of specializations."""
+
+import random
+
+from repro.core.conditions import Cond
+from repro.core.query import linear_query
+from repro.core.tree import DataTree, node
+from repro.refine.minimize import merge_equivalent_symbols
+from repro.refine.refine import consistent_with, refine_sequence
+from repro.workloads.blowup import (
+    BLOWUP_ALPHABET,
+    linear_nested_queries,
+    pair_queries,
+)
+
+
+class TestMerge:
+    def test_nested_linear_family_collapses(self):
+        history = linear_nested_queries(6)
+        plain = refine_sequence(BLOWUP_ALPHABET, history)
+        merged = merge_equivalent_symbols(plain)
+        assert merged.size() < plain.size()
+
+    def test_rep_preserved_randomized(self):
+        history = linear_nested_queries(4)
+        plain = refine_sequence(BLOWUP_ALPHABET, history)
+        merged = merge_equivalent_symbols(plain)
+        rng = random.Random(0)
+        values = [0, 5, 15, 25, 35, 45]
+        for trial in range(300):
+            kids = []
+            for k in range(rng.randint(0, 3)):
+                sub = (
+                    [node(f"b{trial}_{k}", "b", rng.choice(values))]
+                    if rng.random() < 0.5
+                    else []
+                )
+                kids.append(node(f"a{trial}_{k}", "a", rng.choice(values), sub))
+            tree = DataTree.build(node(f"r{trial}", "root", 0, kids))
+            assert merged.contains(tree) == plain.contains(tree) == consistent_with(
+                tree, history
+            )
+
+    def test_idempotent(self):
+        history = linear_nested_queries(3)
+        merged = merge_equivalent_symbols(refine_sequence(BLOWUP_ALPHABET, history))
+        again = merge_equivalent_symbols(merged)
+        assert again.size() == merged.size()
+
+    def test_data_nodes_never_merged(self):
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        src = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 1), node("y", "a", 2)])
+        )
+        refined = refine_sequence(BLOWUP_ALPHABET, [(q, q.evaluate(src))])
+        merged = merge_equivalent_symbols(refined)
+        assert {"r", "x", "y"} <= merged.data_node_ids()
+        assert merged.contains(src)
+
+    def test_blowup_family_not_fully_collapsible(self):
+        # Example 3.2's specializations have genuinely different rules:
+        # merging must not collapse the representation to triviality
+        history = pair_queries(3)
+        plain = refine_sequence(BLOWUP_ALPHABET, history)
+        merged = merge_equivalent_symbols(plain)
+        probe_bad = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 2), node("y", "b", 2)])
+        )
+        probe_good = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 2), node("y", "b", 3)])
+        )
+        assert not merged.contains(probe_bad)
+        assert merged.contains(probe_good)

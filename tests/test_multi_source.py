@@ -1,0 +1,84 @@
+"""Multiple sources merged under a virtual root (Section 3.1)."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, pattern
+from repro.core.tree import DataTree, node
+from repro.mediator.source import InMemorySource, merge_sources
+from repro.mediator.webhouse import Webhouse
+from repro.workloads.catalog import catalog_type, generate_catalog
+
+
+class TestMergeSources:
+    def test_two_catalogs_under_virtual_root(self):
+        doc_a = generate_catalog(3, seed=1)
+        # regenerate with disjoint ids by prefixing through rebuild
+        doc_b = _prefix_ids(generate_catalog(2, seed=2), "B")
+        merged = merge_sources({"shopA": doc_a, "shopB": doc_b})
+        assert merged.label(merged.root) == "sources"
+        assert len(merged.children(merged.root)) == 2
+        assert len(merged) == len(doc_a) + len(doc_b) + 1
+
+    def test_id_clash_rejected(self):
+        doc_a = generate_catalog(2, seed=1)
+        doc_b = generate_catalog(2, seed=3)  # same generated ids
+        with pytest.raises(ValueError):
+            merge_sources({"a": doc_a, "b": doc_b})
+
+    def test_empty_sources_skipped(self):
+        doc = _prefix_ids(generate_catalog(2, seed=1), "A")
+        merged = merge_sources({"a": doc, "b": DataTree.empty()})
+        assert len(merged.children(merged.root)) == 1
+
+    def test_webhouse_over_merged_sources(self):
+        doc_a = _prefix_ids(generate_catalog(4, seed=4), "A")
+        doc_b = _prefix_ids(generate_catalog(4, seed=5), "B")
+        merged = merge_sources({"a": doc_a, "b": doc_b})
+        alphabet = sorted(merged.labels())
+        source = InMemorySource(merged)
+        webhouse = Webhouse(alphabet)
+        q = PSQuery(
+            pattern(
+                "sources",
+                children=[
+                    pattern(
+                        "catalog",
+                        children=[
+                            pattern(
+                                "product",
+                                children=[
+                                    pattern("name"),
+                                    pattern("price", Cond.lt(500)),
+                                ],
+                            )
+                        ],
+                    )
+                ],
+            )
+        )
+        answer = webhouse.ask(source, q)
+        assert answer == q.evaluate(merged)
+        # answers span both sources
+        names = {
+            answer.value(n)
+            for n in answer.node_ids()
+            if answer.label(n) == "name"
+        }
+        prefixes = {str(n)[0] for n in (x for x in answer.node_ids()) if str(n).startswith(("A", "B"))}
+        assert webhouse.can_answer(q)
+
+
+def _prefix_ids(tree: DataTree, prefix: str) -> DataTree:
+    from repro.core.tree import NodeSpec
+    from repro.core.tree import node as make_node
+
+    def build(node_id) -> NodeSpec:
+        return make_node(
+            f"{prefix}{node_id}",
+            tree.label(node_id),
+            tree.value(node_id),
+            [build(c) for c in tree.children(node_id)],
+        )
+
+    return DataTree.build(build(tree.root))

@@ -1,0 +1,135 @@
+"""Multiplicity atom / disjunction / conjunction tests."""
+
+import pytest
+
+from repro.core.multiplicity import (
+    Atom,
+    Conjunction,
+    Disjunction,
+    Mult,
+    parse_mult,
+)
+
+
+class TestMult:
+    @pytest.mark.parametrize(
+        "mult,counts_ok,counts_bad",
+        [
+            (Mult.ONE, [1], [0, 2]),
+            (Mult.OPT, [0, 1], [2]),
+            (Mult.PLUS, [1, 5], [0]),
+            (Mult.STAR, [0, 1, 9], []),
+        ],
+    )
+    def test_allows(self, mult, counts_ok, counts_bad):
+        for c in counts_ok:
+            assert mult.allows(c)
+        for c in counts_bad:
+            assert not mult.allows(c)
+
+    def test_meet_table(self):
+        assert Mult.ONE.meet(Mult.STAR) is Mult.ONE
+        assert Mult.STAR.meet(Mult.STAR) is Mult.STAR
+        assert Mult.PLUS.meet(Mult.OPT) is Mult.ONE
+        assert Mult.PLUS.meet(Mult.STAR) is Mult.PLUS
+        assert Mult.OPT.meet(Mult.STAR) is Mult.OPT
+
+    def test_meet_is_count_intersection(self):
+        for a in Mult:
+            for b in Mult:
+                met = a.meet(b)
+                for count in range(4):
+                    both = a.allows(count) and b.allows(count)
+                    assert met is not None
+                    assert met.allows(count) == both
+
+    def test_relax_and_require(self):
+        assert Mult.ONE.relaxed() is Mult.OPT
+        assert Mult.PLUS.relaxed() is Mult.STAR
+        assert Mult.OPT.required_version() is Mult.ONE
+        assert Mult.STAR.required_version() is Mult.PLUS
+
+    def test_parse(self):
+        assert parse_mult("*") is Mult.STAR
+        assert parse_mult("⋆") is Mult.STAR
+        assert parse_mult("?") is Mult.OPT
+        with pytest.raises(ValueError):
+            parse_mult("x")
+
+
+class TestAtom:
+    def test_leaf(self):
+        assert Atom.leaf().is_leaf()
+        assert Atom.leaf().required_symbols() == ()
+
+    def test_duplicate_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            Atom([("a", Mult.ONE), ("a", Mult.STAR)])
+
+    def test_of_and_accessors(self):
+        atom = Atom.of(name="1", picture="*", price="?")
+        assert atom.mult("name") is Mult.ONE
+        assert atom.mult("absent") is None
+        assert set(atom.required_symbols()) == {"name"}
+        assert atom.size() == 3
+
+    def test_rewrites(self):
+        atom = Atom.of(a="1", b="*")
+        assert atom.without("a") == Atom.of(b="*")
+        assert atom.with_mult("b", Mult.PLUS).mult("b") is Mult.PLUS
+        assert atom.restrict(["a"]) == Atom.of(a="1")
+        renamed = atom.rename({"a": "c"})
+        assert renamed.mult("c") is Mult.ONE
+
+    def test_merge_disjoint(self):
+        merged = Atom.of(a="1").merge(Atom.of(b="*"))
+        assert set(merged.symbols) == {"a", "b"}
+        with pytest.raises(ValueError):
+            Atom.of(a="1").merge(Atom.of(a="*"))
+
+    def test_equality_order_independent(self):
+        assert Atom([("a", Mult.ONE), ("b", Mult.STAR)]) == Atom(
+            [("b", Mult.STAR), ("a", Mult.ONE)]
+        )
+
+
+class TestDisjunction:
+    def test_deduplication(self):
+        d = Disjunction([Atom.of(a="1"), Atom.of(a="1"), Atom.leaf()])
+        assert len(d) == 2
+
+    def test_never_vs_leaf(self):
+        assert Disjunction.never().is_never()
+        assert not Disjunction.leaf().is_never()
+
+    def test_map_atoms_drop(self):
+        d = Disjunction([Atom.of(a="1"), Atom.of(b="1")])
+        kept = d.map_atoms(lambda atom: atom if "a" in atom.symbols else None)
+        assert len(kept) == 1
+
+    def test_symbols(self):
+        d = Disjunction([Atom.of(a="1", b="*"), Atom.of(c="?")])
+        assert set(d.symbols()) == {"a", "b", "c"}
+
+    def test_size_counts_entries(self):
+        d = Disjunction([Atom.of(a="1", b="*"), Atom.leaf()])
+        assert d.size() == 3  # 2 entries + 1 for the empty atom
+
+
+class TestConjunction:
+    def test_requires_conjunct(self):
+        with pytest.raises(ValueError):
+            Conjunction([])
+
+    def test_choices_enumerates_product(self):
+        c = Conjunction(
+            [
+                Disjunction([Atom.of(a="1"), Atom.of(b="1")]),
+                Disjunction([Atom.of(c="1")]),
+            ]
+        )
+        assert len(list(c.choices())) == 2
+
+    def test_and_also(self):
+        c = Conjunction.single(Disjunction.leaf()).and_also(Disjunction.leaf())
+        assert len(c) == 2

@@ -1,0 +1,166 @@
+"""Regular path expressions and path-pattern queries (Theorem 4.7's
+query machinery)."""
+
+from repro.core.conditions import Cond
+from repro.core.tree import DataTree, node
+from repro.extensions.paths import (
+    RPConstraint,
+    RegularPathQuery,
+    any_star,
+    any_sym,
+    eps,
+    from_graph,
+    rpnode,
+    seq,
+    sym,
+    word,
+)
+
+
+class TestPathExpr:
+    def test_single_symbol(self):
+        assert sym("a").matches(["a"])
+        assert not sym("a").matches(["b"])
+        assert not sym("a").matches([])
+        assert not sym("a").matches(["a", "a"])
+
+    def test_concatenation(self):
+        e = word("a", "b", "c")
+        assert e.matches(["a", "b", "c"])
+        assert not e.matches(["a", "b"])
+
+    def test_union(self):
+        e = sym("a").alt(sym("b"))
+        assert e.matches(["a"]) and e.matches(["b"])
+        assert not e.matches(["c"])
+
+    def test_star(self):
+        e = sym("a").star()
+        assert e.matches([])
+        assert e.matches(["a", "a", "a"])
+        assert not e.matches(["a", "b"])
+
+    def test_any_star(self):
+        e = any_star()
+        assert e.matches([]) and e.matches(["x", "y", "z"])
+
+    def test_epsilon(self):
+        assert eps().matches([])
+        assert not eps().matches(["a"])
+
+    def test_composite(self):
+        # a (b|c)* d
+        e = seq(sym("a"), sym("b").alt(sym("c")).star(), sym("d"))
+        assert e.matches(["a", "d"])
+        assert e.matches(["a", "b", "c", "b", "d"])
+        assert not e.matches(["a", "b"])
+
+    def test_from_graph_cycle(self):
+        # NFA: S -a-> S, S -b-> F : a* b
+        expr = from_graph("S", ["F"], [("S", "a", "S"), ("S", "b", "F")])
+        assert expr.matches(["b"])
+        assert expr.matches(["a", "a", "b"])
+        assert not expr.matches(["a"])
+        # composes with other combinators
+        extended = expr.then(sym("c"))
+        assert extended.matches(["a", "b", "c"])
+
+
+def chain_doc():
+    return DataTree.build(
+        node(
+            "r",
+            "root",
+            0,
+            [
+                node(
+                    "s1",
+                    "S",
+                    0,
+                    [node("m1", "M", 0, [node("t1", "t", 5)])],
+                ),
+                node("s2", "S", 0, [node("t2", "t", 5)]),
+            ],
+        )
+    )
+
+
+class TestRegularPathQuery:
+    def test_descendant_reachability(self):
+        q = RegularPathQuery(
+            rpnode(label="root", children=[rpnode(edge=any_star().then(sym("t")))])
+        )
+        assert q.matches(chain_doc())
+
+    def test_exact_path(self):
+        q = RegularPathQuery(
+            rpnode(label="root", children=[rpnode(edge=word("S", "M", "t"))])
+        )
+        assert q.matches(chain_doc())
+        q2 = RegularPathQuery(
+            rpnode(label="root", children=[rpnode(edge=word("S", "Q", "t"))])
+        )
+        assert not q2.matches(chain_doc())
+
+    def test_conditions_on_targets(self):
+        q = RegularPathQuery(
+            rpnode(
+                label="root",
+                children=[rpnode(edge=any_star().then(sym("t")), cond=Cond.eq(5))],
+            )
+        )
+        assert q.matches(chain_doc())
+        q2 = RegularPathQuery(
+            rpnode(
+                label="root",
+                children=[rpnode(edge=any_star().then(sym("t")), cond=Cond.eq(6))],
+            )
+        )
+        assert not q2.matches(chain_doc())
+
+    def test_join_equality(self):
+        q = RegularPathQuery(
+            rpnode(
+                label="root",
+                children=[
+                    rpnode(edge=word("S", "M", "t"), var="X"),
+                    rpnode(edge=word("S", "t"), var="X"),
+                ],
+            )
+        )
+        assert q.matches(chain_doc())  # both t's have value 5
+
+    def test_join_inequality_constraint(self):
+        q = RegularPathQuery(
+            rpnode(
+                label="root",
+                children=[
+                    rpnode(edge=word("S", "M", "t"), var="X"),
+                    rpnode(edge=word("S", "t"), var="Y"),
+                ],
+            ),
+            [RPConstraint("X", "!=", "Y")],
+        )
+        assert not q.matches(chain_doc())  # values equal -> constraint fails
+
+    def test_nested_pattern(self):
+        q = RegularPathQuery(
+            rpnode(
+                label="root",
+                children=[
+                    rpnode(
+                        edge=sym("S"),
+                        children=[rpnode(edge=sym("M"), children=[rpnode(edge=sym("t"))])],
+                    )
+                ],
+            )
+        )
+        assert q.matches(chain_doc())
+
+    def test_empty_tree(self):
+        q = RegularPathQuery(rpnode(label="root"))
+        assert q.is_empty_on(DataTree.empty())
+
+    def test_root_label_filter(self):
+        q = RegularPathQuery(rpnode(label="zzz"))
+        assert not q.matches(chain_doc())

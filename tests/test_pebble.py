@@ -1,0 +1,211 @@
+"""k-pebble automata/transducers (Section 4, Theorems 4.2/4.3)."""
+
+import pytest
+
+from repro.extensions.binary_encoding import Bin, bin_node, nil
+from repro.extensions.pebble import (
+    DOWN_LEFT,
+    DOWN_RIGHT,
+    LIFT,
+    PLACE,
+    UP_LEFT,
+    UP_RIGHT,
+    Move,
+    Out0,
+    Out2,
+    PebbleAutomaton,
+    PebbleTransducer,
+    product,
+)
+
+
+def reach_automaton(target_label: str) -> PebbleAutomaton:
+    """Nondeterministic search automaton accepting trees containing
+    ``target_label``.  Finding the label places a second pebble to move
+    into the accepting state (any applicable move would do)."""
+    transitions = {}
+    for label in ("a", "b", "#"):
+        moves = []
+        if label == target_label:
+            moves.append(Move(PLACE, "yes"))
+        if label != "#":
+            moves.append(Move(DOWN_LEFT, "scan"))
+            moves.append(Move(DOWN_RIGHT, "scan"))
+        transitions[("scan", label, frozenset())] = tuple(moves)
+    return PebbleAutomaton(2, "scan", ["yes"], transitions)
+
+
+def tree_ab() -> Bin:
+    return Bin("a", Bin("b", nil(), nil()), Bin("a", nil(), nil()))
+
+
+def tree_a_only() -> Bin:
+    return Bin("a", Bin("a", nil(), nil()), nil())
+
+
+class TestAutomaton:
+    def test_label_search_accepts(self):
+        automaton = reach_automaton("b")
+        assert automaton.accepts(tree_ab())
+
+    def test_label_search_rejects(self):
+        automaton = reach_automaton("b")
+        assert not automaton.accepts(tree_a_only())
+
+    def test_navigation_directions(self):
+        # accept iff root.left.right is labeled 'b'
+        transitions = {
+            ("start", "a", frozenset()): (Move(DOWN_LEFT, "atL"),),
+            ("atL", "a", frozenset()): (Move(DOWN_RIGHT, "atLR"),),
+            ("atLR", "b", frozenset()): (Move(UP_RIGHT, "yes"),),
+        }
+        automaton = PebbleAutomaton(1, "start", ["yes"], transitions)
+        good = Bin("a", Bin("a", nil(), Bin("b", nil(), nil())), nil())
+        bad = Bin("a", Bin("a", Bin("b", nil(), nil()), nil()), nil())
+        assert automaton.accepts(good)
+        assert not automaton.accepts(bad)
+
+    def test_up_direction_checks_side(self):
+        transitions = {
+            ("start", "a", frozenset()): (Move(DOWN_LEFT, "down"),),
+            # up-right from a left child must fail; up-left succeeds
+            ("down", "b", frozenset()): (Move(UP_RIGHT, "yes"),),
+        }
+        automaton = PebbleAutomaton(1, "start", ["yes"], transitions)
+        tree = Bin("a", Bin("b", nil(), nil()), nil())
+        assert not automaton.accepts(tree)
+        transitions[("down", "b", frozenset())] = (Move(UP_LEFT, "yes"),)
+        automaton2 = PebbleAutomaton(1, "start", ["yes"], transitions)
+        assert automaton2.accepts(tree)
+
+    def test_pebble_stack_discipline(self):
+        # place a second pebble, see it under the head, lift it again
+        transitions = {
+            ("start", "a", frozenset()): (Move(PLACE, "placed"),),
+            ("placed", "a", frozenset([1])): (Move(LIFT, "lifted"),),
+            ("lifted", "a", frozenset()): (Move(PLACE, "yes"),),
+        }
+        automaton = PebbleAutomaton(2, "start", ["yes"], transitions)
+        assert automaton.accepts(Bin("a", nil(), nil()))
+
+    def test_place_beyond_k_fails(self):
+        transitions = {
+            ("start", "a", frozenset()): (Move(PLACE, "yes"),),
+        }
+        automaton = PebbleAutomaton(1, "start", ["yes"], transitions)
+        assert not automaton.accepts(Bin("a", nil(), nil()))
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PebbleAutomaton(0, "s", [], {})
+
+
+class TestProduct:
+    def test_intersection_semantics(self):
+        has_b = reach_automaton("b")
+        has_a = reach_automaton("a")
+        both = product(has_a, has_b)
+        assert both.accepts(tree_ab())
+        assert not both.accepts(tree_a_only())
+
+    def test_bounded_search(self):
+        has_b = reach_automaton("b")
+        witness = has_b.find_accepted(["a", "b"], max_nodes=2)
+        assert witness is not None
+        assert has_b.accepts(witness)
+        assert "b" in witness.labels()
+
+    def test_bounded_search_no_witness(self):
+        # accepting state unreachable: empty within any bound
+        automaton = PebbleAutomaton(1, "start", ["yes"], {})
+        assert automaton.find_accepted(["a"], max_nodes=3) is None
+
+    def test_product_bounded_search(self):
+        both = product(reach_automaton("a"), reach_automaton("b"))
+        witness = both.find_accepted(["a", "b"], max_nodes=3)
+        assert witness is not None
+        assert {"a", "b"} <= witness.labels()
+
+
+class TestTransducer:
+    def test_relabeling_transducer(self):
+        # copy the tree, renaming a->x, b->y
+        rename = {"a": "x", "b": "y"}
+        transitions = {}
+        for label in ("a", "b"):
+            transitions[("copy", label, frozenset())] = Out2(
+                rename[label], "left", "right"
+            )
+            transitions[("left", label, frozenset())] = Move(DOWN_LEFT, "copy")
+            transitions[("right", label, frozenset())] = Move(DOWN_RIGHT, "copy")
+        transitions[("copy", "#", frozenset())] = Out0("#")
+        # left/right branches that land on nil need to emit too
+        for state in ("left", "right"):
+            transitions[(state, "#", frozenset())] = Out0("#")
+        transducer = PebbleTransducer(1, "copy", transitions)
+        result = transducer.run(tree_ab())
+        assert result is not None
+        assert result.label == "x"
+        assert result.left.label == "y"
+
+    def test_failing_run(self):
+        transducer = PebbleTransducer(1, "copy", {})
+        assert transducer.run(tree_ab()) is None
+
+    def test_constant_output(self):
+        transitions = {("s", "a", frozenset()): Out0("done")}
+        transducer = PebbleTransducer(1, "s", transitions)
+        out = transducer.run(Bin("a", nil(), nil()))
+        assert out is not None and out.label == "done"
+
+
+class TestHistoryMaintenance:
+    """Theorem 4.2: the inputs consistent with a transducer query/answer
+    history form a maintained, intersectable acceptor."""
+
+    def _copy_transducer(self):
+        transitions = {}
+        for label in ("a", "b"):
+            transitions[("copy", label, frozenset())] = Out2(label, "left", "right")
+            transitions[("left", label, frozenset())] = Move(DOWN_LEFT, "copy")
+            transitions[("right", label, frozenset())] = Move(DOWN_RIGHT, "copy")
+        for state in ("copy", "left", "right"):
+            transitions[(state, "#", frozenset())] = Out0("#")
+        return PebbleTransducer(1, "copy", transitions)
+
+    def _any_tree_automaton(self):
+        transitions = {}
+        for label in ("a", "b", "#"):
+            transitions[("start", label, frozenset())] = (Move(PLACE, "ok"),)
+        return PebbleAutomaton(2, "start", ["ok"], transitions)
+
+    def test_inverse_image_membership(self):
+        from repro.extensions.pebble import InverseImageAcceptor
+
+        identity = self._copy_transducer()
+        answer = tree_ab()
+        acceptor = InverseImageAcceptor(identity, answer)
+        assert acceptor.accepts(tree_ab())
+        assert not acceptor.accepts(tree_a_only())
+
+    def test_history_acceptor_incremental(self):
+        from repro.extensions.pebble import history_acceptor
+
+        identity = self._copy_transducer()
+        history = [(identity, tree_ab())]
+        maintained = history_acceptor(self._any_tree_automaton(), history)
+        assert maintained.accepts(tree_ab())
+        assert not maintained.accepts(tree_a_only())
+        # adding a contradictory pair empties the language
+        history2 = history + [(identity, tree_a_only())]
+        maintained2 = history_acceptor(self._any_tree_automaton(), history2)
+        assert not maintained2.accepts(tree_ab())
+        assert not maintained2.accepts(tree_a_only())
+
+    def test_representation_linear_in_history(self):
+        from repro.extensions.pebble import history_acceptor
+
+        identity = self._copy_transducer()
+        history = [(identity, tree_ab())] * 5
+        maintained = history_acceptor(self._any_tree_automaton(), history)
+        assert len(maintained.components) == 6

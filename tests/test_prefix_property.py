@@ -1,0 +1,97 @@
+"""Property test: the prefix relation against a brute-force embedder.
+
+The matching-based `is_prefix_of` is a load-bearing substrate (answers,
+certainty checks, oracles all use it); here it is validated against an
+exhaustive search over all injective child mappings on small random
+trees.
+"""
+
+from itertools import permutations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import DataTree, NodeSpec, node
+
+
+def brute_force_embeds(small: DataTree, big: DataTree, anchored) -> bool:
+    anchored_set = set(anchored)
+    if small.is_empty():
+        return True
+    if big.is_empty():
+        return False
+
+    def embed(sn, bn) -> bool:
+        if small.label(sn) != big.label(bn):
+            return False
+        if small.value(sn) != big.value(bn):
+            return False
+        if sn in anchored_set and sn != bn:
+            return False
+        s_children = small.children(sn)
+        b_children = big.children(bn)
+        if len(s_children) > len(b_children):
+            return False
+        for targets in permutations(b_children, len(s_children)):
+            if all(embed(c, t) for c, t in zip(s_children, targets)):
+                return True
+        return not s_children
+
+    return embed(small.root, big.root)
+
+
+labels = st.sampled_from(["a", "b"])
+values = st.integers(min_value=0, max_value=2)
+
+_counter = [0]
+
+
+def _fresh_id() -> str:
+    _counter[0] += 1
+    return f"h{_counter[0]}"
+
+
+def tree_specs(depth):
+    if depth == 0:
+        return st.builds(lambda l, v: node(_fresh_id(), l, v), labels, values)
+    return st.builds(
+        lambda l, v, kids: node(_fresh_id(), l, v, kids),
+        labels,
+        values,
+        st.lists(tree_specs(depth - 1), max_size=3),
+    )
+
+
+@given(small=tree_specs(1), big=tree_specs(2))
+@settings(max_examples=250, deadline=None)
+def test_prefix_matches_brute_force(small, big):
+    small_tree = DataTree.build(small)
+    big_tree = DataTree.build(big)
+    got = small_tree.is_prefix_of(big_tree)
+    want = brute_force_embeds(small_tree, big_tree, [])
+    assert got == want
+
+
+@given(spec=tree_specs(2))
+@settings(max_examples=100, deadline=None)
+def test_tree_is_prefix_of_itself_and_anchored(spec):
+    tree = DataTree.build(spec)
+    assert tree.is_prefix_of(tree)
+    assert tree.is_prefix_of(tree, relative_to=list(tree.node_ids()))
+
+
+@given(spec=tree_specs(2), keep_count=st.integers(min_value=1, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_restriction_is_prefix(spec, keep_count):
+    tree = DataTree.build(spec)
+    ids = list(tree.node_ids())
+    # keep a downward-closed subset: root plus first children in preorder
+    keep = set()
+    for node_id in ids:
+        parent = tree.parent(node_id)
+        if parent is None or parent in keep:
+            keep.add(node_id)
+        if len(keep) >= keep_count:
+            break
+    restricted = tree.restrict(keep)
+    assert restricted.is_prefix_of(tree, relative_to=list(keep))

@@ -1,0 +1,212 @@
+"""Cross-cutting property-based tests.
+
+These drive the whole pipeline with randomized workloads and check the
+paper's semantic identities end to end:
+
+* Refine exactness: membership in the refined representation equals
+  answer-consistency, for arbitrary documents/queries over a random
+  schema (Theorem 3.4 + 3.5);
+* q(T) soundness: any consistent document's answer is represented
+  (one half of Theorem 3.14 — the half checkable without enumeration);
+* answerability soundness: when Corollary 3.15 says yes, the local
+  answer matches the true answer on every consistent document we try.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.answering.answerable import fully_answerable
+from repro.answering.query_incomplete import query_incomplete
+from repro.core.treetype import TreeType
+from repro.incomplete.certainty import certain_prefix, possible_prefix
+from repro.mediator.local_query import overlay
+from repro.mediator.completion import completion_plan
+from repro.mediator.source import InMemorySource
+from repro.refine.refine import consistent_with, refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.generators import random_history, random_ps_query, random_tree
+
+SCHEMAS = [
+    TreeType.parse("root: r\nr -> a* b?\na -> c*\nb -> c?"),
+    TreeType.parse("root: r\nr -> a+\na -> b* c?"),
+    TreeType.parse("root: r\nr -> x? y*\ny -> x*"),
+]
+
+
+def build_setting(schema_index: int, doc_seed: int, q_seed: int, n_queries: int):
+    tt = SCHEMAS[schema_index % len(SCHEMAS)]
+    doc = random_tree(tt, seed=doc_seed, max_depth=4)
+    history = random_history(
+        tt, doc, n_queries=n_queries, seed=q_seed, max_depth=3
+    )
+    return tt, doc, history
+
+
+@given(
+    schema_index=st.integers(min_value=0, max_value=2),
+    doc_seed=st.integers(min_value=0, max_value=50),
+    q_seed=st.integers(min_value=0, max_value=50),
+    n_queries=st.integers(min_value=1, max_value=3),
+    probe_seeds=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=3, max_size=6
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_refine_exactness_over_random_workloads(
+    schema_index, doc_seed, q_seed, n_queries, probe_seeds
+):
+    tt, doc, history = build_setting(schema_index, doc_seed, q_seed, n_queries)
+    knowledge = refine_sequence(tt.alphabet, history, tree_type=tt)
+    assert knowledge.contains(doc)
+    for seed in probe_seeds:
+        probe = random_tree(tt, seed=seed, max_depth=4)
+        expected = consistent_with(probe, history, tt)
+        assert knowledge.contains(probe) == expected, probe.pretty()
+
+
+@given(
+    schema_index=st.integers(min_value=0, max_value=2),
+    doc_seed=st.integers(min_value=0, max_value=30),
+    q_seed=st.integers(min_value=0, max_value=30),
+    ask_seed=st.integers(min_value=100, max_value=140),
+)
+@settings(max_examples=30, deadline=None)
+def test_qT_soundness_over_random_workloads(
+    schema_index, doc_seed, q_seed, ask_seed
+):
+    tt, doc, history = build_setting(schema_index, doc_seed, q_seed, 2)
+    knowledge = refine_sequence(tt.alphabet, history, tree_type=tt)
+    query = random_ps_query(tt, seed=ask_seed, max_depth=3)
+    answers = query_incomplete(knowledge, query)
+    # the true document's answer must always be represented
+    assert answers.contains(query.evaluate(doc))
+    # and so must the answers of other consistent documents
+    for seed in range(3):
+        other = random_tree(tt, seed=10_000 + seed, max_depth=4)
+        if consistent_with(other, history, tt):
+            assert answers.contains(query.evaluate(other))
+
+
+@given(
+    schema_index=st.integers(min_value=0, max_value=2),
+    doc_seed=st.integers(min_value=0, max_value=30),
+    q_seed=st.integers(min_value=0, max_value=30),
+    ask_seed=st.integers(min_value=200, max_value=240),
+)
+@settings(max_examples=30, deadline=None)
+def test_answerability_soundness(schema_index, doc_seed, q_seed, ask_seed):
+    tt, doc, history = build_setting(schema_index, doc_seed, q_seed, 2)
+    knowledge = refine_sequence(tt.alphabet, history, tree_type=tt)
+    query = random_ps_query(tt, seed=ask_seed, max_depth=3)
+    answerable, local = fully_answerable(knowledge, query)
+    if answerable:
+        assert local == query.evaluate(doc)
+        for seed in range(3):
+            other = random_tree(tt, seed=20_000 + seed, max_depth=4)
+            if consistent_with(other, history, tt):
+                assert query.evaluate(other) == local
+
+
+@given(
+    schema_index=st.integers(min_value=0, max_value=2),
+    doc_seed=st.integers(min_value=0, max_value=30),
+    q_seed=st.integers(min_value=0, max_value=30),
+    ask_seed=st.integers(min_value=300, max_value=340),
+)
+@settings(max_examples=25, deadline=None)
+def test_completion_answers_correctly(schema_index, doc_seed, q_seed, ask_seed):
+    tt, doc, history = build_setting(schema_index, doc_seed, q_seed, 2)
+    knowledge = refine_sequence(tt.alphabet, history, tree_type=tt)
+    query = random_ps_query(tt, seed=ask_seed, max_depth=3)
+    plan = completion_plan(knowledge, query)
+    source = InMemorySource(doc)
+    merged = knowledge.data_tree()
+    for local in plan:
+        if local.node == "":
+            merged = source.ask(local.query)
+            break
+        answer = source.ask_local(local.query, local.node)
+        if not answer.is_empty():
+            merged = overlay(merged, answer)
+    assert query.evaluate(merged) == query.evaluate(doc)
+
+
+@given(
+    schema_index=st.integers(min_value=0, max_value=2),
+    doc_seed=st.integers(min_value=0, max_value=30),
+    q_seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=25, deadline=None)
+def test_certain_implies_possible(schema_index, doc_seed, q_seed):
+    tt, doc, history = build_setting(schema_index, doc_seed, q_seed, 2)
+    knowledge = refine_sequence(tt.alphabet, history, tree_type=tt)
+    # the data tree itself, and the true document, are possible prefixes
+    data_tree = knowledge.data_tree()
+    if not knowledge.is_empty():
+        assert possible_prefix(data_tree, knowledge)
+        assert possible_prefix(doc, knowledge)
+        if certain_prefix(data_tree, knowledge):
+            assert possible_prefix(data_tree, knowledge)
+
+
+@given(
+    schema_index=st.integers(min_value=0, max_value=2),
+    doc_seed=st.integers(min_value=0, max_value=30),
+    q_seed=st.integers(min_value=0, max_value=30),
+    probe_seeds=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=2, max_size=4
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_conjunctive_agrees_with_plain(
+    schema_index, doc_seed, q_seed, probe_seeds
+):
+    """Refine⁺ (layered) and Refine (product) represent the same set."""
+    from repro.refine.conjunctive import refine_plus_sequence
+
+    tt, doc, history = build_setting(schema_index, doc_seed, q_seed, 2)
+    plain = refine_sequence(tt.alphabet, history, tree_type=tt)
+    conj = refine_plus_sequence(tt.alphabet, history, tree_type=tt)
+    assert conj.contains(doc) and plain.contains(doc)
+    for seed in probe_seeds:
+        probe = random_tree(tt, seed=seed, max_depth=4)
+        assert conj.contains(probe) == plain.contains(probe), probe.pretty()
+
+
+@given(
+    schema_index=st.integers(min_value=0, max_value=2),
+    doc_seed=st.integers(min_value=0, max_value=30),
+    q_seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=20, deadline=None)
+def test_xml_view_roundtrip_preserves_semantics(schema_index, doc_seed, q_seed):
+    from repro.incomplete.xml_view import incomplete_from_xml, incomplete_to_xml
+
+    tt, doc, history = build_setting(schema_index, doc_seed, q_seed, 2)
+    knowledge = refine_sequence(tt.alphabet, history, tree_type=tt)
+    restored = incomplete_from_xml(incomplete_to_xml(knowledge))
+    assert restored.contains(doc) == knowledge.contains(doc)
+    for seed in range(3):
+        probe = random_tree(tt, seed=30_000 + seed, max_depth=4)
+        assert restored.contains(probe) == knowledge.contains(probe)
+
+
+@given(
+    schema_index=st.integers(min_value=0, max_value=2),
+    doc_seed=st.integers(min_value=0, max_value=30),
+    q_seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=20, deadline=None)
+def test_minimization_preserves_rep(schema_index, doc_seed, q_seed):
+    from repro.refine.minimize import merge_equivalent_symbols
+
+    tt, doc, history = build_setting(schema_index, doc_seed, q_seed, 2)
+    knowledge = refine_sequence(tt.alphabet, history)
+    minimized = merge_equivalent_symbols(knowledge)
+    assert minimized.size() <= knowledge.size()
+    assert minimized.contains(doc)
+    for seed in range(4):
+        probe = random_tree(tt, seed=40_000 + seed, max_depth=4)
+        assert minimized.contains(probe) == knowledge.contains(probe)

@@ -1,0 +1,135 @@
+"""Theorem 3.14: q(T) is a strong representation system — both
+inclusions verified against the enumeration oracle."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern, subtree
+from repro.core.tree import DataTree, node
+from repro.incomplete.enumerate import answer_set, canonical_form, enumerate_trees
+from repro.answering.query_incomplete import query_incomplete, type_possible_certain
+from repro.incomplete.incomplete_tree import IncompleteTree
+from repro.refine.refine import refine_sequence
+
+ALPHABET = ["root", "a", "b"]
+
+
+def assert_strong_representation(incomplete, query, src_budget, ans_budget, values):
+    """rep(q(T)) == q(rep(T)), up to the enumeration budgets."""
+    answers_type = query_incomplete(incomplete, query)
+    anchored = list(incomplete.data_node_ids())
+    sources = enumerate_trees(
+        incomplete, max_nodes=src_budget, values_per_cond=1, extra_values=values,
+        max_trees=None,
+    )
+    assert sources, "oracle found no sources; broken setup"
+    real_answers = set()
+    for tree in sources:
+        answer = query.evaluate(tree)
+        real_answers.add(canonical_form(answer, anchored))
+        assert answers_type.contains(answer), (
+            f"actual answer not represented:\n{answer.pretty()}"
+        )
+    members = enumerate_trees(
+        answers_type, max_nodes=ans_budget, values_per_cond=1, extra_values=values
+    )
+    for member in members:
+        assert canonical_form(member, anchored) in real_answers, (
+            f"represented answer never produced:\n{member.pretty()}"
+        )
+    return answers_type
+
+
+class TestExample22:
+    def test_strong_representation(self, example_2_2):
+        incomplete, query = example_2_2
+        answers = assert_strong_representation(
+            incomplete, query, src_budget=7, ans_budget=5, values=[0, 1]
+        )
+        assert answers.allows_empty  # n may have no b children
+
+    def test_paper_membership_claims(self, example_2_2):
+        incomplete, query = example_2_2
+        answers = query_incomplete(incomplete, query)
+        # answers containing both r and n
+        both = DataTree.build(
+            node("r", "root", 0, [node("n", "a", 0, [node("f", "b", 0)])])
+        )
+        assert answers.contains(both)
+        # r alone cannot be an answer (r only in answer if some a matched,
+        # and matched nodes bring their b child)
+        r_alone = DataTree.build(node("r", "root", 0))
+        assert not answers.contains(r_alone)
+        # the empty tree is an answer
+        assert answers.contains(DataTree.empty())
+
+
+class TestAfterRefine:
+    def test_query_over_refined_knowledge(self):
+        src = DataTree.build(
+            node(
+                "r",
+                "root",
+                0,
+                [node("x", "a", 5, [node("y", "b", 1)]), node("z", "a", 0)],
+            )
+        )
+        q_learn = linear_query(["root", "a"], [None, Cond.gt(0)])
+        knowledge = refine_sequence(ALPHABET, [(q_learn, q_learn.evaluate(src))])
+        q_ask = PSQuery(
+            pattern("root", children=[pattern("a", None, [pattern("b")])])
+        )
+        assert_strong_representation(
+            knowledge, q_ask, src_budget=5, ans_budget=4, values=[0, 1, 5]
+        )
+
+    def test_bar_query_over_incomplete(self, example_2_2):
+        incomplete, _q = example_2_2
+        q_bar = PSQuery(pattern("root", children=[subtree("a", Cond.ne(0))]))
+        assert_strong_representation(
+            incomplete, q_bar, src_budget=6, ans_budget=4, values=[0, 1]
+        )
+
+    def test_linear_query_over_incomplete(self, example_2_2):
+        incomplete, _q = example_2_2
+        q_lin = linear_query(["root", "a", "b"], [None, Cond.eq(0), None])
+        assert_strong_representation(
+            incomplete, q_lin, src_budget=6, ans_budget=4, values=[0, 1]
+        )
+
+
+class TestEdgeCases:
+    def test_empty_rep(self):
+        nothing = IncompleteTree.nothing(allows_empty=False)
+        q = PSQuery(pattern("root"))
+        assert query_incomplete(nothing, q).is_empty()
+
+    def test_label_never_matching(self, example_2_2):
+        incomplete, _q = example_2_2
+        q = PSQuery(pattern("zzz"))
+        answers = query_incomplete(incomplete, q)
+        assert answers.allows_empty
+        assert answers.contains(DataTree.empty())
+        assert not answers.contains(DataTree.single("f", "zzz"))
+
+    def test_certain_match_disallows_empty(self):
+        # knowledge where the query surely matches: root data node known
+        q = linear_query(["root"])
+        src = DataTree.build(node("r", "root", 0))
+        knowledge = refine_sequence(ALPHABET, [(q, q.evaluate(src))])
+        answers = query_incomplete(knowledge, q)
+        assert not answers.allows_empty
+        assert answers.contains(src)
+
+
+class TestPossCert:
+    def test_type_level_sets(self, example_2_2):
+        incomplete, query = example_2_2
+        poss, cert = type_possible_certain(incomplete, query)
+        root_path, a_path, b_path = (), (0,), (0, 0)
+        # at the root: r possibly matches (needs an a child with b child)
+        assert "r" in poss[root_path]
+        assert "r" not in cert[root_path]  # n/a children may lack b's
+        # both a-symbols possibly match the a-pattern
+        assert {"a", "n"} <= set(poss[a_path])
+        assert "b" in cert[b_path]

@@ -1,0 +1,132 @@
+"""Experiment E14 — Theorem 4.7: the CFG-intersection reduction's
+invariants on concrete grammars."""
+
+import pytest
+
+from repro.reductions.cfg import (
+    Grammar,
+    consistency_queries,
+    difference_query,
+    encode_pair,
+    pair_tree_type,
+)
+
+
+def grammar_anbn(prefix: str) -> Grammar:
+    """S -> a S b | a b, in CNF with helper nonterminals."""
+    S, A, B, X = f"{prefix}S", f"{prefix}A", f"{prefix}B", f"{prefix}X"
+    return Grammar(
+        S,
+        {
+            S: [(A, B), (A, X)],
+            X: [(S, B)],
+            A: [("a",)],
+            B: [("b",)],
+        },
+    )
+
+
+def grammar_astar(prefix: str) -> Grammar:
+    """S -> a | a S  (language a+), in CNF."""
+    S, A = f"{prefix}S", f"{prefix}A"
+    return Grammar(S, {S: [("a",), (A, S)], A: [("a",)]})
+
+
+class TestGrammar:
+    def test_derives(self):
+        g = grammar_anbn("L")
+        assert g.derives("ab")
+        assert g.derives("aabb")
+        assert not g.derives("aab")
+        assert not g.derives("")
+
+    def test_words(self):
+        g = grammar_astar("L")
+        assert g.words(3) == {"a", "aa", "aaa"}
+
+    def test_position_split(self):
+        g = grammar_astar("L").position_split()
+        # no nonterminal occurs both first and second
+        firsts, seconds = set(), set()
+        for bodies in g.productions.values():
+            for body in bodies:
+                if len(body) == 2:
+                    firsts.add(body[0])
+                    seconds.add(body[1])
+        assert not (firsts & seconds)
+        # language preserved
+        assert g.derives("aa") and not g.derives("")
+
+    def test_extreme_paths(self):
+        g = grammar_anbn("L").position_split()
+        left = g.leftmost_path()
+        right = g.rightmost_path()
+        # for 'ab': derivation S -> A B; leftmost path: A< then a
+        assert left.matches(["LA<", "a"])
+        assert right.matches(["LB>", "b"])
+        # deeper: aabb uses X
+        assert right.matches(["LX>", "LB>", "b"])
+
+
+class TestEncoding:
+    def test_pair_tree_well_typed(self):
+        g1 = grammar_astar("L").position_split()
+        g2 = grammar_astar("R").position_split()
+        tree = encode_pair(g1, "aa", g2, "aa")
+        tt = pair_tree_type(g1, g2)
+        assert tt.satisfied_by(tree)
+
+    def test_successor_values(self):
+        g1 = grammar_astar("L").position_split()
+        g2 = grammar_astar("R").position_split()
+        tree = encode_pair(g1, "aa", g2, "aa")
+        # leaves have val1/val2 children with consecutive values
+        val1s = sorted(
+            tree.value(n) for n in tree.node_ids() if tree.label(n) == "val1"
+        )
+        assert val1s == [1, 1, 2, 2]  # both sides share indexes 1, 2
+
+    def test_underivable_word_rejected(self):
+        g1 = grammar_anbn("L").position_split()
+        g2 = grammar_astar("R").position_split()
+        with pytest.raises(ValueError):
+            encode_pair(g1, "aab", g2, "aaa")
+
+
+class TestReductionInvariants:
+    def setup_pair(self, w1, w2):
+        g1 = grammar_anbn("L").position_split()
+        g2 = Grammar(
+            "RS",
+            {
+                "RS": [("a",), ("b",), ("RA", "RS2")],
+                "RS2": [("a",), ("b",), ("RA2", "RS3")],
+                "RS3": [("a",), ("b",)],
+                "RA": [("a",), ("b",)],
+                "RA2": [("a",), ("b",)],
+            },
+        ).position_split()  # all words of length 1..3 over {a,b}
+        return g1, g2
+
+    def test_consistency_queries_empty_on_valid_encoding(self):
+        g1, g2 = self.setup_pair("ab", "ab")
+        tree = encode_pair(g1, "ab", g2, "ab")
+        for i, query in enumerate(consistency_queries(g1, g2)):
+            assert query.is_empty_on(tree), f"consistency query {i} fired"
+
+    def test_difference_query_detects_unequal_words(self):
+        g1, g2 = self.setup_pair("ab", "aa")
+        equal_tree = encode_pair(g1, "ab", g2, "ab")
+        assert difference_query().is_empty_on(equal_tree)
+        diff_tree = encode_pair(g1, "ab", g2, "aa")
+        assert not difference_query().is_empty_on(diff_tree)
+
+    def test_mismatched_indexing_caught(self):
+        """Encoding the words with different lengths violates the
+        equal-rightmost-value consistency query."""
+        g1, g2 = self.setup_pair("aabb", "ab")
+        tree = encode_pair(g1, "aabb", g2, "ab")
+        fired = [
+            not q.is_empty_on(tree) for q in consistency_queries(g1, g2)
+        ]
+        assert any(fired)

@@ -1,0 +1,118 @@
+"""Experiment E13 — Theorem 4.5: q_φ(T) = ∅ ⟺ T ⊨ φ for FDs and INDs."""
+
+import random
+
+import pytest
+
+from repro.reductions.dependencies import (
+    FD,
+    IND,
+    encode_relation,
+    fd_query,
+    ind_query,
+    query_for,
+    relation_tree_type,
+    satisfies,
+)
+
+
+class TestEncoding:
+    def test_relation_tree_satisfies_type(self):
+        relation = [(1, 2), (3, 4)]
+        tree = encode_relation(relation, 2)
+        assert relation_tree_type(2).satisfied_by(tree)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_relation([(1, 2, 3)], 2)
+
+    def test_ind_arity_check(self):
+        with pytest.raises(ValueError):
+            IND((1, 2), (1,))
+
+
+class TestFD:
+    def test_violation_detected(self):
+        # A1 -> A2 violated: (1,2) and (1,3)
+        relation = [(1, 2), (1, 3)]
+        tree = encode_relation(relation, 2)
+        q = fd_query(FD((1,), 2))
+        assert q.matches(tree)
+        assert not satisfies(relation, FD((1,), 2))
+
+    def test_satisfaction(self):
+        relation = [(1, 2), (3, 2), (1, 2)]
+        tree = encode_relation(relation, 2)
+        q = fd_query(FD((1,), 2))
+        assert not q.matches(tree)
+        assert satisfies(relation, FD((1,), 2))
+
+    def test_composite_lhs(self):
+        fd = FD((1, 2), 3)
+        good = [(1, 1, 5), (1, 2, 6), (2, 1, 7)]
+        bad = good + [(1, 1, 9)]
+        assert not fd_query(fd).matches(encode_relation(good, 3))
+        assert fd_query(fd).matches(encode_relation(bad, 3))
+
+
+class TestIND:
+    def test_violation_detected(self):
+        # R[A1] ⊆ R[A2] fails: value 9 in A1 never appears in A2
+        relation = [(9, 1), (1, 1)]
+        tree = encode_relation(relation, 2)
+        q = ind_query(IND((1,), (2,)))
+        assert q.matches(tree)
+        assert not satisfies(relation, IND((1,), (2,)))
+
+    def test_satisfaction(self):
+        relation = [(1, 1), (1, 2), (2, 1)]
+        tree = encode_relation(relation, 2)
+        q = ind_query(IND((1,), (2,)))
+        assert not q.matches(tree)
+        assert satisfies(relation, IND((1,), (2,)))
+
+    def test_multi_column(self):
+        ind = IND((1, 2), (2, 3))
+        good = [(1, 1, 1), (2, 2, 2)]
+        assert satisfies(good, ind)
+        assert not ind_query(ind).matches(encode_relation(good, 3))
+        bad = [(1, 2, 0)]
+        assert not satisfies(bad, ind)
+        assert ind_query(ind).matches(encode_relation(bad, 3))
+
+
+class TestRandomizedEquivalence:
+    """The reduction invariant on random relations: emptiness of q_φ is
+    exactly satisfaction of φ."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fd(self, seed):
+        rng = random.Random(seed)
+        fd = FD((1,), 2)
+        q = query_for(fd)
+        for _ in range(20):
+            relation = [
+                (rng.randint(0, 2), rng.randint(0, 2))
+                for _row in range(rng.randint(0, 4))
+            ]
+            tree = encode_relation(relation, 2)
+            assert q.matches(tree) == (not satisfies(relation, fd)), relation
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ind(self, seed):
+        rng = random.Random(100 + seed)
+        ind = IND((1,), (2,))
+        q = query_for(ind)
+        for _ in range(20):
+            relation = [
+                (rng.randint(0, 2), rng.randint(0, 2))
+                for _row in range(rng.randint(0, 4))
+            ]
+            tree = encode_relation(relation, 2)
+            assert q.matches(tree) == (not satisfies(relation, ind)), relation
+
+    def test_query_for_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            query_for("not a dependency")
+        with pytest.raises(TypeError):
+            satisfies([], "nope")

@@ -1,0 +1,86 @@
+"""Experiment E12 — Theorem 4.1: DNF validity ⟺ certain answer prefix
+for branching+optional queries."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.reductions.dnf import (
+    assignment_tree,
+    brute_force_validity,
+    certain_prefix_of_answers,
+    dnf_tree_type,
+    setup_query,
+    validity_query,
+)
+
+
+class TestArtifacts:
+    def test_tree_type(self):
+        tt = dnf_tree_type()
+        assert tt.roots == {"root"}
+        assert tt.atom("val").mult("var") is not None
+
+    def test_assignment_trees_satisfy_type(self):
+        tt = dnf_tree_type()
+        for bits in itertools.product((0, 1), repeat=3):
+            assert tt.satisfied_by(assignment_tree(bits))
+
+    def test_setup_query_accepts_assignments(self):
+        q = setup_query(2)
+        assert q.matches(assignment_tree([0, 1]))
+
+    def test_setup_query_rejects_non_boolean(self):
+        # the optional negated-range subtree does not *reject* here (it is
+        # optional); it extends the answer when a bad var exists.  The
+        # reduction relies on the recorded answer, so we only check the
+        # pattern machinery runs.
+        q = setup_query(1)
+        assert q.matches(assignment_tree([1]))
+
+    def test_validity_query_matches_satisfying_disjunct(self):
+        # disjunct x1 ∧ ¬x2: satisfied by (1, 0)
+        q = validity_query([(1, -2, -2)])
+        answer = q.evaluate(assignment_tree([1, 0]))
+        labels = {answer.label(n) for n in answer.node_ids()}
+        assert "val" in labels
+        answer_bad = q.evaluate(assignment_tree([0, 1]))
+        assert answer_bad.is_empty() or "val" not in {
+            answer_bad.label(n) for n in answer_bad.node_ids()
+        }
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "n_vars,disjuncts,valid",
+        [
+            # x1 ∨ ¬x1 is valid
+            (1, [(1, 1, 1), (-1, -1, -1)], True),
+            # x1 alone is not
+            (1, [(1, 1, 1)], False),
+            # (x1∧x2) ∨ (¬x1) ∨ (x1∧¬x2): covers everything
+            (2, [(1, 2, 2), (-1, -1, -1), (1, -2, -2)], True),
+            # missing the (0,1) assignment
+            (2, [(1, 2, 2), (-1, -2, -2)], False),
+        ],
+    )
+    def test_known_cases(self, n_vars, disjuncts, valid):
+        assert brute_force_validity(n_vars, disjuncts) == valid
+        assert certain_prefix_of_answers(n_vars, disjuncts) == valid
+
+    def test_randomized_equivalence(self):
+        rng = random.Random(42)
+        for _ in range(25):
+            n_vars = rng.randint(1, 3)
+            disjuncts = []
+            for _d in range(rng.randint(1, 4)):
+                disjuncts.append(
+                    tuple(
+                        rng.choice([1, -1]) * rng.randint(1, n_vars)
+                        for _lit in range(3)
+                    )
+                )
+            assert certain_prefix_of_answers(n_vars, disjuncts) == (
+                brute_force_validity(n_vars, disjuncts)
+            ), disjuncts

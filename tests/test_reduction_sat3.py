@@ -1,0 +1,106 @@
+"""Experiment E11 — Theorem 3.6: 3-SAT via possible-prefix / conjunctive
+emptiness."""
+
+import pytest
+
+from repro.core.tree import DataTree, node
+from repro.reductions.sat3 import (
+    SAT_ALPHABET,
+    brute_force_sat,
+    build_instance,
+    decide_by_representation,
+    sat_tree_type,
+)
+
+
+class TestGroundTruth:
+    def test_brute_force_basics(self):
+        assert brute_force_sat(1, [(1, 1, 1)])
+        assert not brute_force_sat(1, [(1, 1, 1), (-1, -1, -1)])
+        assert brute_force_sat(2, [(1, 2, 2), (-1, -2, -2)])
+        assert brute_force_sat(0, [])
+
+
+class TestInstanceConstruction:
+    def test_tree_type_shape(self):
+        tt = sat_tree_type()
+        assert tt.roots == {"root"}
+        assert tt.atom("clause").mult("lit1") is not None
+        assert tt.atom("lit2").mult("val2") is not None
+
+    def test_witness_tree_consistent(self):
+        instance = build_instance(1, [(1, 1, 1)])
+        witness = DataTree.build(
+            node(
+                "R",
+                "root",
+                0,
+                [
+                    node("v1", "var", 1, [node("v1val", "val", 1)]),
+                    node(
+                        "c0",
+                        "clause",
+                        0,
+                        [
+                            node("c0l1", "lit1", 1, [node("c0l1v", "val1", 1)]),
+                            node("c0l2", "lit2", 1, [node("c0l2v", "val2", 1)]),
+                            node("c0l3", "lit3", 1, [node("c0l3v", "val3", 1)]),
+                        ],
+                    ),
+                    node("rv", "val", 1),
+                ],
+            )
+        )
+        assert instance.tree_type.violation(witness) is None
+        for query, answer in instance.history:
+            assert query.evaluate(witness) == answer
+
+    def test_history_rejects_bad_assignments(self):
+        instance = build_instance(1, [(1, 1, 1)])
+        # literal value inconsistent with the variable value
+        bad = DataTree.build(
+            node(
+                "R",
+                "root",
+                0,
+                [
+                    node("v1", "var", 1, [node("v1val", "val", 0)]),
+                    node(
+                        "c0",
+                        "clause",
+                        0,
+                        [
+                            node("c0l1", "lit1", 1, [node("c0l1v", "val1", 1)]),
+                            node("c0l2", "lit2", 1, [node("c0l2v", "val2", 1)]),
+                            node("c0l3", "lit3", 1, [node("c0l3v", "val3", 1)]),
+                        ],
+                    ),
+                    node("rv", "val", 1),
+                ],
+            )
+        )
+        consistent = all(q.evaluate(bad) == a for q, a in instance.history)
+        assert not consistent
+
+
+class TestEquivalence:
+    """decide_by_representation == brute force, on tractable sizes."""
+
+    @pytest.mark.parametrize(
+        "n_vars,clauses",
+        [
+            (1, [(1, 1, 1)]),
+            (2, [(1, 2, 2), (-1, 2, 2), (1, -2, -2)]),
+        ],
+    )
+    def test_satisfiable_instances(self, n_vars, clauses):
+        instance = build_instance(n_vars, clauses)
+        assert decide_by_representation(instance)
+        assert brute_force_sat(n_vars, clauses)
+
+    @pytest.mark.slow
+    def test_unsatisfiable_instance(self):
+        clauses = [(1, 1, 1), (-1, -1, -1)]
+        instance = build_instance(1, clauses)
+        assert not decide_by_representation(instance)
+        assert not brute_force_sat(1, clauses)

@@ -1,0 +1,140 @@
+"""Theorem 3.4: Algorithm Refine — randomized exactness.
+
+The central property of the whole paper: after any query/answer history,
+``tree ∈ rep(Refine(...))`` iff the tree reproduces every recorded
+answer (and satisfies the type, when folded in).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import PSQuery, linear_query, pattern
+from repro.core.tree import DataTree, node
+from repro.core.treetype import TreeType
+from repro.refine.refine import consistent_with, refine, refine_sequence
+from repro.refine.inverse import universal_incomplete
+
+ALPHABET = ["root", "a", "b"]
+
+
+def source():
+    return DataTree.build(
+        node(
+            "r",
+            "root",
+            0,
+            [
+                node("x", "a", 5, [node("y", "b", 1)]),
+                node("z", "a", 0),
+                node("w", "a", 3),
+            ],
+        )
+    )
+
+
+def history_for(src):
+    q1 = PSQuery(pattern("root", children=[pattern("a", Cond.ne(0), [pattern("b")])]))
+    q2 = PSQuery(pattern("root", children=[pattern("a", Cond.gt(3))]))
+    q3 = linear_query(["root", "a", "b"], [None, None, Cond.lt(2)])
+    return [(q, q.evaluate(src)) for q in (q1, q2, q3)]
+
+
+def random_candidate(rng, trial):
+    """A random tree over ALPHABET mixing known and fresh ids."""
+    ids = itertools.count()
+    values = [0, 1, 3, 5, -1]
+
+    def rnd_subtree(label, depth):
+        ident = f"t{next(ids)}_{trial}"
+        kids = []
+        if depth > 0 and label != "b" and rng.random() < 0.5:
+            kids = [rnd_subtree("b", depth - 1)]
+        return node(ident, label, rng.choice(values), kids)
+
+    specs = []
+    for known in rng.sample(["x", "z", "w", None, None], k=3):
+        if known == "x":
+            kids = [node("y", "b", 1)] if rng.random() < 0.6 else []
+            specs.append(node("x", "a", rng.choice([5, 0]), kids))
+        elif known in ("z", "w"):
+            kids = [rnd_subtree("b", 0)] if rng.random() < 0.3 else []
+            specs.append(node(known, "a", rng.choice([0, 3, 5]), kids))
+    for _ in range(rng.randint(0, 2)):
+        specs.append(rnd_subtree(rng.choice(["a", "b"]), 1))
+    return DataTree.build(node("r", "root", rng.choice([0, 1]), specs))
+
+
+class TestRefineExactness:
+    def test_source_always_member(self):
+        src = source()
+        history = history_for(src)
+        result = refine_sequence(ALPHABET, history)
+        assert result.contains(src)
+        assert result.validate() == []
+        assert result.is_unambiguous()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_membership_equals_consistency(self, seed):
+        src = source()
+        history = history_for(src)
+        result = refine_sequence(ALPHABET, history)
+        rng = random.Random(seed)
+        for trial in range(400):
+            candidate = random_candidate(rng, trial)
+            assert result.contains(candidate) == consistent_with(
+                candidate, history
+            ), candidate.pretty()
+
+    def test_with_tree_type(self):
+        src = source()
+        tt = TreeType.parse("root: root\nroot -> a*\na -> b?")
+        history = history_for(src)
+        result = refine_sequence(ALPHABET, history, tree_type=tt)
+        assert result.contains(src)
+        rng = random.Random(7)
+        for trial in range(300):
+            candidate = random_candidate(rng, trial)
+            assert result.contains(candidate) == consistent_with(
+                candidate, history, tt
+            ), candidate.pretty()
+
+    def test_incremental_equals_batch(self):
+        src = source()
+        history = history_for(src)
+        batch = refine_sequence(ALPHABET, history)
+        current = universal_incomplete(ALPHABET)
+        for query, answer in history:
+            current = refine(current, query, answer, ALPHABET)
+        rng = random.Random(3)
+        for trial in range(200):
+            candidate = random_candidate(rng, trial)
+            assert batch.contains(candidate) == current.contains(candidate)
+
+    def test_contradictory_answers_empty(self):
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        a_full = q.evaluate(source())
+        history = [(q, a_full), (q, DataTree.empty())]
+        result = refine_sequence(ALPHABET, history)
+        assert result.is_empty()
+
+    def test_empty_history_is_universal(self, simple_tree):
+        result = refine_sequence(ALPHABET, [])
+        assert result.contains(simple_tree)
+        assert result.contains(DataTree.empty())
+
+
+class TestRefineSizes:
+    def test_refine_step_output_polynomial_on_catalog(self, catalog_tt, catalog_doc, catalog_queries):
+        from repro.workloads.catalog import CATALOG_ALPHABET
+
+        history = [
+            (catalog_queries[1], catalog_queries[1].evaluate(catalog_doc)),
+            (catalog_queries[2], catalog_queries[2].evaluate(catalog_doc)),
+        ]
+        result = refine_sequence(CATALOG_ALPHABET, history)
+        # sanity bound: two queries over a 33-node document stay small
+        assert result.size() < 3000
+        assert result.contains(catalog_doc)

@@ -1,0 +1,192 @@
+"""An independent end-to-end scenario on a second schema (bookstore).
+
+Exercises the full pipeline — text DSLs, acquisition, local answering,
+certainty reasoning, mediation — with hand-derivable expectations, on a
+schema with different shape characteristics than the catalog (optional
+children, multi-level nesting, string-heavy values).
+"""
+
+import pytest
+
+from repro import InMemorySource, TreeType, Webhouse, parse_query
+from repro.core.tree import DataTree, node
+
+
+def library_type() -> TreeType:
+    return TreeType.parse(
+        """
+        root: library
+        library -> section+
+        section -> name book*
+        book    -> title year copy*
+        """
+    )
+
+
+def library_doc() -> DataTree:
+    def book(bid, title, year, copies):
+        children = [
+            node(f"{bid}-t", "title", title),
+            node(f"{bid}-y", "year", year),
+        ] + [node(f"{bid}-c{i}", "copy", i) for i in range(copies)]
+        return node(bid, "book", 0, children)
+
+    return DataTree.build(
+        node(
+            "lib",
+            "library",
+            0,
+            [
+                node(
+                    "s-cs",
+                    "section",
+                    0,
+                    [
+                        node("s-cs-n", "name", "cs"),
+                        book("b1", "Foundations", 1995, 2),
+                        book("b2", "TAOCP", 1968, 0),
+                    ],
+                ),
+                node(
+                    "s-fic",
+                    "section",
+                    0,
+                    [
+                        node("s-fic-n", "name", "fiction"),
+                        book("b3", "Dune", 1965, 1),
+                    ],
+                ),
+            ],
+        )
+    )
+
+
+@pytest.fixture()
+def session():
+    tt = library_type()
+    doc = library_doc()
+    source = InMemorySource(doc, tt)
+    wh = Webhouse(tt.alphabet, tree_type=tt)
+    return wh, source, doc
+
+
+Q_MODERN = """
+library
+  section
+    name
+    book
+      title
+      year [>= 1990]
+"""
+
+Q_SECTIONS = """
+library
+  section
+    name
+"""
+
+Q_ALL_BOOKS = """
+library
+  section
+    book
+      title
+      year
+"""
+
+
+class TestBookstoreScenario:
+    def test_acquisition_and_local_answer(self, session):
+        wh, source, doc = session
+        wh.ask(source, parse_query(Q_SECTIONS))
+        wh.ask(source, parse_query(Q_MODERN))
+        # re-asking recorded queries is local
+        assert wh.can_answer(parse_query(Q_MODERN))
+        assert wh.can_answer(parse_query(Q_SECTIONS))
+        # all books is not answerable: old books were never fetched
+        assert not wh.can_answer(parse_query(Q_ALL_BOOKS))
+
+    def test_negative_knowledge(self, session):
+        wh, source, doc = session
+        wh.ask(source, parse_query(Q_MODERN))
+        # the modern query returned only b1: no OTHER post-1990 book can
+        # exist anywhere
+        ghost = parse_query(
+            """
+            library
+              section
+                book
+                  year [>= 2000]
+            """
+        )
+        assert not wh.may_match(ghost)
+
+    def test_sections_closed_after_plus_query(self, session):
+        wh, source, doc = session
+        wh.ask(source, parse_query(Q_SECTIONS))
+        # every section was returned (no condition): a third section with
+        # a different name is impossible
+        third = DataTree.build(
+            node(
+                "lib",
+                "library",
+                0,
+                [node("ghost", "section", 0, [node("gn", "name", "poetry")])],
+            )
+        )
+        assert not wh.is_possible_prefix(third)
+
+    def test_mediated_full_listing(self, session):
+        wh, source, doc = session
+        wh.ask(source, parse_query(Q_SECTIONS))
+        wh.ask(source, parse_query(Q_MODERN))
+        query = parse_query(Q_ALL_BOOKS)
+        answer, plan = wh.complete_and_answer(source, query)
+        assert answer == query.evaluate(doc)
+        titles = {
+            answer.value(n) for n in answer.node_ids() if answer.label(n) == "title"
+        }
+        assert titles == {"Foundations", "TAOCP", "Dune"}
+
+    def test_caveated_answer(self, session):
+        wh, source, doc = session
+        wh.ask(source, parse_query(Q_MODERN))
+        sure, more = wh.answer_with_caveats(parse_query(Q_ALL_BOOKS))
+        sure_titles = {
+            sure.value(n) for n in sure.node_ids() if sure.label(n) == "title"
+        }
+        assert sure_titles == {"Foundations"}
+        assert more
+
+    def test_bar_query_closes_section(self, session):
+        wh, source, doc = session
+        q_bar = parse_query(
+            """
+            library
+              ~section
+            """
+        )
+        wh.ask(source, q_bar)
+        # everything is now known; any query is answerable
+        assert wh.can_answer(parse_query(Q_ALL_BOOKS))
+        assert wh.answer_locally(parse_query(Q_ALL_BOOKS)) == parse_query(
+            Q_ALL_BOOKS
+        ).evaluate(doc)
+        # and nothing new can exist anywhere: a book with an unseen title
+        # is impossible (a bare fresh book node would merely embed onto a
+        # known one, which is fine)
+        unseen = DataTree.build(
+            node(
+                "lib",
+                "library",
+                0,
+                [
+                    node(
+                        "s-cs",
+                        "section",
+                        0,
+                        [node("gb", "book", 0, [node("gt", "title", "Ghost")])],
+                    )
+                ],
+            )
+        )
+        assert not wh.is_possible_prefix(unseen)

@@ -1,0 +1,80 @@
+"""Finite/cofinite string-set algebra tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stringsets import StringSet
+
+
+class TestBasics:
+    def test_empty_and_all(self):
+        assert StringSet.empty().is_empty()
+        assert StringSet.all().is_all()
+        assert not StringSet.all().is_empty()
+
+    def test_singleton(self):
+        s = StringSet.singleton("a")
+        assert s.contains("a")
+        assert not s.contains("b")
+        assert s.is_singleton() == "a"
+
+    def test_excluding(self):
+        s = StringSet.excluding(["a", "b"])
+        assert not s.contains("a")
+        assert s.contains("zzz")
+        assert s.is_cofinite
+
+    def test_sample_finite(self):
+        assert StringSet({"x", "y"}).sample() in {"x", "y"}
+
+    def test_sample_cofinite_avoids_exclusions(self):
+        s = StringSet.excluding(["_str0", "_str1"])
+        assert s.contains(s.sample())
+
+    def test_sample_empty_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            StringSet.empty().sample()
+
+    def test_samples_distinct(self):
+        samples = list(StringSet.all().samples(4))
+        assert len(samples) == len(set(samples)) == 4
+
+
+words = st.text(alphabet="abc", min_size=0, max_size=3)
+
+
+def sets():
+    return st.builds(
+        StringSet,
+        st.frozensets(words, max_size=4),
+        st.booleans(),
+    )
+
+
+@given(sets(), sets(), words)
+@settings(max_examples=200, deadline=None)
+def test_union_semantics(a, b, probe):
+    assert a.union(b).contains(probe) == (a.contains(probe) or b.contains(probe))
+
+
+@given(sets(), sets(), words)
+@settings(max_examples=200, deadline=None)
+def test_intersect_semantics(a, b, probe):
+    assert a.intersect(b).contains(probe) == (a.contains(probe) and b.contains(probe))
+
+
+@given(sets(), words)
+@settings(max_examples=200, deadline=None)
+def test_complement_semantics(a, probe):
+    assert a.complement().contains(probe) == (not a.contains(probe))
+
+
+@given(sets(), sets())
+@settings(max_examples=200, deadline=None)
+def test_implies_is_subset(a, b):
+    implied = a.implies(b)
+    assert implied == a.difference(b).is_empty()
+    if not a.is_empty() and implied:
+        assert b.contains(a.sample())

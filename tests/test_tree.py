@@ -1,0 +1,186 @@
+"""Data tree tests: structure, prefix relation, merging."""
+
+import pytest
+
+from repro.core.tree import DataTree, IdFactory, node
+
+
+def t_small():
+    return DataTree.build(
+        node(
+            "r",
+            "root",
+            0,
+            [node("a1", "a", 1, [node("b1", "b", 2)]), node("a2", "a", 3)],
+        )
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = DataTree.empty()
+        assert empty.is_empty()
+        assert len(empty) == 0
+        with pytest.raises(ValueError):
+            _ = empty.root
+
+    def test_build_and_accessors(self):
+        tree = t_small()
+        assert tree.root == "r"
+        assert tree.label("a1") == "a"
+        assert tree.value("a2") == 3
+        assert tree.parent("b1") == "a1"
+        assert tree.parent("r") is None
+        assert tree.children("r") == ("a1", "a2")
+        assert len(tree) == 4
+        assert tree.depth() == 3
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            DataTree.build(node("r", "root", 0, [node("r", "a", 1)]))
+
+    def test_preorder(self):
+        assert list(t_small().node_ids()) == ["r", "a1", "b1", "a2"]
+
+    def test_path_to(self):
+        assert t_small().path_to("b1") == ("r", "a1", "b1")
+
+    def test_labels(self):
+        assert t_small().labels() == {"root", "a", "b"}
+
+
+class TestDerivedTrees:
+    def test_subtree(self):
+        sub = t_small().subtree("a1")
+        assert sub.root == "a1"
+        assert len(sub) == 2
+        assert sub.parent("a1") is None
+
+    def test_restrict_to_prefix(self):
+        tree = t_small()
+        restricted = tree.restrict(["r", "a2"])
+        assert len(restricted) == 2
+        assert restricted.children("r") == ("a2",)
+
+    def test_restrict_requires_upward_closure(self):
+        with pytest.raises(ValueError):
+            t_small().restrict(["r", "b1"])
+
+    def test_restrict_without_root_rejected(self):
+        with pytest.raises(ValueError):
+            t_small().restrict(["a1", "b1"])
+
+    def test_with_subtree(self):
+        grown = t_small().with_subtree("a2", node("c1", "c", 9))
+        assert grown.parent("c1") == "a2"
+        assert len(grown) == 5
+        # original untouched (immutability)
+        assert len(t_small()) == 4
+
+    def test_with_subtree_id_clash(self):
+        with pytest.raises(ValueError):
+            t_small().with_subtree("a2", node("a1", "c", 9))
+
+
+class TestMerge:
+    def test_merge_prefixes(self):
+        left = DataTree.build(node("r", "root", 0, [node("a1", "a", 1)]))
+        right = DataTree.build(node("r", "root", 0, [node("a2", "a", 3)]))
+        merged = left.merged_with(right)
+        assert set(merged.children("r")) == {"a1", "a2"}
+
+    def test_merge_shared_nodes(self):
+        left = DataTree.build(node("r", "root", 0, [node("a1", "a", 1)]))
+        right = DataTree.build(
+            node("r", "root", 0, [node("a1", "a", 1, [node("b1", "b", 2)])])
+        )
+        merged = left.merged_with(right)
+        assert merged.children("a1") == ("b1",)
+
+    def test_merge_conflict_rejected(self):
+        left = DataTree.build(node("r", "root", 0, [node("a1", "a", 1)]))
+        right = DataTree.build(node("r", "root", 0, [node("a1", "a", 2)]))
+        with pytest.raises(ValueError):
+            left.merged_with(right)
+
+    def test_merge_with_empty(self):
+        tree = t_small()
+        assert DataTree.empty().merged_with(tree) == tree
+        assert tree.merged_with(DataTree.empty()) == tree
+
+
+class TestPrefixRelation:
+    def test_empty_is_prefix_of_everything(self):
+        assert DataTree.empty().is_prefix_of(t_small())
+
+    def test_nothing_nonempty_prefixes_empty(self):
+        assert not t_small().is_prefix_of(DataTree.empty())
+
+    def test_identity(self):
+        assert t_small().is_prefix_of(t_small())
+
+    def test_sub_prefix_with_fresh_ids(self):
+        # same shape, different ids: embeds when not anchored
+        prefix = DataTree.build(node("q", "root", 0, [node("x", "a", 3)]))
+        assert prefix.is_prefix_of(t_small())
+
+    def test_anchored_ids_must_coincide(self):
+        prefix = DataTree.build(node("r", "root", 0, [node("a9", "a", 3)]))
+        assert prefix.is_prefix_of(t_small(), relative_to=["r"])
+        # anchor a9: no node a9 in the target
+        assert not prefix.is_prefix_of(t_small(), relative_to=["r", "a9"])
+
+    def test_values_matter(self):
+        prefix = DataTree.build(node("q", "root", 0, [node("x", "a", 99)]))
+        assert not prefix.is_prefix_of(t_small())
+
+    def test_injectivity(self):
+        # two a=1 children cannot both map onto the single a1
+        prefix = DataTree.build(
+            node("q", "root", 0, [node("x", "a", 1), node("y", "a", 1)])
+        )
+        assert not prefix.is_prefix_of(t_small())
+
+    def test_branching_matching(self):
+        target = DataTree.build(
+            node(
+                "r",
+                "root",
+                0,
+                [
+                    node("a1", "a", 1, [node("b1", "b", 1)]),
+                    node("a2", "a", 1, [node("b2", "b", 2)]),
+                ],
+            )
+        )
+        # needs a1 for the b=1 branch and a2 for the b=2 branch
+        prefix = DataTree.build(
+            node(
+                "q",
+                "root",
+                0,
+                [
+                    node("x", "a", 1, [node("xb", "b", 2)]),
+                    node("y", "a", 1, [node("yb", "b", 1)]),
+                ],
+            )
+        )
+        assert prefix.is_prefix_of(target)
+
+    def test_isomorphic(self):
+        one = DataTree.build(node("r", "root", 0, [node("a", "a", 1)]))
+        two = DataTree.build(node("s", "root", 0, [node("b", "a", 1)]))
+        assert one.isomorphic_to(two)
+        assert not one.isomorphic_to(t_small())
+
+
+class TestIdFactory:
+    def test_fresh_avoids_taken(self):
+        factory = IdFactory(taken=["n0", "n2"])
+        assert factory.fresh() == "n1"
+        assert factory.fresh() == "n3"
+
+    def test_reserve(self):
+        factory = IdFactory()
+        factory.reserve("n0")
+        assert factory.fresh() == "n1"

@@ -1,0 +1,111 @@
+"""Tree type (simplified DTD) tests: DSL parsing and satisfaction."""
+
+import pytest
+
+from repro.core.multiplicity import Atom, Mult
+from repro.core.tree import DataTree, node
+from repro.core.treetype import TreeType
+
+
+class TestParsing:
+    def test_catalog_example(self):
+        tt = TreeType.parse(
+            """
+            root: catalog
+            catalog -> product+
+            product -> name price cat picture*
+            cat     -> subcat
+            """
+        )
+        assert tt.roots == {"catalog"}
+        assert tt.atom("catalog").mult("product") is Mult.PLUS
+        assert tt.atom("product").mult("name") is Mult.ONE
+        assert tt.atom("product").mult("picture") is Mult.STAR
+        assert tt.atom("subcat").is_leaf()
+
+    def test_trailing_digit_is_part_of_name(self):
+        # regression: lit1 is an element name, not "lit" with mult 1
+        tt = TreeType.parse("root: clause\nclause -> lit1 lit2 lit3")
+        assert tt.atom("clause").mult("lit1") is Mult.ONE
+        assert "lit1" in tt.alphabet
+
+    def test_comments_and_blank_lines(self):
+        tt = TreeType.parse("# comment\nroot: r\n\nr -> a?  # trailing\n")
+        assert tt.atom("r").mult("a") is Mult.OPT
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(ValueError):
+            TreeType.parse("a -> b")
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(ValueError):
+            TreeType.parse("root: a\na -> b\na -> c")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError):
+            TreeType.parse("root: a\nnot a rule")
+
+    def test_extra_labels(self):
+        tt = TreeType.parse("root: a\na -> b", extra_labels=["ghost"])
+        assert "ghost" in tt.alphabet
+
+    def test_roundtrip_through_text(self):
+        tt = TreeType.parse("root: a\na -> b+ c?\nb -> c*")
+        assert TreeType.parse(tt.to_text()) == tt
+
+
+class TestValidation:
+    def test_unknown_root(self):
+        with pytest.raises(ValueError):
+            TreeType(["a"], ["b"], {"a": Atom.leaf()})
+
+    def test_rule_mentions_unknown_label(self):
+        with pytest.raises(ValueError):
+            TreeType(["a"], ["a"], {"a": Atom.of(zzz="*")})
+
+
+class TestSatisfaction:
+    TT = TreeType.parse("root: r\nr -> a+ b?\na -> c*")
+
+    def test_satisfying_tree(self):
+        tree = DataTree.build(
+            node("r1", "r", 0, [node("a1", "a", 0, [node("c1", "c", 0)])])
+        )
+        assert self.TT.satisfied_by(tree)
+
+    def test_empty_tree_never_satisfies(self):
+        assert not self.TT.satisfied_by(DataTree.empty())
+        assert "no root" in self.TT.violation(DataTree.empty())
+
+    def test_wrong_root(self):
+        tree = DataTree.single("x", "a")
+        assert "root label" in self.TT.violation(tree)
+
+    def test_missing_required_child(self):
+        tree = DataTree.single("r1", "r")
+        assert "a1" in self.TT.violation(tree) or "0 children" in self.TT.violation(tree)
+
+    def test_too_many_optional_children(self):
+        tree = DataTree.build(
+            node(
+                "r1",
+                "r",
+                0,
+                [node("a1", "a", 0), node("b1", "b", 0), node("b2", "b", 0)],
+            )
+        )
+        assert self.TT.violation(tree) is not None
+
+    def test_forbidden_child_label(self):
+        tree = DataTree.build(node("r1", "r", 0, [node("a1", "a", 0), node("x", "c", 0)]))
+        violation = self.TT.violation(tree)
+        assert violation is not None and "'c'" in violation
+
+    def test_alien_label(self):
+        tree = DataTree.build(node("r1", "r", 0, [node("a1", "a", 0), node("z", "zzz", 0)]))
+        assert self.TT.violation(tree) is not None
+
+    def test_catalog_demo_satisfies(self):
+        from repro.workloads.catalog import catalog_type, demo_catalog
+
+        assert catalog_type().satisfied_by(demo_catalog())

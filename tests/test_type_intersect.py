@@ -1,0 +1,114 @@
+"""Theorem 3.5: intersecting an incomplete tree with the source type."""
+
+import random
+
+from repro.core.conditions import Cond
+from repro.core.multiplicity import Mult
+from repro.core.query import linear_query
+from repro.core.tree import DataTree, node
+from repro.core.treetype import TreeType
+from repro.incomplete.enumerate import enumerate_trees
+from repro.refine.inverse import universal_incomplete
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import (
+    intersect_with_tree_type,
+    structural_weakening,
+)
+
+ALPHABET = ["root", "a", "b"]
+
+
+class TestIntersectWithTreeType:
+    def test_universal_becomes_type(self):
+        tt = TreeType.parse("root: root\nroot -> a+ b?\na -> b*")
+        typed = intersect_with_tree_type(universal_incomplete(ALPHABET), tt)
+        assert not typed.allows_empty
+        for tree in enumerate_trees(typed, max_nodes=4):
+            assert tt.satisfied_by(tree), tree.pretty()
+        # and conversely on hand-built satisfying trees
+        good = DataTree.build(node("1", "root", 0, [node("2", "a", 0)]))
+        assert typed.contains(good)
+        bad = DataTree.build(node("1", "root", 0, [node("2", "b", 0)]))
+        assert not typed.contains(bad)
+
+    def test_exactness_after_refine(self):
+        tt = TreeType.parse("root: root\nroot -> a* b?\na -> b*")
+        src = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 5, [node("y", "b", 1)])])
+        )
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        history = [(q, q.evaluate(src))]
+        refined = refine_sequence(ALPHABET, history)
+        typed = intersect_with_tree_type(refined, tt)
+        assert typed.contains(src)
+        for tree in enumerate_trees(typed, max_nodes=5, extra_values=[0, 1, 5]):
+            assert tt.satisfied_by(tree)
+            assert q.evaluate(tree) == history[0][1]
+
+    def test_required_label_forces_presence(self):
+        # root must have exactly one b; refine learns nothing about b
+        tt = TreeType.parse("root: root\nroot -> a* b")
+        typed = intersect_with_tree_type(universal_incomplete(ALPHABET), tt)
+        no_b = DataTree.build(node("1", "root", 0))
+        with_b = DataTree.build(node("1", "root", 0, [node("2", "b", 0)]))
+        two_b = DataTree.build(
+            node("1", "root", 0, [node("2", "b", 0), node("3", "b", 1)])
+        )
+        assert not typed.contains(no_b)
+        assert typed.contains(with_b)
+        assert not typed.contains(two_b)
+
+    def test_multiplicity_pushed_onto_exclusive_specializations(self):
+        # after a query creating viol/fail splits on 'a', a type rule
+        # root -> a forces exactly one 'a' overall: the disjunct expansion
+        src = DataTree.build(node("r", "root", 0, [node("x", "a", 5, [node("y", "b", 1)])]))
+        q = linear_query(["root", "a", "b"], [None, Cond.gt(0), None])
+        refined = refine_sequence(ALPHABET, [(q, q.evaluate(src))])
+        tt = TreeType.parse("root: root\nroot -> a\na -> b*")
+        typed = intersect_with_tree_type(refined, tt)
+        assert typed.contains(src)
+        # a second 'a' child is now impossible
+        extra = src.with_subtree("r", node("v", "a", -1))
+        assert not typed.contains(extra)
+        for tree in enumerate_trees(typed, max_nodes=5, extra_values=[0, 1, 5, -1]):
+            assert tt.satisfied_by(tree)
+            assert q.evaluate(tree) == q.evaluate(src)
+
+    def test_labels_outside_type_pruned(self):
+        tt = TreeType.parse("root: root\nroot -> a*")
+        typed = intersect_with_tree_type(universal_incomplete(ALPHABET), tt)
+        with_b = DataTree.build(node("1", "root", 0, [node("2", "b", 0)]))
+        assert not typed.contains(with_b)
+
+    def test_root_filtering(self):
+        tt = TreeType.parse("root: a")
+        typed = intersect_with_tree_type(universal_incomplete(ALPHABET), tt)
+        assert typed.contains(DataTree.single("1", "a"))
+        assert not typed.contains(DataTree.single("1", "root"))
+
+
+class TestStructuralWeakening:
+    def test_overapproximates(self):
+        tt = TreeType.parse("root: root\nroot -> a+ b?\na -> b*")
+        weak = structural_weakening(tt)
+        assert weak.is_unambiguous()
+        # every typed tree is in the weakening
+        typed = intersect_with_tree_type(universal_incomplete(ALPHABET), tt)
+        for tree in enumerate_trees(typed, max_nodes=4):
+            assert weak.contains(tree)
+
+    def test_still_prunes_structure(self):
+        tt = TreeType.parse("root: root\nroot -> a*")
+        weak = structural_weakening(tt)
+        bad = DataTree.build(node("1", "root", 0, [node("2", "b", 0)]))
+        assert not weak.contains(bad)
+        assert not weak.contains(DataTree.empty())
+
+    def test_ignores_counting(self):
+        tt = TreeType.parse("root: root\nroot -> a")
+        weak = structural_weakening(tt)
+        # zero or two a's violate the type but pass the weakening
+        assert weak.contains(DataTree.single("1", "root"))
+        assert weak.contains(
+            DataTree.build(node("1", "root", 0, [node("2", "a", 0), node("3", "a", 0)]))
+        )

@@ -1,0 +1,104 @@
+"""Remark 4.4: condition classes fold data values into the alphabet."""
+
+from repro.core.conditions import Cond
+from repro.core.tree import DataTree, node
+from repro.extensions.value_classes import (
+    class_of,
+    condition_classes,
+    refine_labels,
+    refined_alphabet,
+    refined_label,
+)
+
+
+class TestClasses:
+    def test_conditions_constant_on_classes(self):
+        conds = [Cond.lt(100), Cond.eq("elec"), Cond.ge(50)]
+        classes = condition_classes(conds)
+        for cell in classes:
+            for cond in conds:
+                inter = cell.intersect(cond.values)
+                assert inter.is_empty() or inter == cell
+
+    def test_every_value_covered(self):
+        conds = [Cond.lt(0), Cond.eq("x")]
+        classes = condition_classes(conds)
+        for value in (-5, 0, 5, "x", "y"):
+            from repro.core.values import as_value
+
+            index = class_of(as_value(value), classes)
+            assert 0 <= index < len(classes)
+
+    def test_equal_condition_profile_same_class(self):
+        conds = [Cond.lt(100)]
+        classes = condition_classes(conds)
+        from repro.core.values import as_value
+
+        assert class_of(as_value(1), classes) == class_of(as_value(50), classes)
+        assert class_of(as_value(1), classes) != class_of(as_value(200), classes)
+
+
+class TestRefineLabels:
+    def doc(self):
+        return DataTree.build(
+            node(
+                "r",
+                "product",
+                0,
+                [node("p1", "price", 120), node("p2", "price", 250)],
+            )
+        )
+
+    def test_labels_refined_by_class(self):
+        conds = [Cond.lt(200)]
+        refined = refine_labels(self.doc(), conds)
+        # the two price nodes land in different classes
+        assert refined.label("p1") != refined.label("p2")
+        assert refined.label("p1").startswith("price#")
+        # ids and values survive
+        assert refined.value("p1") == 120
+
+    def test_machine_distinguishes_values_via_labels(self):
+        """A value-blind search automaton over the refined alphabet finds
+        cheap prices — simulating a value test."""
+        from repro.extensions.binary_encoding import encode
+        from repro.extensions.pebble import (
+            DOWN_LEFT,
+            DOWN_RIGHT,
+            PLACE,
+            Move,
+            PebbleAutomaton,
+        )
+
+        conds = [Cond.lt(200)]
+        refined = refine_labels(self.doc(), conds)
+        cheap_label = refined.label("p1")
+        alphabet = set(refined.labels()) | {"#"}
+        transitions = {}
+        for label in alphabet:
+            moves = []
+            if label == cheap_label:
+                moves.append(Move(PLACE, "yes"))
+            if label != "#":
+                moves.append(Move(DOWN_LEFT, "scan"))
+                moves.append(Move(DOWN_RIGHT, "scan"))
+            transitions[("scan", label, frozenset())] = tuple(moves)
+        automaton = PebbleAutomaton(2, "scan", ["yes"], transitions)
+        assert automaton.accepts(encode(refined))
+
+        # remove the cheap price: no longer accepted
+        expensive_only = DataTree.build(
+            node("r", "product", 0, [node("p2", "price", 250)])
+        )
+        assert not automaton.accepts(encode(refine_labels(expensive_only, conds)))
+
+    def test_refined_alphabet_size(self):
+        conds = [Cond.lt(10), Cond.lt(20)]
+        labels = ["a", "b"]
+        alphabet = refined_alphabet(labels, conds)
+        classes = condition_classes(conds)
+        assert len(alphabet) == len(labels) * len(classes)
+        assert refined_label("a", 0) in alphabet
+
+    def test_empty_tree(self):
+        assert refine_labels(DataTree.empty(), [Cond.lt(1)]).is_empty()

@@ -1,0 +1,66 @@
+"""Unit tests for the two-sorted value domain."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.values import (
+    as_value,
+    is_numeric,
+    is_string,
+    value_repr,
+    values_equal,
+)
+
+
+class TestAsValue:
+    def test_int_becomes_fraction(self):
+        assert as_value(3) == Fraction(3)
+        assert isinstance(as_value(3), Fraction)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(1, 3)
+        assert as_value(f) is f
+
+    def test_float_exact(self):
+        assert as_value(0.5) == Fraction(1, 2)
+
+    def test_string_passthrough(self):
+        assert as_value("elec") == "elec"
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_value(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_value([1, 2])
+
+
+class TestSorts:
+    def test_is_numeric(self):
+        assert is_numeric(as_value(1))
+        assert not is_numeric(as_value("x"))
+
+    def test_is_string(self):
+        assert is_string(as_value("x"))
+        assert not is_string(as_value(1))
+
+    def test_cross_sort_never_equal(self):
+        assert not values_equal(as_value(0), as_value("0"))
+
+    def test_same_sort_equality(self):
+        assert values_equal(as_value(2), as_value(Fraction(4, 2)))
+        assert values_equal("a", "a")
+        assert not values_equal("a", "b")
+
+
+class TestRepr:
+    def test_integer_rendering(self):
+        assert value_repr(as_value(7)) == "7"
+
+    def test_fraction_rendering(self):
+        assert value_repr(Fraction(1, 3)) == "1/3"
+
+    def test_string_rendering(self):
+        assert value_repr("camera") == "camera"

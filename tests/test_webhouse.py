@@ -1,0 +1,134 @@
+"""End-to-end Webhouse scenario tests (the Section 1 story)."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.query import linear_query
+from repro.core.tree import DataTree, node
+from repro.mediator.source import InMemorySource
+from repro.mediator.webhouse import Webhouse
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    demo_catalog,
+    query1,
+    query2,
+    query3,
+    query4,
+    query5,
+)
+
+
+@pytest.fixture()
+def setup(catalog_tt, catalog_doc):
+    source = InMemorySource(catalog_doc, catalog_tt)
+    wh = Webhouse(CATALOG_ALPHABET, tree_type=catalog_tt)
+    wh.ask(source, query1())
+    wh.ask(source, query2())
+    return wh, source
+
+
+class TestScenario:
+    def test_example_3_4_flow(self, setup, catalog_doc):
+        wh, source = setup
+        # Query 3 answerable locally, without a source round-trip
+        queries_before = source.stats.queries
+        assert wh.can_answer(query3())
+        assert wh.answer_locally(query3()) == query3().evaluate(catalog_doc)
+        assert source.stats.queries == queries_before
+        # Query 4 is not
+        assert not wh.can_answer(query4())
+        with pytest.raises(ValueError):
+            wh.answer_locally(query4())
+
+    def test_certain_part_and_possibility(self, setup, catalog_doc):
+        wh, _source = setup
+        sure = wh.certain_answer_part(query4())
+        names = {sure.value(n) for n in sure.node_ids() if sure.label(n) == "name"}
+        # the known cameras: cheap or pictured
+        assert names == {"Canon", "Nikon", "Olympus"}
+        # there may be more cameras (expensive without pictures)
+        assert wh.may_match(query5())
+
+    def test_semantic_claims(self, setup):
+        wh, _source = setup
+        nikon_pic = DataTree.build(
+            node("cat0", "catalog", 0,
+                 [node("p-nikon", "product", 0, [node("f", "picture", "x.jpg")])])
+        )
+        assert not wh.is_possible_prefix(nikon_pic)
+        cheap_olympus = DataTree.build(
+            node("cat0", "catalog", 0,
+                 [node("p-olympus", "product", 0, [node("f", "price", 150)])])
+        )
+        assert not wh.is_possible_prefix(cheap_olympus)
+        fair_olympus = DataTree.build(
+            node("cat0", "catalog", 0,
+                 [node("p-olympus", "product", 0, [node("f", "price", 250)])])
+        )
+        assert wh.is_possible_prefix(fair_olympus)
+
+    def test_mediated_answer(self, setup, catalog_doc):
+        wh, source = setup
+        before = source.stats.nodes_served
+        answer, plan = wh.complete_and_answer(source, query4())
+        assert answer == query4().evaluate(catalog_doc)
+        assert plan
+        assert source.stats.nodes_served - before < len(catalog_doc)
+
+    def test_possible_answers_structure(self, setup, catalog_doc):
+        wh, _source = setup
+        answers = wh.possible_answers(query4())
+        assert answers.contains(query4().evaluate(catalog_doc))
+
+
+class TestLifecycle:
+    def test_reset(self, catalog_tt, catalog_doc):
+        source = InMemorySource(catalog_doc, catalog_tt)
+        wh = Webhouse(CATALOG_ALPHABET, tree_type=catalog_tt)
+        wh.ask(source, query1())
+        assert wh.history
+        wh.reset()
+        assert not wh.history
+        assert wh.data_tree().is_empty()
+
+    def test_compact_keeps_data(self, catalog_tt, catalog_doc):
+        source = InMemorySource(catalog_doc, catalog_tt)
+        wh = Webhouse(CATALOG_ALPHABET, tree_type=catalog_tt)
+        wh.ask(source, query1())
+        before = wh.size()
+        data_before = set(wh.data_tree().node_ids())
+        wh.compact()
+        assert set(wh.data_tree().node_ids()) == data_before
+        assert wh.size() <= before
+
+    def test_auto_minimize_mode(self, catalog_tt, catalog_doc):
+        source = InMemorySource(catalog_doc, catalog_tt)
+        fat = Webhouse(CATALOG_ALPHABET, tree_type=catalog_tt)
+        slim = Webhouse(CATALOG_ALPHABET, tree_type=catalog_tt, auto_minimize=True)
+        for wh in (fat, slim):
+            wh.ask(InMemorySource(catalog_doc, catalog_tt), query1())
+            wh.ask(InMemorySource(catalog_doc, catalog_tt), query2())
+        assert slim.size() <= fat.size()
+        assert slim.can_answer(query3()) == fat.can_answer(query3())
+
+    def test_without_tree_type(self, catalog_doc):
+        wh = Webhouse(CATALOG_ALPHABET)
+        source = InMemorySource(catalog_doc)
+        wh.ask(source, query1())
+        assert wh.can_answer(query1())
+
+    def test_small_alphabet_session(self):
+        alphabet = ["root", "a", "b"]
+        doc = DataTree.build(
+            node("r", "root", 0, [node("x", "a", 5, [node("y", "b", 1)])])
+        )
+        source = InMemorySource(doc)
+        wh = Webhouse(alphabet)
+        q = linear_query(["root", "a"], [None, Cond.gt(0)])
+        wh.ask(source, q)
+        assert wh.can_answer(q)
+        answer, _plan = wh.complete_and_answer(
+            source, linear_query(["root", "a", "b"])
+        )
+        assert answer == linear_query(["root", "a", "b"]).evaluate(doc)

@@ -1,0 +1,85 @@
+"""XML serialization of incomplete trees: exact round trips."""
+
+import pytest
+
+from repro.core.conditions import Cond
+from repro.core.tree import DataTree, node
+from repro.incomplete.xml_view import (
+    cond_from_element,
+    cond_to_element,
+    incomplete_from_xml,
+    incomplete_to_xml,
+)
+from repro.refine.refine import refine_sequence
+from repro.refine.type_intersect import intersect_with_tree_type
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    demo_catalog,
+    query1,
+)
+
+
+class TestCondRoundTrip:
+    @pytest.mark.parametrize(
+        "cond",
+        [
+            Cond.true(),
+            Cond.false(),
+            Cond.eq(5),
+            Cond.eq("elec"),
+            Cond.lt(200) & Cond.ne(100),
+            ~(Cond.eq(0) | Cond.eq(1)),
+            Cond.ne("camera") & Cond.gt(-3),
+            Cond.ge(1) | Cond.eq("x") | Cond.eq("y"),
+        ],
+    )
+    def test_roundtrip(self, cond):
+        back = cond_from_element(cond_to_element(cond))
+        assert back.equivalent(cond)
+
+
+class TestIncompleteTreeRoundTrip:
+    def test_example_2_2(self, example_2_2):
+        incomplete, _q = example_2_2
+        back = incomplete_from_xml(incomplete_to_xml(incomplete))
+        assert back.data_nodes() == incomplete.data_nodes()
+        assert back.allows_empty == incomplete.allows_empty
+        assert back.type.roots == incomplete.type.roots
+        # semantic agreement on witnesses
+        witnesses = [
+            DataTree.build(node("r", "root", 0, [node("n", "a", 0)])),
+            DataTree.build(
+                node("r", "root", 0, [node("n", "a", 0), node("x", "a", 3)])
+            ),
+            DataTree.build(
+                node("r", "root", 0, [node("n", "a", 0), node("x", "a", 0)])
+            ),
+            DataTree.empty(),
+        ]
+        for tree in witnesses:
+            assert back.contains(tree) == incomplete.contains(tree)
+
+    def test_refined_catalog_roundtrip(self):
+        doc = demo_catalog()
+        knowledge = intersect_with_tree_type(
+            refine_sequence(
+                CATALOG_ALPHABET, [(query1(), query1().evaluate(doc))]
+            ),
+            catalog_type(),
+        )
+        text = incomplete_to_xml(knowledge)
+        back = incomplete_from_xml(text)
+        assert back.contains(doc)
+        assert back.data_node_ids() == knowledge.data_node_ids()
+        assert back.size() == knowledge.size()
+
+    def test_rejects_wrong_root(self):
+        with pytest.raises(ValueError):
+            incomplete_from_xml("<something/>")
+
+    def test_document_is_browsable(self, example_2_2):
+        incomplete, _q = example_2_2
+        text = incomplete_to_xml(incomplete)
+        assert "<data>" in text and "<type" in text
+        assert 'kind="node"' in text and 'kind="label"' in text
