@@ -8,10 +8,11 @@ claims and complexity statements; the series make them measurable).
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Sequence
 
+import repro.obs as obs
 from repro.answering.query_incomplete import query_incomplete
+from repro.obs.timing import timed, timer
 from repro.core.conditions import Cond
 from repro.core.query import linear_query
 from repro.core.tree import DataTree, node
@@ -39,12 +40,6 @@ from repro.workloads.catalog import (
 )
 
 Row = Dict[str, object]
-
-
-def timed(fn: Callable[[], object]) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
 
 
 def print_table(title: str, rows: Sequence[Row]) -> None:
@@ -164,6 +159,12 @@ def series_blowup(max_n: int = 8) -> List[Row]:
 
 
 def series_refine_cost(sizes=(5, 10, 20, 40, 80)) -> List[Row]:
+    """Per-step Refine wall time, annotated with operation counts.
+
+    Each row is measured under an obs capture so it can report not just
+    seconds (the ``refine.step`` span) but how much work the step did:
+    specializations generated by the product and the result size.
+    """
     tt = catalog_type()
     rows = []
     for n in sizes:
@@ -173,9 +174,19 @@ def series_refine_cost(sizes=(5, 10, 20, 40, 80)) -> List[Row]:
         base = universal_incomplete(CATALOG_ALPHABET)
         from repro.refine.refine import refine
 
-        seconds = timed(lambda: refine(base, q, answer, CATALOG_ALPHABET))
+        with obs.capture():
+            obs.reset()
+            seconds = timed(lambda: refine(base, q, answer, CATALOG_ALPHABET))
+            specializations = obs.metrics.value("refine.specializations")
+            result_sizes = obs.metrics.series("refine.result_size")
         rows.append(
-            {"products": n, "answer_nodes": len(answer), "refine_s": seconds}
+            {
+                "products": n,
+                "answer_nodes": len(answer),
+                "refine_s": seconds,
+                "specializations": specializations,
+                "result_size": result_sizes[-1] if result_sizes else 0,
+            }
         )
     return rows
 
@@ -213,15 +224,14 @@ def series_sat_emptiness() -> List[Row]:
     rows = []
     for name, n_vars, clauses in cases:
         instance = build_instance(n_vars, clauses)
-        start = time.perf_counter()
-        got = decide_by_representation(instance)
-        seconds = time.perf_counter() - start
+        with timer() as clock:
+            got = decide_by_representation(instance)
         rows.append(
             {
                 "instance": name,
                 "satisfiable": got,
                 "agrees": got == brute_force_sat(n_vars, clauses),
-                "seconds": seconds,
+                "seconds": clock.seconds,
             }
         )
     return rows
@@ -318,10 +328,9 @@ def series_branching(max_n: int = 3) -> List[Row]:
 
     rows = []
     for n in range(1, max_n + 1):
-        start = time.perf_counter()
-        count = count_possible_answers(n)
-        seconds = time.perf_counter() - start
-        rows.append({"n": n, "distinct_answers": count, "seconds": seconds})
+        with timer() as clock:
+            count = count_possible_answers(n)
+        rows.append({"n": n, "distinct_answers": count, "seconds": clock.seconds})
     return rows
 
 

@@ -61,6 +61,7 @@ from .incomplete import (
     enumerate_trees,
     possible_prefix,
 )
+from . import obs
 from .mediator import InMemorySource, LocalQuery, Webhouse, completion_plan
 from .refine import (
     ConjunctiveIncompleteTree,
@@ -113,6 +114,7 @@ __all__ = [
     "linear_query",
     "merge_equivalent_symbols",
     "node",
+    "obs",
     "parse_cond",
     "parse_query",
     "pattern",

@@ -2,9 +2,13 @@
 
 ::
 
-    python -m repro demo          # the paper's catalog scenario
-    python -m repro blowup [n]    # Example 3.2 size table
-    python -m repro xml FILE      # parse & pretty-print a document
+    python -m repro demo                      # the paper's catalog scenario
+    python -m repro blowup [n]                # Example 3.2 size table
+    python -m repro xml FILE                  # parse & pretty-print a document
+    python -m repro stats [--trace FILE] [n]  # run the catalog workload under
+                                              # observability; dump metrics and
+                                              # the span trace tree as JSON (and
+                                              # raw events as JSONL to FILE)
 """
 
 from __future__ import annotations
@@ -62,6 +66,83 @@ def _blowup(n: int) -> int:
     return 0
 
 
+def _stats(args: list[str]) -> int:
+    """Run the catalog workload under observability, dump JSON.
+
+    The output document has three top-level keys: ``webhouse`` (the
+    warehouse's own :meth:`Webhouse.stats`), ``metrics`` (global
+    counters/histograms, including the per-record knowledge-size series)
+    and ``trace`` (the span trees).  With ``--trace FILE`` the raw event
+    stream is additionally written to FILE as JSON lines.
+    """
+    import json
+
+    from . import obs
+    from .mediator.source import InMemorySource
+    from .mediator.webhouse import Webhouse
+    from .core.tree import DataTree, node
+    from .workloads.catalog import (
+        CATALOG_ALPHABET,
+        catalog_type,
+        generate_catalog,
+        query1,
+        query2,
+        query3,
+        query4,
+    )
+
+    trace_file = None
+    args = list(args)
+    while "--trace" in args:
+        position = args.index("--trace")
+        if position + 1 >= len(args):
+            print("usage: python -m repro stats [--trace FILE] [n]", file=sys.stderr)
+            return 2
+        trace_file = args[position + 1]
+        del args[position : position + 2]
+    if args and not (args[0].isdigit() and int(args[0]) > 0):
+        print("usage: python -m repro stats [--trace FILE] [n]", file=sys.stderr)
+        return 2
+    products = int(args[0]) if args else 10
+
+    ring = obs.RingBufferSink()
+    jsonl = obs.JsonLinesSink(trace_file) if trace_file is not None else None
+    sink = obs.TeeSink(ring, jsonl) if jsonl is not None else ring
+
+    tree_type = catalog_type()
+    document = generate_catalog(products, seed=products)
+    source = InMemorySource(document, tree_type)
+    webhouse = Webhouse(CATALOG_ALPHABET, tree_type=tree_type)
+
+    obs.reset()
+    with obs.capture(sink):
+        webhouse.ask(source, query1())
+        webhouse.ask(source, query2())
+        webhouse.can_answer(query3())
+        webhouse.possible_answers(query4())
+        # a structured prefix check, so the matching counters light up
+        probe = DataTree.build(
+            node(
+                "cat0",
+                "catalog",
+                0,
+                [node("ghost", "product", 0, [node("gp", "price", 999)])],
+            )
+        )
+        webhouse.is_possible_prefix(probe)
+        webhouse.is_certain_prefix(probe)
+        webhouse.complete_and_answer(source, query4())
+        payload = {
+            "workload": {"name": "catalog", "products": products},
+            "webhouse": webhouse.stats(),
+        }
+    payload.update(obs.snapshot())
+    if jsonl is not None:
+        jsonl.close()
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def _xml(path: str) -> int:
     from .core.xml_io import tree_from_xml
 
@@ -80,6 +161,8 @@ def main(argv: list[str]) -> int:
     if command == "blowup":
         n = int(argv[2]) if len(argv) > 2 else 8
         return _blowup(n)
+    if command == "stats":
+        return _stats(argv[2:])
     if command == "xml":
         if len(argv) < 3:
             print("usage: python -m repro xml FILE", file=sys.stderr)

@@ -36,6 +36,8 @@ from ..core.query import PSQuery, Path
 from ..core.tree import DataTree, NodeId
 from ..incomplete.conditional import ConditionalTreeType
 from ..incomplete.incomplete_tree import DataNode, IncompleteTree
+from ..obs.spans import span as _span
+from ..obs.state import STATE as _OBS
 
 #: Marker path for the verbatim below-bar copy family.
 _SUB = "#sub"
@@ -117,14 +119,28 @@ def query_incomplete(
     incomplete: IncompleteTree, query: PSQuery
 ) -> IncompleteTree:
     """Theorem 3.14: the incomplete tree describing all possible answers."""
-    if incomplete.is_empty():
-        return IncompleteTree.nothing(allows_empty=False)
-    tau = incomplete.type.normalized()
-    node_ids = incomplete.data_node_ids()
-    poss, cert = type_possible_certain(incomplete, query)
+    with _span("query_incomplete") as sp:
+        if incomplete.is_empty():
+            return IncompleteTree.nothing(allows_empty=False)
+        tau = incomplete.type.normalized()
+        node_ids = incomplete.data_node_ids()
+        poss, cert = type_possible_certain(incomplete, query)
 
-    builder = _AnswerBuilder(incomplete, tau, query, poss, cert)
-    return builder.run()
+        builder = _AnswerBuilder(incomplete, tau, query, poss, cert)
+        result = builder.run()
+        if _OBS.enabled:
+            generated = len(builder._sigma)
+            metrics = _OBS.metrics
+            metrics.inc("query_incomplete.calls")
+            metrics.inc("query_incomplete.symbols_generated", generated)
+            metrics.observe("query_incomplete.result_size", result.size())
+            if sp is not None:
+                sp.attrs.update(
+                    input_symbols=len(tau.symbols()),
+                    symbols_generated=generated,
+                    result_size=result.size(),
+                )
+        return result
 
 
 class _AnswerBuilder:

@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..obs.state import STATE as _OBS
+
 Node = Hashable
 
 _INF = float("inf")
@@ -58,16 +60,26 @@ class Dinic:
             return 0.0
         s, t = self._index[source], self._index[sink]
         total = 0.0
+        phases = 0
+        augmenting = 0
         while True:
             level = self._bfs(s, t)
             if level is None:
-                return total
+                break
+            phases += 1
             iters = [0] * len(self._graph)
             while True:
                 pushed = self._dfs(s, t, _INF, level, iters)
                 if not pushed:
                     break
+                augmenting += 1
                 total += pushed
+        if _OBS.enabled:
+            metrics = _OBS.metrics
+            metrics.inc("matching.max_flow_calls")
+            metrics.inc("matching.augmenting_paths", augmenting)
+            metrics.observe("matching.bfs_phases", phases)
+        return total
 
     def _bfs(self, s: int, t: int) -> Optional[List[int]]:
         level = [-1] * len(self._graph)
@@ -124,6 +136,10 @@ def max_bipartite_matching(
 
     for item in left:
         try_augment(item, set())
+    if _OBS.enabled:
+        metrics = _OBS.metrics
+        metrics.inc("matching.bipartite_calls")
+        metrics.observe("matching.matching_size", len(match_left))
     return match_left
 
 
@@ -154,6 +170,8 @@ def feasible_assignment(
     excess transformation (subtract lower bounds, route the deficit via a
     super source/sink) and run one max-flow.
     """
+    if _OBS.enabled:
+        _OBS.metrics.inc("matching.assignment_calls")
     # Quick infeasibility: total min exceeds item count, or max below it.
     total_min = sum(low for low, _ in slots.values())
     if total_min > len(items):

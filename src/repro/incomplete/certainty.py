@@ -27,6 +27,8 @@ from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 from ..core.matching import feasible_assignment, has_perfect_matching
 from ..core.tree import DataTree, NodeId
 from ..core.values import values_equal
+from ..obs.spans import span as _span
+from ..obs.state import STATE as _OBS
 from .incomplete_tree import IncompleteTree
 
 
@@ -132,15 +134,22 @@ class _Analysis:
 
     def possible_sets(self) -> Dict[NodeId, FrozenSet[str]]:
         tree, tau = self._prefix, self._tau
-        poss: Dict[NodeId, FrozenSet[str]] = {}
-        for node_id in reversed(list(tree.node_ids())):
-            children = tree.children(node_id)
-            good: Set[str] = set()
-            for symbol in self._candidates(node_id, forced=False):
-                if self._possibly_hosts(symbol, children, poss):
-                    good.add(symbol)
-            poss[node_id] = frozenset(good)
-        return poss
+        with _span("certainty.possible_sets") as sp:
+            poss: Dict[NodeId, FrozenSet[str]] = {}
+            for node_id in reversed(list(tree.node_ids())):
+                children = tree.children(node_id)
+                good: Set[str] = set()
+                for symbol in self._candidates(node_id, forced=False):
+                    if self._possibly_hosts(symbol, children, poss):
+                        good.add(symbol)
+                poss[node_id] = frozenset(good)
+            if _OBS.enabled:
+                metrics = _OBS.metrics
+                metrics.inc("certainty.possible_sets_calls")
+                metrics.observe("certainty.nodes_processed", len(poss))
+                if sp is not None:
+                    sp.attrs.update(nodes=len(poss), symbols=len(tau.symbols()))
+            return poss
 
     def _possibly_hosts(
         self,
@@ -166,18 +175,25 @@ class _Analysis:
 
     def certain_sets(self) -> Dict[NodeId, FrozenSet[str]]:
         tree, tau = self._prefix, self._tau
-        cert: Dict[NodeId, FrozenSet[str]] = {}
-        for node_id in reversed(list(tree.node_ids())):
-            children = tree.children(node_id)
-            good: Set[str] = set()
-            for symbol in self._candidates(node_id, forced=True):
-                if all(
-                    self._certainly_hosts(atom, children, cert)
-                    for atom in tau.mu(symbol)
-                ):
-                    good.add(symbol)
-            cert[node_id] = frozenset(good)
-        return cert
+        with _span("certainty.certain_sets") as sp:
+            cert: Dict[NodeId, FrozenSet[str]] = {}
+            for node_id in reversed(list(tree.node_ids())):
+                children = tree.children(node_id)
+                good: Set[str] = set()
+                for symbol in self._candidates(node_id, forced=True):
+                    if all(
+                        self._certainly_hosts(atom, children, cert)
+                        for atom in tau.mu(symbol)
+                    ):
+                        good.add(symbol)
+                cert[node_id] = frozenset(good)
+            if _OBS.enabled:
+                metrics = _OBS.metrics
+                metrics.inc("certainty.certain_sets_calls")
+                metrics.observe("certainty.nodes_processed", len(cert))
+                if sp is not None:
+                    sp.attrs.update(nodes=len(cert), symbols=len(tau.symbols()))
+            return cert
 
     def _certainly_hosts(self, atom, children, cert) -> bool:
         """Every tree built with this atom must contain all the children:

@@ -32,6 +32,7 @@ from ..core.conditions import Cond
 from ..core.matching import feasible_assignment
 from ..core.multiplicity import Atom, Disjunction, Mult
 from ..core.tree import DataTree, NodeId
+from ..obs.state import STATE as _OBS
 
 #: ``candidates(tree, node_id)`` -> symbols that may type this node.
 CandidatesFn = Callable[[DataTree, NodeId], Iterable[str]]
@@ -149,8 +150,10 @@ class ConditionalTreeType:
         emptiness argument behind Lemma 2.5.
         """
         productive: Set[str] = set()
+        rounds = 0
         changed = True
         while changed:
+            rounds += 1
             changed = False
             for symbol in self._sigma:
                 if symbol in productive:
@@ -162,10 +165,16 @@ class ConditionalTreeType:
                         productive.add(symbol)
                         changed = True
                         break
+        if _OBS.enabled:
+            metrics = _OBS.metrics
+            metrics.inc("emptiness.productivity_calls")
+            metrics.observe("emptiness.fixpoint_rounds", rounds)
         return frozenset(productive)
 
     def is_empty(self) -> bool:
         """Emptiness of rep(τ) — PTIME (Lemma 2.5)."""
+        if _OBS.enabled:
+            _OBS.metrics.inc("emptiness.is_empty_calls")
         return not (self._roots & self.productive_symbols())
 
     def useful_symbols(self) -> FrozenSet[str]:

@@ -14,7 +14,7 @@ and otherwise plans non-redundant local queries against the source
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..answering.answerable import fully_answerable
 from ..answering.facts import certainly_nonempty, possibly_nonempty
@@ -24,6 +24,9 @@ from ..core.tree import DataTree
 from ..core.treetype import TreeType
 from ..incomplete.certainty import certain_prefix, possible_prefix
 from ..incomplete.incomplete_tree import IncompleteTree
+from ..obs.registry import Metrics
+from ..obs.spans import span as _span
+from ..obs.state import STATE as _OBS
 from ..refine.heuristics import forget_specializations
 from ..refine.inverse import universal_incomplete
 from ..refine.minimize import merge_equivalent_symbols
@@ -51,22 +54,41 @@ class Webhouse:
         self._state = universal_incomplete(self._alphabet)
         self._knowledge_cache: Optional[IncompleteTree] = None
         self.history: List[Tuple[PSQuery, DataTree]] = []
+        #: Per-instance books (always on, cheap): counts of the operations
+        #: this warehouse performed, independent of the global obs switch.
+        self.metrics = Metrics()
 
     # -- acquisition -------------------------------------------------------------
 
     def record(self, query: PSQuery, answer: DataTree) -> None:
         """Refine knowledge with one query/answer pair (Theorem 3.4)."""
-        self._state = refine(self._state, query, answer, self._alphabet)
-        if self._auto_minimize:
-            self._state = merge_equivalent_symbols(self._state)
-        self._knowledge_cache = None
-        self.history.append((query, answer))
+        with _span("webhouse.record") as sp:
+            self._state = refine(self._state, query, answer, self._alphabet)
+            if self._auto_minimize:
+                self._state = merge_equivalent_symbols(self._state)
+            self._knowledge_cache = None
+            self.history.append((query, answer))
+            self.metrics.inc("webhouse.records")
+            if _OBS.enabled:
+                size = self._state.size()
+                _OBS.metrics.inc("webhouse.records")
+                _OBS.metrics.observe("webhouse.knowledge_size", size)
+                if sp is not None:
+                    sp.attrs.update(
+                        step=len(self.history),
+                        answer_nodes=len(answer),
+                        knowledge_size=size,
+                    )
 
     def ask(self, source: InMemorySource, query: PSQuery) -> DataTree:
         """Query the source and fold the answer into knowledge."""
-        answer = source.ask(query)
-        self.record(query, answer)
-        return answer
+        with _span("webhouse.ask"):
+            answer = source.ask(query)
+            self.metrics.inc("webhouse.asks")
+            if _OBS.enabled:
+                _OBS.metrics.inc("webhouse.asks")
+            self.record(query, answer)
+            return answer
 
     def reset(self) -> None:
         """Re-initialize to the bare type — the paper's answer to source
@@ -95,6 +117,27 @@ class Webhouse:
 
     def size(self) -> int:
         return self.knowledge.size()
+
+    def stats(self) -> Dict[str, int]:
+        """Operation counts and current knowledge shape, as plain data.
+
+        Built on the per-instance metrics registry (``self.metrics``) so
+        the counts are exact whether or not global observability is on.
+        """
+        knowledge = self.knowledge
+        return {
+            "queries_recorded": len(self.history),
+            "asks": int(self.metrics.value("webhouse.asks")),
+            "source_completions": int(self.metrics.value("webhouse.completions")),
+            "knowledge_size": knowledge.size(),
+            "specializations": len(knowledge.type.symbols()),
+            "data_nodes": len(knowledge.data_node_ids()),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        rendered = ", ".join(f"{key}={value}" for key, value in stats.items())
+        return f"Webhouse({rendered})"
 
     def compact(self, labels: Optional[Iterable[str]] = None) -> None:
         """Apply the lossy forgetting heuristic (Section 3.2) in place."""
@@ -174,19 +217,26 @@ class Webhouse:
         Returns the exact answer and the executed plan.  Local answers
         are folded into knowledge for future queries.
         """
-        plan = self.completion_plan(query)
-        merged = self.data_tree()
-        for local in plan:
-            if local.node == "":
-                # nothing known yet: the plan degenerates to the query
-                # itself at the document root (which also records it)
-                answer = self.ask(source, local.query)
-                return answer, plan
-            answer = source.ask_local(local.query, local.node)
-            if not answer.is_empty():
-                merged = overlay(merged, answer)
-        result = query.evaluate(merged)
-        return result, plan
+        with _span("webhouse.complete_and_answer") as sp:
+            plan = self.completion_plan(query)
+            self.metrics.inc("webhouse.completions")
+            if _OBS.enabled:
+                _OBS.metrics.inc("webhouse.completions")
+                _OBS.metrics.observe("webhouse.plan_queries", len(plan))
+                if sp is not None:
+                    sp.attrs["plan_queries"] = len(plan)
+            merged = self.data_tree()
+            for local in plan:
+                if local.node == "":
+                    # nothing known yet: the plan degenerates to the query
+                    # itself at the document root (which also records it)
+                    answer = self.ask(source, local.query)
+                    return answer, plan
+                answer = source.ask_local(local.query, local.node)
+                if not answer.is_empty():
+                    merged = overlay(merged, answer)
+            result = query.evaluate(merged)
+            return result, plan
 
 
 __all__ = ["Webhouse"]

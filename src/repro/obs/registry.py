@@ -1,0 +1,151 @@
+"""Named counters and histograms — the metrics half of ``repro.obs``.
+
+A :class:`Metrics` registry owns :class:`Counter` and :class:`Histogram`
+instances keyed by dotted names (``"refine.specializations"``,
+``"matching.augmenting_paths"``).  Instruments are created lazily on
+first use so call sites never need registration boilerplate, and
+:meth:`Metrics.snapshot` renders the whole registry as plain dicts ready
+for ``json.dumps``.
+
+Histograms keep aggregate moments plus a bounded window of recent
+observations (``recent``) so ordered series — e.g. knowledge size after
+each recorded query, the live view of Example 3.2's blowup — stay
+readable without unbounded memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+#: How many raw observations a histogram retains for series inspection.
+RECENT_WINDOW = 1024
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Aggregate moments plus a bounded window of raw observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "recent")
+
+    def __init__(self, name: str, window: int = RECENT_WINDOW):
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.recent: Deque[Number] = deque(maxlen=window)
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.recent.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "recent": list(self.recent),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.4g})"
+
+
+class Metrics:
+    """A registry of named counters and histograms.
+
+    One global instance lives on :data:`repro.obs.state.STATE`;
+    components that want private books (e.g. per-:class:`Webhouse`
+    statistics) instantiate their own.
+    """
+
+    __slots__ = ("_counters", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access -----------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> Number:
+        """Current value of a counter (0 when never incremented)."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def series(self, name: str) -> List[Number]:
+        """Recent observations of a histogram (empty when unknown)."""
+        instrument = self._histograms.get(name)
+        return list(instrument.recent) if instrument is not None else []
+
+    def counters(self) -> Dict[str, Number]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, object]]:
+        return {name: h.summary() for name, h in sorted(self._histograms.items())}
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The whole registry as JSON-ready plain data."""
+        return {"counters": self.counters(), "histograms": self.histograms()}
+
+    def reset(self) -> None:
+        """Drop every instrument (identity of the registry is preserved)."""
+        self._counters.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"Metrics({len(self._counters)} counters, "
+            f"{len(self._histograms)} histograms)"
+        )

@@ -1,0 +1,100 @@
+"""Event sinks — where finished spans and point events are delivered.
+
+A sink is anything with an ``emit(event: dict) -> None`` method.  Events
+are flat JSON-ready dicts (see ``docs/OBSERVABILITY.md`` for the
+schema).  Three concrete sinks cover the use cases:
+
+* :class:`NullSink` — swallows everything; the default, so that leaving
+  instrumentation compiled into the hot paths costs one flag check;
+* :class:`RingBufferSink` — keeps the last N events in memory for tests
+  and interactive inspection;
+* :class:`JsonLinesSink` — streams events as JSON lines to a file or
+  file-like object (the ``python -m repro stats --trace FILE`` target).
+
+:class:`TeeSink` fans one event out to several sinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, IO, List, Optional, Union
+
+Event = Dict[str, object]
+
+
+class Sink:
+    """Protocol base: subclasses override :meth:`emit`."""
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self._buffer: Deque[Event] = deque(maxlen=capacity)
+
+    def emit(self, event: Event) -> None:
+        self._buffer.append(event)
+
+    def events(self) -> List[Event]:
+        return list(self._buffer)
+
+    def drain(self) -> List[Event]:
+        events = list(self._buffer)
+        self._buffer.clear()
+        return events
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonLinesSink(Sink):
+    """Writes one JSON object per line to a path or open stream."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.emitted = 0
+
+    def emit(self, event: Event) -> None:
+        self._stream.write(json.dumps(event, sort_keys=True, default=str))
+        self._stream.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class TeeSink(Sink):
+    """Forwards every event to each of the wrapped sinks."""
+
+    def __init__(self, *sinks: Sink):
+        self._sinks = sinks
+
+    def emit(self, event: Event) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()

@@ -1,0 +1,157 @@
+"""Nestable timing spans producing a structured trace tree.
+
+``with span("refine.step", step=3) as sp:`` opens a timed region.  Spans
+nest: a span opened while another is active becomes its child, so one
+``refine.sequence`` span ends up holding one ``refine.step`` child per
+query/answer pair, each with its own attributes (specialization counts,
+result sizes).  Closed root spans are appended to ``STATE.traces`` and
+every closed span is also:
+
+* emitted to the active sink as a flat ``{"type": "span", ...}`` event
+  (depth-annotated, so a JSONL file can be re-assembled into a tree), and
+* observed into the histogram ``span.<name>.seconds`` — spans double as
+  wall-time metrics without a separate ``timed()`` call.
+
+When observability is disabled ``span()`` returns a shared no-op context
+manager and yields ``None`` — call sites write
+``if sp is not None: sp.attrs[...] = ...`` for any attribute whose
+computation is not free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from .state import STATE
+
+
+class Span:
+    """One timed region of a trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "events")
+
+    def __init__(self, name: str, attrs: Dict[str, object]):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+        self.events: List[Dict[str, object]] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds elapsed (live spans measure up to now)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready nested rendering (the trace-tree schema)."""
+        rendered: Dict[str, object] = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.attrs:
+            rendered["attrs"] = dict(self.attrs)
+        if self.events:
+            rendered["events"] = list(self.events)
+        if self.children:
+            rendered["children"] = [child.to_dict() for child in self.children]
+        return rendered
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendants (including self) with the given name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration:.6f}s, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL = _NullSpan()
+
+
+class _ActiveSpan:
+    __slots__ = ("_span",)
+
+    def __init__(self, name: str, attrs: Dict[str, object]):
+        self._span = Span(name, attrs)
+
+    def __enter__(self) -> Span:
+        opened = self._span
+        STATE.stack.append(opened)
+        opened.start = time.perf_counter()
+        return opened
+
+    def __exit__(self, *exc: object) -> bool:
+        closed = self._span
+        closed.end = time.perf_counter()
+        stack = STATE.stack
+        if stack and stack[-1] is closed:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(closed)
+        else:
+            STATE.add_trace(closed)
+        STATE.metrics.observe(f"span.{closed.name}.seconds", closed.end - closed.start)
+        STATE.sink.emit(
+            {
+                "type": "span",
+                "name": closed.name,
+                "duration_s": closed.end - closed.start,
+                "depth": len(stack),
+                "attrs": dict(closed.attrs),
+            }
+        )
+        return False
+
+
+def span(name: str, **attrs: object):
+    """Open a timed span (no-op yielding ``None`` when disabled)."""
+    if not STATE.enabled:
+        return _NULL
+    return _ActiveSpan(name, attrs)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of this thread, if any."""
+    if not STATE.enabled:
+        return None
+    stack = STATE.stack
+    return stack[-1] if stack else None  # type: ignore[return-value]
+
+
+def add_attrs(**attrs: object) -> None:
+    """Attach attributes to the innermost open span (no-op when disabled)."""
+    active = current_span()
+    if active is not None:
+        active.attrs.update(attrs)
+
+
+def event(name: str, **attrs: object) -> None:
+    """Record a point event on the current span and the sink."""
+    if not STATE.enabled:
+        return
+    record: Dict[str, object] = {"type": "event", "name": name}
+    if attrs:
+        record["attrs"] = attrs
+    active = current_span()
+    if active is not None:
+        entry: Dict[str, object] = {"name": name}
+        if attrs:
+            entry["attrs"] = dict(attrs)
+        active.events.append(entry)
+    STATE.sink.emit(record)

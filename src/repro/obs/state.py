@@ -1,0 +1,63 @@
+"""Global observability state: one slotted singleton, one flag.
+
+Instrumented hot paths import :data:`STATE` and guard every piece of
+bookkeeping with ``if STATE.enabled:`` — a single attribute load on a
+slotted object — so that the disabled default (the :class:`NullSink`
+configuration) is near-free.  Nothing below this flag check may format
+attributes, compute sizes, or allocate.
+
+The state owns:
+
+* ``enabled`` — the master switch;
+* ``metrics`` — the global :class:`~repro.obs.registry.Metrics` registry;
+* ``sink`` — where finished spans / events are delivered;
+* a per-thread span stack (traces from concurrent threads never
+  interleave) and a bounded list of finished root spans (``traces``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from .registry import Metrics
+from .sinks import NullSink, Sink
+
+
+class ObsState:
+    __slots__ = ("enabled", "metrics", "sink", "traces", "max_traces", "_local", "_lock")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.metrics = Metrics()
+        self.sink: Sink = NullSink()
+        self.traces: List[object] = []  # finished root Spans, oldest first
+        self.max_traces: int = 256
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def stack(self) -> List[object]:
+        """This thread's stack of open spans."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def add_trace(self, span: object) -> None:
+        with self._lock:
+            self.traces.append(span)
+            overflow = len(self.traces) - self.max_traces
+            if overflow > 0:
+                del self.traces[:overflow]
+
+    def clear(self) -> None:
+        """Drop collected metrics and traces (configuration is kept)."""
+        self.metrics.reset()
+        with self._lock:
+            self.traces.clear()
+
+
+#: The process-wide observability state.
+STATE = ObsState()

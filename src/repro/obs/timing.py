@@ -1,0 +1,42 @@
+"""Shared wall-clock helpers (the one place timing code lives).
+
+``timed(fn)`` is the micro-benchmark helper previously duplicated in
+``benchmarks/series.py``; ``timer()`` is its context-manager sibling for
+timing a block without wrapping it in a closure.  Both are deliberately
+independent of the enabled flag — benchmarks always want the number —
+while :func:`~repro.obs.spans.span` is the instrumented counterpart.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+def timed(fn: Callable[[], object]) -> float:
+    """Seconds taken by one call of ``fn``."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+class Timer:
+    """Result object of :func:`timer`; ``seconds`` is set on exit."""
+
+    __slots__ = ("start", "seconds")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.seconds: float = 0.0
+
+
+@contextmanager
+def timer() -> Iterator[Timer]:
+    """``with timer() as t: ...`` then read ``t.seconds``."""
+    clock = Timer()
+    clock.start = time.perf_counter()
+    try:
+        yield clock
+    finally:
+        clock.seconds = time.perf_counter() - clock.start

@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Tuple
 from ..core.multiplicity import Atom, Disjunction, Mult
 from ..incomplete.conditional import ConditionalTreeType
 from ..incomplete.incomplete_tree import IncompleteTree
+from ..obs.spans import span as _span
+from ..obs.state import STATE as _OBS
 
 
 def merge_equivalent_symbols(incomplete: IncompleteTree) -> IncompleteTree:
@@ -33,12 +35,22 @@ def merge_equivalent_symbols(incomplete: IncompleteTree) -> IncompleteTree:
     Iterating matters: once two leaf-level symbols merge, their parents'
     rules become syntactically equal and merge on the next round.
     """
-    current = incomplete
-    while True:
-        merged = _merge_once(current)
-        if merged is None:
-            return current
-        current = merged
+    with _span("refine.minimize") as sp:
+        current = incomplete
+        rounds = 0
+        while True:
+            merged = _merge_once(current)
+            if merged is None:
+                break
+            rounds += 1
+            current = merged
+        if _OBS.enabled:
+            merged_count = len(incomplete.type.symbols()) - len(current.type.symbols())
+            _OBS.metrics.inc("refine.symbols_merged", merged_count)
+            _OBS.metrics.observe("refine.minimize_rounds", rounds)
+            if sp is not None:
+                sp.attrs.update(rounds=rounds, symbols_merged=merged_count)
+        return current
 
 
 def _merge_once(incomplete: IncompleteTree) -> Optional[IncompleteTree]:

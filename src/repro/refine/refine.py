@@ -22,6 +22,8 @@ from ..core.query import PSQuery
 from ..core.tree import DataTree
 from ..core.treetype import TreeType
 from ..incomplete.incomplete_tree import IncompleteTree
+from ..obs.spans import span as _span
+from ..obs.state import STATE as _OBS
 from .intersect import intersect
 from .inverse import inverse_incomplete, universal_incomplete
 from .type_intersect import intersect_with_tree_type
@@ -38,9 +40,24 @@ def refine(
     normalize: bool = True,
 ) -> IncompleteTree:
     """One Refine step: ``rep(result) = rep(current) ∩ q⁻¹(A)``."""
-    inverse = inverse_incomplete(query, answer, alphabet)
-    result = intersect(current, inverse)
-    return result.normalized() if normalize else result
+    with _span("refine.step") as sp:
+        inverse = inverse_incomplete(query, answer, alphabet)
+        result = intersect(current, inverse)
+        final = result.normalized() if normalize else result
+        if _OBS.enabled:
+            specializations = len(result.type.symbols())
+            size = final.size()
+            metrics = _OBS.metrics
+            metrics.inc("refine.steps")
+            metrics.inc("refine.specializations", specializations)
+            metrics.observe("refine.result_size", size)
+            if sp is not None:
+                sp.attrs.update(
+                    answer_nodes=len(answer),
+                    specializations=specializations,
+                    result_size=size,
+                )
+        return final
 
 
 def refine_sequence(
@@ -56,12 +73,18 @@ def refine_sequence(
     the Theorem 3.5 intersection.
     """
     labels = sorted(set(alphabet))
-    current = universal_incomplete(labels)
-    for query, answer in history:
-        current = refine(current, query, answer, labels, normalize=normalize)
-    if tree_type is not None:
-        current = intersect_with_tree_type(current, tree_type)
-    return current
+    with _span("refine.sequence", steps=len(history)) as sp:
+        current = universal_incomplete(labels)
+        for query, answer in history:
+            current = refine(current, query, answer, labels, normalize=normalize)
+            if _OBS.enabled:
+                _OBS.metrics.observe("refine.knowledge_size", current.size())
+        if tree_type is not None:
+            with _span("refine.type_intersect"):
+                current = intersect_with_tree_type(current, tree_type)
+        if _OBS.enabled and sp is not None:
+            sp.attrs["final_size"] = current.size()
+        return current
 
 
 def consistent_with(

@@ -29,6 +29,51 @@ class TestCli:
         out = capsys.readouterr().out
         assert "root[r]" in out
 
+    def test_stats_emits_valid_json(self, capsys):
+        import json
+
+        assert main(["repro", "stats", "5"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"] == {"name": "catalog", "products": 5}
+        assert doc["webhouse"]["queries_recorded"] >= 2
+        counters = doc["metrics"]["counters"]
+        assert counters["refine.steps"] >= 2
+        assert counters["matching.max_flow_calls"] > 0
+        growth = doc["metrics"]["histograms"]["webhouse.knowledge_size"]["recent"]
+        assert len(growth) >= 2 and growth == sorted(growth)
+        span_names = set()
+
+        def walk(span):
+            span_names.add(span["name"])
+            for child in span.get("children", ()):
+                walk(child)
+
+        for root in doc["trace"]:
+            walk(root)
+        assert "refine.step" in span_names
+        assert "webhouse.record" in span_names
+
+    def test_stats_trace_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["repro", "stats", "--trace", str(path), "5"]) == 0
+        json.loads(capsys.readouterr().out)  # stdout stays valid JSON
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events
+        assert {"refine.step"} <= {e["name"] for e in events}
+        assert all("duration_s" in e for e in events if e["type"] == "span")
+
+    def test_stats_trace_missing_file_argument(self):
+        assert main(["repro", "stats", "--trace"]) == 2
+
+    def test_stats_leaves_obs_disabled(self, capsys):
+        import repro.obs as obs
+
+        assert main(["repro", "stats", "5"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+
     def test_help(self, capsys):
         assert main(["repro", "--help"]) == 0
         assert "demo" in capsys.readouterr().out
