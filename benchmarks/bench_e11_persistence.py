@@ -1,0 +1,68 @@
+"""E11: persistence overhead and resume cost (docs/PERSISTENCE.md).
+
+Two questions:
+
+- How much does journaling (with per-event fsync) add to a refine step?
+  Compares ``Webhouse.record`` bare vs attached to a session.
+- How does resume time scale with history length, and how much does a
+  snapshot save over pure replay of the journal?
+
+Run:  PYTHONPATH=src python benchmarks/report.py E11
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+import series
+
+
+@pytest.mark.parametrize("steps", [4])
+def test_journal_overhead_benchmark(benchmark, steps):
+    from repro.mediator.webhouse import Webhouse
+    from repro.store import SessionStore
+    from repro.workloads.blowup import BLOWUP_ALPHABET, pair_queries
+
+    history = pair_queries(steps)
+
+    def journaled_session():
+        with tempfile.TemporaryDirectory() as root:
+            store = SessionStore(root, snapshot_every=10_000)
+            wh = Webhouse(BLOWUP_ALPHABET)
+            wh.attach(store.create("bench", BLOWUP_ALPHABET))
+            for query, answer in history:
+                wh.record(query, answer)
+            wh.detach()
+
+    benchmark(journaled_session)
+
+
+@pytest.mark.parametrize("steps", [4])
+def test_resume_benchmark(benchmark, steps):
+    from repro.mediator.webhouse import Webhouse
+    from repro.store import SessionStore
+    from repro.workloads.blowup import BLOWUP_ALPHABET, pair_queries
+
+    root = tempfile.mkdtemp(prefix="repro-bench-e11-")
+    store = SessionStore(root, snapshot_every=10_000)
+    wh = Webhouse(BLOWUP_ALPHABET)
+    wh.attach(store.create("bench", BLOWUP_ALPHABET))
+    for query, answer in pair_queries(steps):
+        wh.record(query, answer)
+    wh.detach()
+
+    def resume():
+        Webhouse.resume(store, "bench").detach()
+
+    benchmark(resume)
+
+
+if __name__ == "__main__":
+    series.print_table(
+        "E11: persistence overhead and resume cost",
+        series.series_persistence(),
+    )

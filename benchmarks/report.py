@@ -32,6 +32,10 @@ EXPERIMENTS = {
         series.series_query_incomplete_alphabet,
     ),
     "E10": ("mediator transfer savings (Theorem 3.19)", series.series_mediator),
+    "E11": (
+        "persistence overhead and resume cost (docs/PERSISTENCE.md)",
+        series.series_persistence,
+    ),
     "E15": ("branching answer blowup (Section 4)", series.series_branching),
     "E16": ("pebble automaton acceptance (Theorem 4.2)", series.series_pebble),
 }

@@ -320,6 +320,60 @@ def series_mediator(sizes=(10, 20, 40, 80)) -> List[Row]:
     return rows
 
 
+# -- E11: persistence overhead and resume cost ------------------------------------------------
+
+
+def series_persistence(step_counts=(2, 4, 6)) -> List[Row]:
+    """Journal-append overhead per refine step and resume cost.
+
+    For each history length: wall time of recording the history bare vs
+    journaled (fsync'd WAL appends), then resume time via pure journal
+    replay vs via a snapshot + empty suffix.
+    """
+    import tempfile
+
+    from repro.store import SessionStore
+    from repro.workloads.blowup import pair_queries
+
+    rows = []
+    for steps in step_counts:
+        history = pair_queries(steps)
+
+        bare_s = timed(
+            lambda: _record_history(Webhouse(BLOWUP_ALPHABET), history)
+        )
+
+        with tempfile.TemporaryDirectory() as root:
+            store = SessionStore(root, snapshot_every=10_000)
+            wh = Webhouse(BLOWUP_ALPHABET)
+            wh.attach(store.create("bench", BLOWUP_ALPHABET))
+            journaled_s = timed(lambda: _record_history(wh, history))
+            wh.detach()
+
+            replay_s = timed(lambda: Webhouse.resume(store, "bench").detach())
+
+            checkpoint = Webhouse.resume(store, "bench")
+            checkpoint.checkpoint()
+            checkpoint.detach()
+            snapshot_s = timed(lambda: Webhouse.resume(store, "bench").detach())
+
+        rows.append(
+            {
+                "steps": steps,
+                "record_bare_s": bare_s,
+                "record_journaled_s": journaled_s,
+                "resume_replay_s": replay_s,
+                "resume_snapshot_s": snapshot_s,
+            }
+        )
+    return rows
+
+
+def _record_history(wh: Webhouse, history) -> None:
+    for query, answer in history:
+        wh.record(query, answer)
+
+
 # -- E15: branching answer-count blowup ------------------------------------------------------
 
 

@@ -4,12 +4,16 @@
 Demonstrates the Section 1 scenario at a more realistic scale: a
 sequence of exploratory queries, local answering whenever Corollary
 3.15 allows it, incomplete answers via Theorem 3.14 when it does not,
-and transfer accounting for the mediated completions.
+transfer accounting for the mediated completions — and finally
+persistence: the session is journaled to disk, "killed", and resumed
+in a fresh warehouse that answers identically (docs/PERSISTENCE.md).
 
 Run:  python examples/webhouse_session.py
 """
 
-from repro import Cond, InMemorySource, PSQuery, Webhouse
+import tempfile
+
+from repro import Cond, InMemorySource, PSQuery, SessionStore, Webhouse
 from repro.core import pattern
 from repro.workloads.catalog import (
     CATALOG_ALPHABET,
@@ -27,8 +31,15 @@ def main() -> None:
     document = generate_catalog(30, seed=7)
     source = InMemorySource(document, tree_type)
     webhouse = Webhouse(CATALOG_ALPHABET, tree_type=tree_type, auto_minimize=True)
+    store = SessionStore(tempfile.mkdtemp(prefix="repro-session-"))
+    webhouse.attach(
+        store.create(
+            "catalog-demo", CATALOG_ALPHABET, tree_type=tree_type, auto_minimize=True
+        )
+    )
 
     print(f"document: {len(document)} nodes, 30 products")
+    print(f"journaling to {store.root}/catalog-demo")
 
     # exploratory phase: two overlapping range queries
     q_cheap = product_query(
@@ -85,6 +96,22 @@ def main() -> None:
 
     print(f"\nsource served {source.stats.queries} queries, "
           f"{source.stats.nodes_served} nodes in total")
+
+    # "kill" the process and resume from disk in a fresh warehouse
+    verdict_before = webhouse.can_answer(q_bargain)
+    info = webhouse.session.info()
+    webhouse.detach()
+    resumed = Webhouse.resume(store, "catalog-demo")
+    print(
+        f"\nresumed from disk: {info['journal_records']} journal records, "
+        f"{info['snapshots']} snapshots; history length {len(resumed.history)}"
+    )
+    print(
+        f"bargains still answerable locally? {resumed.can_answer(q_bargain)} "
+        f"(was {verdict_before})"
+    )
+    assert resumed.can_answer(q_bargain) == verdict_before
+    resumed.detach()
 
 
 if __name__ == "__main__":

@@ -59,10 +59,12 @@ from .incomplete import (
     IncompleteTree,
     certain_prefix,
     enumerate_trees,
+    incomplete_equivalent,
     possible_prefix,
 )
 from . import obs
 from .mediator import InMemorySource, LocalQuery, Webhouse, completion_plan
+from .store import Session, SessionStore
 from .refine import (
     ConjunctiveIncompleteTree,
     forget_specializations,
@@ -96,6 +98,8 @@ __all__ = [
     "Mult",
     "PSQuery",
     "QueryNode",
+    "Session",
+    "SessionStore",
     "StringSet",
     "TreeType",
     "ValueSet",
@@ -108,6 +112,7 @@ __all__ = [
     "enumerate_trees",
     "forget_specializations",
     "fully_answerable",
+    "incomplete_equivalent",
     "intersect",
     "intersect_with_tree_type",
     "inverse_incomplete",

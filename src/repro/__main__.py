@@ -9,10 +9,22 @@
                                               # observability; dump metrics and
                                               # the span trace tree as JSON (and
                                               # raw events as JSONL to FILE)
+    python -m repro session SUBCOMMAND ...    # durable mediator sessions that
+                                              # survive across invocations:
+                                              #   create NAME [--products N] [--seed N]
+                                              #   list | info NAME | delete NAME
+                                              #   ask NAME QUERY | answer NAME QUERY
+                                              #   compact NAME
+                                              # all accept --root DIR (default
+                                              # $REPRO_SESSION_ROOT or
+                                              # ./.repro-sessions); QUERY is one
+                                              # of q1..q4 or a path like
+                                              # 'catalog/product/price[<300]'
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -143,6 +155,189 @@ def _stats(args: list[str]) -> int:
     return 0
 
 
+def _parse_query_spec(spec: str):
+    """``q1``..``q4`` or a slash path like ``catalog/product/price[<300]``.
+
+    Each path segment may carry a bracketed condition (``parse_cond``
+    syntax); a ``~`` prefix on the last segment extracts the whole
+    subtree (the paper's bar adornment).
+    """
+    import re
+
+    from .core.parsing import parse_cond
+    from .core.query import PSQuery, QueryNode
+    from .core.conditions import Cond
+    from .workloads import catalog
+
+    named = {
+        "q1": catalog.query1,
+        "q2": catalog.query2,
+        "q3": catalog.query3,
+        "q4": catalog.query4,
+    }
+    if spec in named:
+        return named[spec]()
+    segment_re = re.compile(r"^(~?)([^\[\]/]+?)(?:\[(.+)\])?$")
+    current = None
+    segments = spec.split("/")
+    for position, segment in enumerate(reversed(segments)):
+        match = segment_re.match(segment.strip())
+        if match is None:
+            raise ValueError(f"cannot parse query segment {segment!r}")
+        bar, label, cond_text = match.groups()
+        if bar and position != 0:
+            raise ValueError("only the last path segment may be bar-labeled (~)")
+        cond = parse_cond(cond_text) if cond_text else Cond.true()
+        children = () if current is None else (current,)
+        if bar and children:
+            raise ValueError("bar-labeled segments must be leaves")
+        current = QueryNode(label, cond, bool(bar), children)
+    if current is None:
+        raise ValueError("empty query spec")
+    return PSQuery(current)
+
+
+def _session_cmd(args: list[str]) -> int:
+    """Durable sessions over the catalog workload (see docs/PERSISTENCE.md).
+
+    The session's meta remembers the synthetic source (``--products``,
+    ``--seed``), so every later invocation regenerates the same document
+    and the journaled knowledge stays consistent with it.
+    """
+    import json
+
+    from .mediator.source import InMemorySource
+    from .mediator.webhouse import Webhouse
+    from .store import SessionStore, StoreError
+    from .workloads.catalog import CATALOG_ALPHABET, catalog_type, generate_catalog
+
+    usage = (
+        "usage: python -m repro session "
+        "{create|list|ask|answer|compact|info|delete} [NAME] [QUERY] "
+        "[--root DIR] [--products N] [--seed N]"
+    )
+    args = list(args)
+
+    def take_option(flag: str, default: str | None) -> str | None:
+        if flag not in args:
+            return default
+        position = args.index(flag)
+        if position + 1 >= len(args):
+            raise ValueError(f"{flag} needs a value")
+        value = args[position + 1]
+        del args[position : position + 2]
+        return value
+
+    try:
+        root = take_option("--root", None) or os.environ.get(
+            "REPRO_SESSION_ROOT", ".repro-sessions"
+        )
+        products = int(take_option("--products", "10") or "10")
+        seed = int(take_option("--seed", "0") or "0")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    if not args:
+        print(usage, file=sys.stderr)
+        return 2
+    subcommand, positional = args[0], args[1:]
+    store = SessionStore(root)
+
+    def open_source(webhouse: Webhouse) -> InMemorySource:
+        workload = (webhouse.session.meta.get("extra") or {}).get("workload", {})
+        document = generate_catalog(
+            int(workload.get("products", products)),
+            seed=int(workload.get("seed", seed)),
+        )
+        return InMemorySource(document, catalog_type())
+
+    try:
+        if subcommand == "create":
+            if len(positional) != 1:
+                raise ValueError("create needs exactly one session NAME")
+            session = store.create(
+                positional[0],
+                CATALOG_ALPHABET,
+                tree_type=catalog_type(),
+                extra={"workload": {"name": "catalog", "products": products, "seed": seed}},
+            )
+            session.close()
+            print(
+                json.dumps(
+                    {"created": positional[0], "root": store.root,
+                     "products": products, "seed": seed}
+                )
+            )
+            return 0
+        if subcommand == "list":
+            names = store.list_sessions()
+            print(json.dumps({"root": store.root, "sessions": names}))
+            return 0
+        if subcommand == "delete":
+            if len(positional) != 1:
+                raise ValueError("delete needs exactly one session NAME")
+            store.delete(positional[0])
+            print(json.dumps({"deleted": positional[0]}))
+            return 0
+        if subcommand in ("ask", "answer", "compact", "info"):
+            if not positional:
+                raise ValueError(f"{subcommand} needs a session NAME")
+            name = positional[0]
+            webhouse = Webhouse.resume(store, name)
+            try:
+                if subcommand == "ask":
+                    if len(positional) != 2:
+                        raise ValueError("ask needs NAME and QUERY")
+                    query = _parse_query_spec(positional[1])
+                    answer = webhouse.ask(open_source(webhouse), query)
+                    print(
+                        json.dumps(
+                            {
+                                "session": name,
+                                "answer_nodes": len(answer),
+                                "knowledge_size": webhouse.size(),
+                                "queries_recorded": len(webhouse.history),
+                            }
+                        )
+                    )
+                elif subcommand == "answer":
+                    if len(positional) != 2:
+                        raise ValueError("answer needs NAME and QUERY")
+                    query = _parse_query_spec(positional[1])
+                    sure, may_have_more = webhouse.answer_with_caveats(query)
+                    print(
+                        json.dumps(
+                            {
+                                "session": name,
+                                "answerable": not may_have_more,
+                                "sure_nodes": len(sure),
+                                "may_have_more": may_have_more,
+                                "queries_recorded": len(webhouse.history),
+                            }
+                        )
+                    )
+                elif subcommand == "compact":
+                    webhouse.checkpoint()
+                    print(json.dumps({"session": name, **webhouse.session.info()}))
+                else:  # info
+                    print(
+                        json.dumps(
+                            {**webhouse.session.info(), **webhouse.stats()},
+                            sort_keys=True,
+                        )
+                    )
+            finally:
+                webhouse.detach()
+            return 0
+        print(f"unknown session subcommand {subcommand!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    except (StoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _xml(path: str) -> int:
     from .core.xml_io import tree_from_xml
 
@@ -163,6 +358,8 @@ def main(argv: list[str]) -> int:
         return _blowup(n)
     if command == "stats":
         return _stats(argv[2:])
+    if command == "session":
+        return _session_cmd(argv[2:])
     if command == "xml":
         if len(argv) < 3:
             print("usage: python -m repro xml FILE", file=sys.stderr)

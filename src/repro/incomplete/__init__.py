@@ -2,7 +2,7 @@
 incomplete trees (paper Section 2), with the Theorem 2.8 decision
 procedures and a brute-force enumeration oracle."""
 
-from .certainty import certain_prefix, possible_prefix
+from .certainty import certain_prefix, incomplete_equivalent, possible_prefix
 from .conditional import ConditionalTreeType
 from .enumerate import answer_set, canonical_form, enumerate_trees
 from .incomplete_tree import DataNode, IncompleteTree, data_nodes_from_tree
@@ -16,5 +16,6 @@ __all__ = [
     "certain_prefix",
     "data_nodes_from_tree",
     "enumerate_trees",
+    "incomplete_equivalent",
     "possible_prefix",
 ]

@@ -46,6 +46,30 @@ def possible_prefix(prefix: DataTree, incomplete: IncompleteTree) -> bool:
     return bool(poss[prefix.root] & tau.roots)
 
 
+def incomplete_equivalent(a: IncompleteTree, b: IncompleteTree) -> bool:
+    """Mutual certain-prefix containment — a semantic equivalence check.
+
+    Two incomplete trees produced from the same acquisition history by
+    different maintenance strategies (snapshot + suffix replay vs. pure
+    replay, Theorem 3.5) may differ syntactically while representing the
+    same certain knowledge.  This helper checks the testable core of
+    that agreement: both are empty, or each one's data tree ``Td`` is a
+    certain prefix of the other (Theorem 2.8) and the empty tree is
+    allowed by both or by neither.  It is the semantic counterpart of an
+    ``__eq__`` — kept as a free function because full ``rep``-equality
+    is harder than the paper's PTIME toolkit provides.
+    """
+    if a.is_empty() or b.is_empty():
+        return a.is_empty() == b.is_empty()
+    if a.allows_empty != b.allows_empty:
+        return False
+    if a.allows_empty:
+        # certain_prefix is vacuously False against nonempty prefixes
+        # here; with no guaranteed nodes both data trees must be empty.
+        return a.data_tree().is_empty() and b.data_tree().is_empty()
+    return certain_prefix(a.data_tree(), b) and certain_prefix(b.data_tree(), a)
+
+
 def certain_prefix(prefix: DataTree, incomplete: IncompleteTree) -> bool:
     """Is ``prefix`` a certain prefix of ``incomplete`` (relative to N)?
 

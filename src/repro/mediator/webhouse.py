@@ -14,7 +14,7 @@ and otherwise plans non-redundant local queries against the source
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..answering.answerable import fully_answerable
 from ..answering.facts import certainly_nonempty, possibly_nonempty
@@ -32,9 +32,13 @@ from ..refine.inverse import universal_incomplete
 from ..refine.minimize import merge_equivalent_symbols
 from ..refine.refine import refine
 from ..refine.type_intersect import intersect_with_tree_type
+from ..store import codec as _codec
 from .completion import completion_plan
 from .local_query import LocalQuery, overlay
 from .source import InMemorySource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.session import Session, SessionStore
 
 
 class Webhouse:
@@ -53,29 +57,141 @@ class Webhouse:
         self._auto_minimize = auto_minimize
         self._state = universal_incomplete(self._alphabet)
         self._knowledge_cache: Optional[IncompleteTree] = None
-        self.history: List[Tuple[PSQuery, DataTree]] = []
+        self._history: List[Tuple[PSQuery, DataTree]] = []
+        self._session: Optional["Session"] = None
         #: Per-instance books (always on, cheap): counts of the operations
         #: this warehouse performed, independent of the global obs switch.
         self.metrics = Metrics()
 
+    @property
+    def history(self) -> Tuple[Tuple[PSQuery, DataTree], ...]:
+        """The recorded query/answer pairs, as an immutable tuple.
+
+        Exposed read-only so the in-memory history and an attached
+        session journal cannot silently diverge; mutate only through
+        :meth:`record` / :meth:`ask` / :meth:`reset`.
+        """
+        return tuple(self._history)
+
+    # -- persistence -------------------------------------------------------------
+
+    @property
+    def session(self) -> Optional["Session"]:
+        """The attached durable session, if any."""
+        return self._session
+
+    def attach(self, session: "Session") -> None:
+        """Journal every future knowledge mutation to ``session``.
+
+        A fresh session first receives the warehouse's current history
+        (so disk and memory agree from the start); attaching a session
+        that already holds knowledge is only allowed when this warehouse
+        is empty — it then loads the persisted state, exactly like
+        :meth:`resume`.
+        """
+        if self._session is not None:
+            raise ValueError("a session is already attached; detach() first")
+        if not session.is_empty():
+            if self._history:
+                raise ValueError(
+                    "cannot attach a non-empty session to a warehouse with "
+                    "history; use Webhouse.resume()"
+                )
+            recovered = session.recover()
+            self._state = recovered.state
+            self._history = list(recovered.history)
+            self._knowledge_cache = None
+        else:
+            for query, answer in self._history:
+                session.append_event(
+                    {
+                        "type": "record",
+                        "origin": "attach",
+                        "query": _codec.query_to_json(query),
+                        "answer": _codec.tree_to_json(answer),
+                    }
+                )
+        self._session = session
+
+    def detach(self) -> Optional["Session"]:
+        """Stop journaling and close the session; returns it (now closed)."""
+        session, self._session = self._session, None
+        if session is not None:
+            session.close()
+        return session
+
+    @classmethod
+    def resume(cls, store: "SessionStore", name: str) -> "Webhouse":
+        """Reopen a journaled session: snapshot + replay, then attach.
+
+        The resumed warehouse answers ``can_answer`` / ``certain_prefix``
+        exactly as the original would have (Theorem 3.5 equivalence of
+        replaying the history).
+        """
+        session = store.open(name)
+        try:
+            webhouse = cls(
+                session.alphabet(),
+                tree_type=session.tree_type(),
+                auto_minimize=session.auto_minimize(),
+            )
+            recovered = session.recover()
+            webhouse._state = recovered.state
+            webhouse._history = list(recovered.history)
+            webhouse._knowledge_cache = None
+            webhouse._session = session
+            webhouse.metrics.inc("webhouse.resumes")
+            if _OBS.enabled:
+                _OBS.metrics.inc("webhouse.resumes")
+                _OBS.metrics.observe("webhouse.resume_replayed", recovered.replayed)
+            return webhouse
+        except Exception:
+            session.close()
+            raise
+
+    def checkpoint(self) -> Optional[str]:
+        """Force a snapshot of the attached session now (None if detached).
+
+        Returns the snapshot path; the covered journal prefix is
+        compacted away.
+        """
+        if self._session is None:
+            return None
+        return self._session.snapshot(self._state, list(self._history))
+
+    def _journal(self, event: Dict[str, object]) -> None:
+        if self._session is not None:
+            self._session.append_event(event)
+            self._session.maybe_snapshot(self._state, self._history)
+
     # -- acquisition -------------------------------------------------------------
 
-    def record(self, query: PSQuery, answer: DataTree) -> None:
+    def record(
+        self, query: PSQuery, answer: DataTree, _origin: str = "record"
+    ) -> None:
         """Refine knowledge with one query/answer pair (Theorem 3.4)."""
         with _span("webhouse.record") as sp:
             self._state = refine(self._state, query, answer, self._alphabet)
             if self._auto_minimize:
                 self._state = merge_equivalent_symbols(self._state)
             self._knowledge_cache = None
-            self.history.append((query, answer))
+            self._history.append((query, answer))
             self.metrics.inc("webhouse.records")
+            self._journal(
+                {
+                    "type": "record",
+                    "origin": _origin,
+                    "query": _codec.query_to_json(query),
+                    "answer": _codec.tree_to_json(answer),
+                }
+            )
             if _OBS.enabled:
                 size = self._state.size()
                 _OBS.metrics.inc("webhouse.records")
                 _OBS.metrics.observe("webhouse.knowledge_size", size)
                 if sp is not None:
                     sp.attrs.update(
-                        step=len(self.history),
+                        step=len(self._history),
                         answer_nodes=len(answer),
                         knowledge_size=size,
                     )
@@ -87,7 +203,7 @@ class Webhouse:
             self.metrics.inc("webhouse.asks")
             if _OBS.enabled:
                 _OBS.metrics.inc("webhouse.asks")
-            self.record(query, answer)
+            self.record(query, answer, _origin="ask")
             return answer
 
     def reset(self) -> None:
@@ -95,7 +211,8 @@ class Webhouse:
         updates when no change information is available."""
         self._state = universal_incomplete(self._alphabet)
         self._knowledge_cache = None
-        self.history.clear()
+        self._history.clear()
+        self._journal({"type": "reset"})
 
     # -- knowledge ------------------------------------------------------------------
 
@@ -126,7 +243,7 @@ class Webhouse:
         """
         knowledge = self.knowledge
         return {
-            "queries_recorded": len(self.history),
+            "queries_recorded": len(self._history),
             "asks": int(self.metrics.value("webhouse.asks")),
             "source_completions": int(self.metrics.value("webhouse.completions")),
             "knowledge_size": knowledge.size(),
@@ -141,8 +258,10 @@ class Webhouse:
 
     def compact(self, labels: Optional[Iterable[str]] = None) -> None:
         """Apply the lossy forgetting heuristic (Section 3.2) in place."""
+        labels = None if labels is None else sorted(set(labels))
         self._state = forget_specializations(self._state, labels)
         self._knowledge_cache = None
+        self._journal({"type": "compact", "labels": labels})
 
     # -- local answering -----------------------------------------------------------
 
@@ -220,6 +339,13 @@ class Webhouse:
         with _span("webhouse.complete_and_answer") as sp:
             plan = self.completion_plan(query)
             self.metrics.inc("webhouse.completions")
+            self._journal(
+                {
+                    "type": "complete",
+                    "query": _codec.query_to_json(query),
+                    "plan_queries": len(plan),
+                }
+            )
             if _OBS.enabled:
                 _OBS.metrics.inc("webhouse.completions")
                 _OBS.metrics.observe("webhouse.plan_queries", len(plan))

@@ -1,0 +1,318 @@
+"""Canonical, versioned JSON codecs for the library's value objects.
+
+Every object the persistence layer touches — data trees, tree types,
+ps-queries, conditions, and incomplete trees — round-trips through plain
+JSON here.  Two properties matter for a write-ahead log:
+
+* **canonical**: :func:`canonical_dumps` renders with sorted keys and no
+  whitespace, so equal objects produce byte-identical lines and the
+  journal checksums are stable across processes;
+* **versioned**: top-level documents carry a ``format`` tag
+  (:data:`FORMAT_VERSION`) via :func:`encode_document`, so a future
+  format change can keep reading old sessions.
+
+Conditions serialize by their *denotation* (Lemma 2.3's interval/string
+normal form, mirroring ``incomplete/xml_view.py``), so the round trip
+preserves semantics exactly even when the original syntax tree is lost.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.conditions import Cond, ValueSet
+from ..core.intervals import Interval, IntervalSet
+from ..core.multiplicity import Atom, Disjunction, Mult, parse_mult
+from ..core.query import PSQuery, QueryNode
+from ..core.stringsets import StringSet
+from ..core.tree import DataTree, NodeId, NodeSpec, node
+from ..core.treetype import TreeType
+from ..core.values import Value, value_repr
+from ..incomplete.conditional import ConditionalTreeType
+from ..incomplete.incomplete_tree import DataNode, IncompleteTree
+
+#: Version tag stamped on every persisted document.
+FORMAT_VERSION = 1
+
+Json = Any
+
+
+class CodecError(ValueError):
+    """A persisted document cannot be decoded."""
+
+
+def canonical_dumps(obj: Json) -> str:
+    """Render JSON deterministically (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def encode_document(kind: str, body: Json) -> Json:
+    """Wrap a payload in the versioned envelope."""
+    return {"format": FORMAT_VERSION, "kind": kind, "body": body}
+
+
+def decode_document(kind: str, document: Json) -> Json:
+    """Unwrap and validate an envelope produced by :func:`encode_document`."""
+    if not isinstance(document, dict):
+        raise CodecError(f"expected a document object, got {type(document).__name__}")
+    version = document.get("format")
+    if version != FORMAT_VERSION:
+        raise CodecError(f"unsupported format version {version!r} (supported: {FORMAT_VERSION})")
+    if document.get("kind") != kind:
+        raise CodecError(f"expected kind {kind!r}, got {document.get('kind')!r}")
+    if "body" not in document:
+        raise CodecError("document has no body")
+    return document["body"]
+
+
+# -- values -------------------------------------------------------------------
+
+
+def value_to_json(value: Value) -> Json:
+    """``["s", text]`` for strings, ``["n", "num/den"]`` for rationals."""
+    if isinstance(value, str):
+        return ["s", value]
+    return ["n", value_repr(value)]
+
+
+def value_from_json(data: Json) -> Value:
+    try:
+        kind, raw = data
+    except (TypeError, ValueError):
+        raise CodecError(f"malformed value: {data!r}")
+    if kind == "s":
+        return str(raw)
+    if kind == "n":
+        try:
+            return Fraction(raw)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise CodecError(f"malformed rational {raw!r}: {exc}")
+    raise CodecError(f"unknown value sort {kind!r}")
+
+
+def _fraction_to_json(value: Optional[Fraction]) -> Optional[str]:
+    return None if value is None else value_repr(value)
+
+
+def _fraction_from_json(raw: Optional[str]) -> Optional[Fraction]:
+    if raw is None:
+        return None
+    try:
+        return Fraction(raw)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise CodecError(f"malformed rational {raw!r}: {exc}")
+
+
+# -- conditions (by denotation, Lemma 2.3) ------------------------------------
+
+
+def cond_to_json(cond: Cond) -> Json:
+    values = cond.values
+    return {
+        "numbers": [
+            [
+                _fraction_to_json(interval.low),
+                bool(interval.low_closed),
+                _fraction_to_json(interval.high),
+                bool(interval.high_closed),
+            ]
+            for interval in values.numbers.intervals
+        ],
+        "strings": {
+            "cofinite": bool(values.strings.is_cofinite),
+            "members": sorted(values.strings.members),
+        },
+    }
+
+
+def cond_from_json(data: Json) -> Cond:
+    try:
+        intervals = [
+            Interval(
+                _fraction_from_json(low),
+                _fraction_from_json(high),
+                bool(low_closed),
+                bool(high_closed),
+            )
+            for low, low_closed, high, high_closed in data["numbers"]
+        ]
+        strings = StringSet(
+            data["strings"]["members"], cofinite=bool(data["strings"]["cofinite"])
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed condition: {exc}")
+    return Cond.of(ValueSet(IntervalSet(intervals), strings))
+
+
+# -- data trees ---------------------------------------------------------------
+
+
+def tree_to_json(tree: DataTree) -> Json:
+    """Nested node objects; the empty tree serializes as ``None``."""
+    if tree.is_empty():
+        return None
+
+    def encode(node_id: NodeId) -> Json:
+        return {
+            "id": node_id,
+            "label": tree.label(node_id),
+            "value": value_to_json(tree.value(node_id)),
+            "children": [encode(child) for child in sorted(tree.children(node_id))],
+        }
+
+    return encode(tree.root)
+
+
+def tree_from_json(data: Json) -> DataTree:
+    if data is None:
+        return DataTree.empty()
+
+    def decode(item: Json) -> NodeSpec:
+        try:
+            return node(
+                item["id"],
+                item["label"],
+                value_from_json(item["value"]),
+                [decode(child) for child in item.get("children", ())],
+            )
+        except (KeyError, TypeError) as exc:
+            raise CodecError(f"malformed tree node: {exc}")
+
+    return DataTree.build(decode(data))
+
+
+# -- ps-queries ---------------------------------------------------------------
+
+
+def query_to_json(query: PSQuery) -> Json:
+    def encode(qnode: QueryNode) -> Json:
+        encoded: Dict[str, Json] = {"label": qnode.label}
+        if qnode.extract:
+            encoded["extract"] = True
+        if not qnode.cond.is_true():
+            encoded["cond"] = cond_to_json(qnode.cond)
+        if qnode.children:
+            encoded["children"] = [encode(child) for child in qnode.children]
+        return encoded
+
+    return encode(query.root)
+
+
+def query_from_json(data: Json) -> PSQuery:
+    def decode(item: Json) -> QueryNode:
+        try:
+            label = item["label"]
+        except (KeyError, TypeError) as exc:
+            raise CodecError(f"malformed query node: {exc}")
+        cond = cond_from_json(item["cond"]) if "cond" in item else Cond.true()
+        children = tuple(decode(child) for child in item.get("children", ()))
+        return QueryNode(label, cond, bool(item.get("extract", False)), children)
+
+    return PSQuery(decode(data))
+
+
+# -- tree types (simplified DTDs) ---------------------------------------------
+
+
+def _atom_to_json(atom: Atom) -> Json:
+    return [
+        [symbol, mult.value]
+        for symbol, mult in sorted(atom.items(), key=lambda kv: kv[0])
+    ]
+
+
+def _atom_from_json(data: Json) -> Atom:
+    try:
+        return Atom([(symbol, parse_mult(mult)) for symbol, mult in data])
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed multiplicity atom: {exc}")
+
+
+def treetype_to_json(tree_type: TreeType) -> Json:
+    return {
+        "alphabet": sorted(tree_type.alphabet),
+        "roots": sorted(tree_type.roots),
+        "rules": {
+            label: _atom_to_json(tree_type.atom(label))
+            for label in sorted(tree_type.alphabet)
+            if not tree_type.atom(label).is_leaf()
+        },
+    }
+
+
+def treetype_from_json(data: Json) -> TreeType:
+    try:
+        return TreeType(
+            data["alphabet"],
+            data["roots"],
+            {label: _atom_from_json(rule) for label, rule in data["rules"].items()},
+        )
+    except (KeyError, TypeError) as exc:
+        raise CodecError(f"malformed tree type: {exc}")
+
+
+# -- incomplete trees ---------------------------------------------------------
+
+
+def incomplete_to_json(incomplete: IncompleteTree) -> Json:
+    tau = incomplete.type
+    symbols: Dict[str, Json] = {}
+    for symbol in sorted(tau.symbols()):
+        entry: Dict[str, Json] = {
+            "target": tau.sigma(symbol),
+            "mu": [_atom_to_json(atom) for atom in tau.mu(symbol)],
+        }
+        cond = tau.cond(symbol)
+        if not cond.is_true():
+            entry["cond"] = cond_to_json(cond)
+        symbols[symbol] = entry
+    return {
+        "allows_empty": incomplete.allows_empty,
+        "nodes": {
+            node_id: [
+                incomplete.data_label(node_id),
+                value_to_json(incomplete.data_value(node_id)),
+            ]
+            for node_id in sorted(incomplete.data_node_ids())
+        },
+        "type": {"roots": sorted(tau.roots), "symbols": symbols},
+    }
+
+
+def incomplete_from_json(data: Json) -> IncompleteTree:
+    try:
+        nodes = {
+            node_id: DataNode(label, value_from_json(value))
+            for node_id, (label, value) in data["nodes"].items()
+        }
+        type_data = data["type"]
+        mu: Dict[str, Disjunction] = {}
+        cond: Dict[str, Cond] = {}
+        sigma: Dict[str, str] = {}
+        for symbol, entry in type_data["symbols"].items():
+            sigma[symbol] = entry["target"]
+            mu[symbol] = Disjunction([_atom_from_json(atom) for atom in entry["mu"]])
+            if "cond" in entry:
+                cond[symbol] = cond_from_json(entry["cond"])
+        tau = ConditionalTreeType(type_data["roots"], mu, cond, sigma)
+        return IncompleteTree(nodes, tau, allows_empty=bool(data["allows_empty"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed incomplete tree: {exc}")
+
+
+# -- histories ----------------------------------------------------------------
+
+
+def history_to_json(history: Sequence[Tuple[PSQuery, DataTree]]) -> Json:
+    return [[query_to_json(query), tree_to_json(answer)] for query, answer in history]
+
+
+def history_from_json(data: Json) -> List[Tuple[PSQuery, DataTree]]:
+    try:
+        return [
+            (query_from_json(query), tree_from_json(answer)) for query, answer in data
+        ]
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed history: {exc}")

@@ -1,0 +1,236 @@
+"""Append-only write-ahead log of knowledge events.
+
+One file, one JSON record per line.  Each line is::
+
+    <crc32 hex, 8 chars> <canonical JSON record>\n
+
+where the checksum covers the JSON bytes.  The record itself is
+``{"seq": n, "event": {...}}`` with strictly increasing sequence
+numbers starting at 1.
+
+Recovery is tolerant of a *torn tail*: a crash mid-append leaves at most
+one partial line at the end of the file.  :meth:`Journal.open` scans the
+file, keeps the longest valid prefix of records, and truncates anything
+after it — a later line can never be valid when an earlier one is not,
+because sequence numbers must be contiguous.  Corruption strictly before
+the tail (which fsync'd appends cannot produce) is reported via
+:class:`JournalError` unless ``repair=True``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..obs.spans import span as _span
+from ..obs.state import STATE as _OBS
+from .codec import canonical_dumps
+
+Event = Dict[str, Any]
+
+
+class JournalError(ValueError):
+    """The journal file is damaged beyond the tolerated torn tail."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One committed journal entry."""
+
+    seq: int
+    event: Event
+
+
+def _encode_line(record: JournalRecord) -> bytes:
+    body = canonical_dumps({"seq": record.seq, "event": record.event}).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%08x " % crc + body + b"\n"
+
+
+def _decode_line(line: bytes) -> Optional[JournalRecord]:
+    """A parsed record, or None when the line is damaged."""
+    if not line.endswith(b"\n") or len(line) < 10 or line[8:9] != b" ":
+        return None
+    crc_text, body = line[:8], line[9:-1]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("seq"), int)
+        or not isinstance(payload.get("event"), dict)
+    ):
+        return None
+    return JournalRecord(payload["seq"], payload["event"])
+
+
+class Journal:
+    """An append-only, checksummed JSONL log.
+
+    ``fsync=True`` (the default) makes appends durable at the cost of
+    one ``os.fsync`` per event; benchmarks (E11) quantify the overhead.
+    """
+
+    def __init__(self, path: str, fsync: bool = True, repair: bool = True):
+        self._path = os.fspath(path)
+        self._fsync = bool(fsync)
+        self._records: List[JournalRecord] = []
+        self._next_seq = 1
+        self._file: Optional[io.BufferedWriter] = None
+        valid_bytes = self._scan(repair=repair)
+        self._open_for_append(valid_bytes)
+
+    # -- recovery -------------------------------------------------------------
+
+    def _scan(self, repair: bool) -> int:
+        """Load the valid record prefix; return its length in bytes."""
+        if not os.path.exists(self._path):
+            return 0
+        valid_bytes = 0
+        expected_seq: Optional[int] = None  # compaction may start the run > 1
+        with open(self._path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            line = data[offset : len(data) if newline < 0 else newline + 1]
+            record = _decode_line(line)
+            if record is None or (expected_seq is not None and record.seq != expected_seq):
+                break
+            self._records.append(record)
+            expected_seq = record.seq + 1
+            self._next_seq = expected_seq
+            offset += len(line)
+            valid_bytes = offset
+        tail = len(data) - valid_bytes
+        if tail > 0 and not repair:
+            raise JournalError(
+                f"{self._path}: {tail} trailing bytes are not a valid record"
+            )
+        return valid_bytes
+
+    def _open_for_append(self, valid_bytes: int) -> None:
+        directory = os.path.dirname(self._path) or "."
+        os.makedirs(directory, exist_ok=True)
+        # drop the torn tail before appending so the file stays one
+        # contiguous run of valid records
+        self._file = open(self._path, "ab")
+        if self._file.tell() != valid_bytes:
+            self._file.truncate(valid_bytes)
+            self._file.seek(valid_bytes)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def last_seq(self) -> int:
+        """The highest sequence number ever committed (or covered).
+
+        Survives compaction — dropped records keep their numbers
+        reserved, so snapshots and journal positions stay aligned.
+        """
+        return self._next_seq - 1
+
+    def ensure_seq_floor(self, seq: int) -> None:
+        """Reserve numbers up to ``seq`` (e.g. covered by a snapshot).
+
+        A compacted journal may be empty on disk while a snapshot covers
+        records 1..n; appends must continue at n+1 or recovery would
+        skip them as already applied.
+        """
+        self._next_seq = max(self._next_seq, seq + 1)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Tuple[JournalRecord, ...]:
+        return tuple(self._records)
+
+    def events(self) -> Iterator[Event]:
+        return (record.event for record in self._records)
+
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self._path)
+        except OSError:
+            return 0
+
+    # -- mutation -------------------------------------------------------------
+
+    def append(self, event: Event) -> int:
+        """Durably append one event; returns its sequence number."""
+        if self._file is None:
+            raise JournalError(f"{self._path}: journal is closed")
+        record = JournalRecord(self._next_seq, dict(event))
+        line = _encode_line(record)
+        with _span("store.journal.append") as sp:
+            self._file.write(line)
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+            self._records.append(record)
+            self._next_seq = record.seq + 1
+            if _OBS.enabled:
+                _OBS.metrics.inc("store.journal.appends")
+                _OBS.metrics.inc("store.journal.bytes", len(line))
+                if sp is not None:
+                    sp.attrs.update(seq=record.seq, bytes=len(line))
+        return record.seq
+
+    def compact(self, drop_through_seq: int) -> int:
+        """Atomically rewrite the log without records up to the given seq.
+
+        Kept records retain their original sequence numbers (the scan
+        accepts any contiguous run starting anywhere), so snapshots and
+        journal positions stay aligned.  Returns the number of dropped
+        records.
+        """
+        kept = [record for record in self._records if record.seq > drop_through_seq]
+        dropped = len(self._records) - len(kept)
+        if dropped == 0:
+            return 0
+        with _span("store.journal.compact") as sp:
+            tmp_path = self._path + ".tmp"
+            with open(tmp_path, "wb") as handle:
+                for record in kept:
+                    handle.write(_encode_line(record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            if self._file is not None:
+                self._file.close()
+            os.replace(tmp_path, self._path)
+            self._records = kept
+            self._file = open(self._path, "ab")
+            if _OBS.enabled:
+                _OBS.metrics.inc("store.journal.compactions")
+                if sp is not None:
+                    sp.attrs.update(dropped=dropped, kept=len(kept))
+        return dropped
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"Journal({self._path!r}, {len(self._records)} records)"

@@ -1,0 +1,134 @@
+"""Incomplete-tree checkpoints bounding journal replay cost.
+
+A snapshot file ``snapshot-00000042.json`` captures the warehouse state
+*after* applying journal records up to sequence number 42: the raw
+refined incomplete tree (pre type-intersection) and the query/answer
+history.  Resuming then only replays the journal suffix with seq > 42 —
+by Theorem 3.5 the result is equivalent to replaying the whole history
+from the universal incomplete tree, which the tests assert via
+:func:`repro.incomplete.certainty.incomplete_equivalent`.
+
+Snapshots are written atomically (temp file + ``os.replace``) and carry
+a checksum over their canonical body; a corrupt snapshot is skipped in
+favour of the next older one, falling back to pure replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.query import PSQuery
+from ..core.tree import DataTree
+from ..incomplete.incomplete_tree import IncompleteTree
+from ..obs.spans import span as _span
+from ..obs.state import STATE as _OBS
+from .codec import (
+    CodecError,
+    canonical_dumps,
+    decode_document,
+    encode_document,
+    history_from_json,
+    history_to_json,
+    incomplete_from_json,
+    incomplete_to_json,
+)
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.json$")
+
+History = Sequence[Tuple[PSQuery, DataTree]]
+
+
+def snapshot_filename(upto_seq: int) -> str:
+    return f"snapshot-{upto_seq:08d}.json"
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """``(upto_seq, path)`` pairs, newest (highest seq) first."""
+    found: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        match = _SNAPSHOT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(found, reverse=True)
+
+
+def write_snapshot(
+    directory: str, upto_seq: int, state: IncompleteTree, history: History
+) -> str:
+    """Atomically write a checkpoint; returns its path."""
+    with _span("store.snapshot.write") as sp:
+        body = {
+            "upto": int(upto_seq),
+            "state": incomplete_to_json(state),
+            "history": history_to_json(history),
+        }
+        rendered = canonical_dumps(body)
+        document = encode_document("snapshot", body)
+        document["crc"] = f"{zlib.crc32(rendered.encode('utf-8')) & 0xFFFFFFFF:08x}"
+        path = os.path.join(directory, snapshot_filename(upto_seq))
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_dumps(document))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        if _OBS.enabled:
+            _OBS.metrics.inc("store.snapshot.writes")
+            _OBS.metrics.observe("store.snapshot.bytes", os.path.getsize(path))
+            if sp is not None:
+                sp.attrs.update(upto=upto_seq, history=len(history))
+        return path
+
+
+def _read_snapshot(path: str) -> Optional[Tuple[int, IncompleteTree, List]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        body = decode_document("snapshot", document)
+        rendered = canonical_dumps(body)
+        expected = document.get("crc")
+        actual = f"{zlib.crc32(rendered.encode('utf-8')) & 0xFFFFFFFF:08x}"
+        if expected != actual:
+            return None
+        return (
+            int(body["upto"]),
+            incomplete_from_json(body["state"]),
+            history_from_json(body["history"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError, CodecError):
+        return None
+
+
+def latest_snapshot(
+    directory: str,
+) -> Optional[Tuple[int, IncompleteTree, List]]:
+    """The newest readable checkpoint, or None (→ pure journal replay).
+
+    Corrupt or unreadable snapshot files are skipped, so a crash during
+    checkpointing can never make a session unrecoverable.
+    """
+    for _upto, path in list_snapshots(directory):
+        loaded = _read_snapshot(path)
+        if loaded is not None:
+            return loaded
+    return None
+
+
+def prune_snapshots(directory: str, keep: int = 2) -> int:
+    """Delete all but the ``keep`` newest snapshots; returns count removed."""
+    removed = 0
+    for _upto, path in list_snapshots(directory)[keep:]:
+        try:
+            os.remove(path)
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -106,6 +106,55 @@ class TestSourceUpdates:
         assert not b.history
 
 
+class TestCrashRecovery:
+    def test_truncation_at_every_byte_recovers_a_history_prefix(
+        self, setting, tmp_path
+    ):
+        """Property: cutting the journal anywhere inside the last record
+        recovers exactly the history without it; any earlier clean cut
+        recovers a prefix.  Knowledge rebuilt from the recovered history
+        matches refining that prefix from scratch (Theorem 3.5)."""
+        from repro.incomplete.certainty import incomplete_equivalent
+        from repro.refine.refine import refine_sequence
+        from repro.store import SessionStore
+
+        tt, doc, source = setting
+        store = SessionStore(str(tmp_path), snapshot_every=10_000)
+        wh = Webhouse(CATALOG_ALPHABET, tree_type=tt)
+        wh.attach(store.create("crash", CATALOG_ALPHABET, tree_type=tt))
+        for q in (query1(), query2()):
+            wh.ask(source, q)
+        full_history = wh.history
+        session = wh.detach()
+        journal_path = session.journal.path
+        pristine = open(journal_path, "rb").read()
+        last_newline = pristine.rindex(b"\n", 0, len(pristine) - 1)
+        last_record_start = last_newline + 1
+
+        alphabet = sorted(set(CATALOG_ALPHABET) | set(tt.alphabet))
+        for cut in range(last_record_start, len(pristine)):
+            with open(journal_path, "wb") as handle:
+                handle.write(pristine[:cut])
+            resumed = Webhouse.resume(store, "crash")
+            try:
+                recovered = resumed.history
+                assert recovered == full_history[: len(recovered)]
+                # the torn last record is gone, the rest survives
+                assert len(recovered) == len(full_history) - 1
+                from_scratch = refine_sequence(alphabet, list(recovered))
+                assert incomplete_equivalent(resumed._state, from_scratch)
+            finally:
+                resumed.detach()
+
+        # the untouched file recovers everything
+        with open(journal_path, "wb") as handle:
+            handle.write(pristine)
+        resumed = Webhouse.resume(store, "crash")
+        assert resumed.history == full_history
+        assert resumed.can_answer(query1())
+        resumed.detach()
+
+
 class TestMaintenanceStrategiesAgree:
     def test_minimized_and_plain_same_decisions(self, setting):
         tt, doc, source1 = setting
