@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Smoke-scale baseline runner for experiments E4–E11.
+
+Runs each experiment's series at reduced (smoke) parameters, records
+wall seconds per experiment, and compares against the committed
+baseline at the repo root::
+
+    python benchmarks/baseline.py --write    # (re)write BENCH_baseline.json
+    python benchmarks/baseline.py --check    # exit 1 on a >3x regression
+    python benchmarks/baseline.py            # run + print, no file I/O
+
+The check is deliberately loose — a 3x multiplier plus an absolute
+floor (``FLOOR_S``) below which timings are pure noise — so it catches
+accidental complexity regressions (a PTIME step going exponential)
+without flaking on machine variance.  Row *shapes* are also compared:
+a baseline experiment that disappears, or whose row count changes,
+fails the check regardless of timing.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import series  # noqa: E402
+
+#: Repo-root location of the committed baseline.
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
+
+#: Regression multiplier: current > TOLERANCE × baseline fails --check.
+TOLERANCE = 3.0
+
+#: Absolute floor in seconds — below this, differences are noise.
+FLOOR_S = 0.05
+
+#: Experiment id → zero-arg callable running the smoke-scale series.
+SMOKE = {
+    "E4_emptiness": lambda: series.series_emptiness(depths=(10, 50, 100)),
+    "E5_prefix": lambda: series.series_prefix(sizes=(5, 10)),
+    "E6_blowup": lambda: series.series_blowup(max_n=6),
+    "E7_refine_cost": lambda: series.series_refine_cost(sizes=(5, 10, 20)),
+    "E8_conjunctive_emptiness": lambda: series.series_conjunctive_emptiness(max_n=5),
+    "E9_query_incomplete": lambda: series.series_query_incomplete(sizes=(5, 10)),
+    "E10_mediator": lambda: series.series_mediator(sizes=(10, 20)),
+    "E11_persistence": lambda: series.series_persistence(step_counts=(2, 4)),
+}
+
+
+def run_smoke() -> dict:
+    """Run every smoke series; returns the baseline document."""
+    experiments = {}
+    for name, fn in SMOKE.items():
+        start = time.perf_counter()
+        rows = fn()
+        seconds = time.perf_counter() - start
+        experiments[name] = {"seconds": round(seconds, 6), "rows": len(rows)}
+        print(f"  {name:<28} {seconds:>9.4f}s  ({len(rows)} rows)")
+    return {
+        "suite": "smoke-E4-E11",
+        "tolerance": TOLERANCE,
+        "floor_s": FLOOR_S,
+        "experiments": experiments,
+    }
+
+
+def check(current: dict, baseline: dict) -> list:
+    """Compare a fresh run against the committed baseline.
+
+    Returns a list of failure messages (empty when the check passes).
+    """
+    failures = []
+    base_experiments = baseline.get("experiments", {})
+    for name, base in base_experiments.items():
+        now = current["experiments"].get(name)
+        if now is None:
+            failures.append(f"{name}: present in baseline but did not run")
+            continue
+        if now["rows"] != base["rows"]:
+            failures.append(
+                f"{name}: row count changed {base['rows']} -> {now['rows']}"
+            )
+        limit = max(TOLERANCE * base["seconds"], FLOOR_S)
+        if now["seconds"] > limit:
+            failures.append(
+                f"{name}: {now['seconds']:.4f}s exceeds limit {limit:.4f}s "
+                f"(baseline {base['seconds']:.4f}s x{TOLERANCE})"
+            )
+    return failures
+
+
+def main(argv) -> int:
+    mode = argv[1] if len(argv) > 1 else None
+    if mode not in (None, "--write", "--check"):
+        print(__doc__)
+        return 2
+    print(f"running smoke benchmarks ({len(SMOKE)} experiments)...")
+    current = run_smoke()
+    if mode == "--write":
+        BASELINE_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+    if mode == "--check":
+        if not BASELINE_PATH.exists():
+            print(f"no baseline at {BASELINE_PATH}; run with --write first")
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        failures = check(current, baseline)
+        if failures:
+            print("BASELINE CHECK FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -5,10 +5,26 @@
     python -m repro demo                      # the paper's catalog scenario
     python -m repro blowup [n]                # Example 3.2 size table
     python -m repro xml FILE                  # parse & pretty-print a document
-    python -m repro stats [--trace FILE] [n]  # run the catalog workload under
+    python -m repro stats [--trace FILE] [--profile] [n]
+                                              # run the catalog workload under
                                               # observability; dump metrics and
                                               # the span trace tree as JSON (and
-                                              # raw events as JSONL to FILE)
+                                              # raw events as JSONL to FILE);
+                                              # --profile adds the aggregated
+                                              # span profile to the document
+    python -m repro profile [--json] [--top K] [n]
+                                              # same workload, rendered as a
+                                              # flame-style span profile with
+                                              # the top-K hot call paths
+    python -m repro explain refine|ask [--json] [n]
+                                              # structured EXPLAIN of one
+                                              # Refine step (Theorem 3.4) or
+                                              # one q(T) evaluation (Thm 3.14)
+    python -m repro export [--prometheus [FILE]] [--chrome FILE] [n]
+                                              # run the workload and export
+                                              # metrics in Prometheus text
+                                              # format and/or the trace as
+                                              # Chrome trace_event JSON
     python -m repro session SUBCOMMAND ...    # durable mediator sessions that
                                               # survive across invocations:
                                               #   create NAME [--products N] [--seed N]
@@ -78,18 +94,13 @@ def _blowup(n: int) -> int:
     return 0
 
 
-def _stats(args: list[str]) -> int:
-    """Run the catalog workload under observability, dump JSON.
+def _scripted_session(products: int):
+    """The scripted catalog webhouse session every diagnostics command
+    runs: acquisition, local answering, prefix checks, completion.
 
-    The output document has three top-level keys: ``webhouse`` (the
-    warehouse's own :meth:`Webhouse.stats`), ``metrics`` (global
-    counters/histograms, including the per-record knowledge-size series)
-    and ``trace`` (the span trees).  With ``--trace FILE`` the raw event
-    stream is additionally written to FILE as JSON lines.
+    Must run under an enabled obs capture; returns the webhouse (its
+    stats and the global obs state carry the results).
     """
-    import json
-
-    from . import obs
     from .mediator.source import InMemorySource
     from .mediator.webhouse import Webhouse
     from .core.tree import DataTree, node
@@ -103,55 +114,217 @@ def _stats(args: list[str]) -> int:
         query4,
     )
 
-    trace_file = None
-    args = list(args)
-    while "--trace" in args:
-        position = args.index("--trace")
-        if position + 1 >= len(args):
-            print("usage: python -m repro stats [--trace FILE] [n]", file=sys.stderr)
-            return 2
-        trace_file = args[position + 1]
-        del args[position : position + 2]
+    tree_type = catalog_type()
+    document = generate_catalog(products, seed=products)
+    source = InMemorySource(document, tree_type)
+    webhouse = Webhouse(CATALOG_ALPHABET, tree_type=tree_type)
+    webhouse.ask(source, query1())
+    webhouse.ask(source, query2())
+    webhouse.can_answer(query3())
+    webhouse.possible_answers(query4())
+    # a structured prefix check, so the matching counters light up
+    probe = DataTree.build(
+        node(
+            "cat0",
+            "catalog",
+            0,
+            [node("ghost", "product", 0, [node("gp", "price", 999)])],
+        )
+    )
+    webhouse.is_possible_prefix(probe)
+    webhouse.is_certain_prefix(probe)
+    webhouse.complete_and_answer(source, query4())
+    return webhouse
+
+
+def _take_flag(args: list[str], flag: str) -> bool:
+    if flag in args:
+        args.remove(flag)
+        return True
+    return False
+
+
+def _take_value(args: list[str], flag: str) -> "str | None":
+    """Pop ``flag VALUE``; raises ValueError when the value is missing."""
+    if flag not in args:
+        return None
+    position = args.index(flag)
+    if position + 1 >= len(args):
+        raise ValueError(f"{flag} needs a value")
+    value = args[position + 1]
+    del args[position : position + 2]
+    return value
+
+
+def _positional_products(args: list[str], usage: str) -> int:
+    if any(a.startswith("-") for a in args) or len(args) > 1:
+        raise ValueError(usage)
     if args and not (args[0].isdigit() and int(args[0]) > 0):
-        print("usage: python -m repro stats [--trace FILE] [n]", file=sys.stderr)
+        raise ValueError(usage)
+    return int(args[0]) if args else 10
+
+
+def _stats(args: list[str]) -> int:
+    """Run the catalog workload under observability, dump JSON.
+
+    The output document has three top-level keys: ``webhouse`` (the
+    warehouse's own :meth:`Webhouse.stats`), ``metrics`` (global
+    counters/histograms, including the per-record knowledge-size series)
+    and ``trace`` (the span trees).  With ``--trace FILE`` the raw event
+    stream is additionally written to FILE as JSON lines; with
+    ``--profile`` the aggregated span profile is added under
+    ``profile``.
+    """
+    import json
+
+    from . import obs
+
+    usage = "usage: python -m repro stats [--trace FILE] [--profile] [n]"
+    args = list(args)
+    try:
+        with_profile = _take_flag(args, "--profile")
+        trace_file = _take_value(args, "--trace")
+        products = _positional_products(args, usage)
+    except ValueError:
+        print(usage, file=sys.stderr)
         return 2
-    products = int(args[0]) if args else 10
 
     ring = obs.RingBufferSink()
     jsonl = obs.JsonLinesSink(trace_file) if trace_file is not None else None
     sink = obs.TeeSink(ring, jsonl) if jsonl is not None else ring
 
-    tree_type = catalog_type()
-    document = generate_catalog(products, seed=products)
-    source = InMemorySource(document, tree_type)
-    webhouse = Webhouse(CATALOG_ALPHABET, tree_type=tree_type)
-
     obs.reset()
     with obs.capture(sink):
-        webhouse.ask(source, query1())
-        webhouse.ask(source, query2())
-        webhouse.can_answer(query3())
-        webhouse.possible_answers(query4())
-        # a structured prefix check, so the matching counters light up
-        probe = DataTree.build(
-            node(
-                "cat0",
-                "catalog",
-                0,
-                [node("ghost", "product", 0, [node("gp", "price", 999)])],
-            )
-        )
-        webhouse.is_possible_prefix(probe)
-        webhouse.is_certain_prefix(probe)
-        webhouse.complete_and_answer(source, query4())
+        webhouse = _scripted_session(products)
         payload = {
             "workload": {"name": "catalog", "products": products},
             "webhouse": webhouse.stats(),
         }
     payload.update(obs.snapshot())
+    if with_profile:
+        payload["profile"] = obs.profile_traces(obs.traces()).to_dict()
     if jsonl is not None:
         jsonl.close()
     print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _profile_cmd(args: list[str]) -> int:
+    """Aggregated span profile of the scripted workload."""
+    import json
+
+    from . import obs
+
+    usage = "usage: python -m repro profile [--json] [--top K] [n]"
+    args = list(args)
+    try:
+        as_json = _take_flag(args, "--json")
+        top_text = _take_value(args, "--top")
+        top = int(top_text) if top_text is not None else 10
+        products = _positional_products(args, usage)
+    except ValueError:
+        print(usage, file=sys.stderr)
+        return 2
+
+    obs.reset()
+    with obs.capture():
+        _scripted_session(products)
+        prof = obs.profile()
+    if as_json:
+        print(json.dumps(prof.to_dict(), indent=2, sort_keys=True, default=str))
+        return 0
+    print(f"# span profile — catalog workload, {products} products")
+    print(prof.render())
+    print(f"\n# top {top} hot paths (by self time)")
+    for path, calls, total, self_s in prof.hot_paths(top):
+        print(f"  {self_s:>9.6f}s self  {total:>9.6f}s total  x{calls:<4} {' > '.join(path)}")
+    return 0
+
+
+def _explain_cmd(args: list[str]) -> int:
+    """EXPLAIN one Refine step or one q(T) evaluation."""
+    from . import obs
+    from .refine.refine import refine_sequence
+    from .workloads.catalog import (
+        CATALOG_ALPHABET,
+        catalog_type,
+        generate_catalog,
+        query1,
+        query2,
+        query4,
+    )
+
+    usage = "usage: python -m repro explain {refine|ask} [--json] [n]"
+    args = list(args)
+    try:
+        as_json = _take_flag(args, "--json")
+        if not args or args[0] not in ("refine", "ask"):
+            raise ValueError(usage)
+        operation = args.pop(0)
+        products = _positional_products(args, usage)
+    except ValueError:
+        print(usage, file=sys.stderr)
+        return 2
+
+    document = generate_catalog(products, seed=products)
+    history = [(query1(), query1().evaluate(document))]
+    if operation == "refine":
+        # the refine step needs a refinable (not type-intersected) operand
+        knowledge = refine_sequence(CATALOG_ALPHABET, history)
+        explanation, _ = obs.explain_refine(
+            knowledge, query2(), query2().evaluate(document), CATALOG_ALPHABET
+        )
+    else:
+        knowledge = refine_sequence(
+            CATALOG_ALPHABET, history, tree_type=catalog_type()
+        )
+        explanation, _ = obs.explain_ask(knowledge, query4())
+    print(explanation.to_json() if as_json else explanation.render())
+    return 0
+
+
+def _export_cmd(args: list[str]) -> int:
+    """Run the scripted workload, export Prometheus text / Chrome trace.
+
+    ``--prometheus`` without a FILE writes the text exposition to
+    stdout; with a FILE it writes there.  ``--chrome FILE`` writes the
+    trace-event JSON.  With neither flag, defaults to ``--prometheus``.
+    """
+    from pathlib import Path as _Path
+
+    from . import obs
+
+    usage = "usage: python -m repro export [--prometheus [FILE]] [--chrome FILE] [n]"
+    args = list(args)
+    try:
+        chrome_file = _take_value(args, "--chrome")
+        prometheus = _take_flag(args, "--prometheus")
+        prometheus_file = None
+        # optional FILE operand directly after --prometheus
+        if prometheus and args and not args[0].isdigit():
+            prometheus_file = args.pop(0)
+        products = _positional_products(args, usage)
+    except ValueError:
+        print(usage, file=sys.stderr)
+        return 2
+    if not prometheus and chrome_file is None:
+        prometheus = True
+
+    obs.reset()
+    with obs.capture():
+        _scripted_session(products)
+        roots = obs.traces()
+        text = obs.prometheus_text()
+    if prometheus:
+        obs.validate_prometheus_text(text)
+        if prometheus_file is not None:
+            _Path(prometheus_file).write_text(text, encoding="utf-8")
+            print(f"wrote prometheus text exposition to {prometheus_file}", file=sys.stderr)
+        else:
+            print(text, end="")
+    if chrome_file is not None:
+        count = obs.write_chrome_trace(chrome_file, roots)
+        print(f"wrote {count} trace events to {chrome_file}", file=sys.stderr)
     return 0
 
 
@@ -358,6 +531,12 @@ def main(argv: list[str]) -> int:
         return _blowup(n)
     if command == "stats":
         return _stats(argv[2:])
+    if command == "profile":
+        return _profile_cmd(argv[2:])
+    if command == "explain":
+        return _explain_cmd(argv[2:])
+    if command == "export":
+        return _export_cmd(argv[2:])
     if command == "session":
         return _session_cmd(argv[2:])
     if command == "xml":

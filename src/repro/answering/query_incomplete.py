@@ -66,6 +66,20 @@ def type_possible_certain(
         target = tau.sigma(symbol)
         return incomplete.data_label(target) if target in node_ids else target
 
+    with _span("query_incomplete.poss_cert") as sp:
+        poss, cert = _poss_cert_sets(tau, query, eff_label)
+        if sp is not None:
+            sp.attrs.update(
+                patterns=len(poss),
+                poss_root=len(poss.get((), frozenset())),
+                cert_root=len(cert.get((), frozenset())),
+            )
+    return poss, cert
+
+
+def _poss_cert_sets(tau, query: PSQuery, eff_label) -> Tuple[
+    Dict[Path, FrozenSet[str]], Dict[Path, FrozenSet[str]]
+]:
     poss: Dict[Path, FrozenSet[str]] = {}
     cert: Dict[Path, FrozenSet[str]] = {}
     for path in sorted(query.paths(), key=len, reverse=True):
@@ -126,8 +140,11 @@ def query_incomplete(
         node_ids = incomplete.data_node_ids()
         poss, cert = type_possible_certain(incomplete, query)
 
-        builder = _AnswerBuilder(incomplete, tau, query, poss, cert)
-        result = builder.run()
+        with _span("query_incomplete.build") as sp_build:
+            builder = _AnswerBuilder(incomplete, tau, query, poss, cert)
+            result = builder.run()
+            if sp_build is not None:
+                sp_build.attrs["symbols_generated"] = len(builder._sigma)
         if _OBS.enabled:
             generated = len(builder._sigma)
             metrics = _OBS.metrics
@@ -137,8 +154,10 @@ def query_incomplete(
             if sp is not None:
                 sp.attrs.update(
                     input_symbols=len(tau.symbols()),
+                    data_nodes=len(node_ids),
                     symbols_generated=generated,
                     result_size=result.size(),
+                    allows_empty=result.allows_empty,
                 )
         return result
 

@@ -24,9 +24,17 @@ from ..core.tree import DataTree
 from ..core.treetype import TreeType
 from ..incomplete.certainty import certain_prefix, possible_prefix
 from ..incomplete.incomplete_tree import IncompleteTree
+from ..obs.monitor import (
+    Alert,
+    GrowthMonitor,
+    REMEDY_CONJUNCTIVE,
+    REMEDY_LINEAR,
+    REMEDY_LOSSY,
+)
 from ..obs.registry import Metrics
 from ..obs.spans import span as _span
 from ..obs.state import STATE as _OBS
+from ..refine.conjunctive import ConjunctiveIncompleteTree, refine_plus_sequence
 from ..refine.heuristics import forget_specializations
 from ..refine.inverse import universal_incomplete
 from ..refine.minimize import merge_equivalent_symbols
@@ -49,6 +57,7 @@ class Webhouse:
         alphabet: Iterable[str],
         tree_type: Optional[TreeType] = None,
         auto_minimize: bool = False,
+        monitor: Optional[GrowthMonitor] = None,
     ):
         if tree_type is not None:
             alphabet = set(alphabet) | set(tree_type.alphabet)
@@ -56,12 +65,20 @@ class Webhouse:
         self._tree_type = tree_type
         self._auto_minimize = auto_minimize
         self._state = universal_incomplete(self._alphabet)
+        #: When a conjunctive remedy is active, knowledge lives here as
+        #: Refine⁺ layers (Corollary 3.9) and ``_state`` is ignored.
+        self._conjunctive: Optional[ConjunctiveIncompleteTree] = None
         self._knowledge_cache: Optional[IncompleteTree] = None
         self._history: List[Tuple[PSQuery, DataTree]] = []
+        self._all_linear = True
         self._session: Optional["Session"] = None
         #: Per-instance books (always on, cheap): counts of the operations
         #: this warehouse performed, independent of the global obs switch.
         self.metrics = Metrics()
+        #: Growth watchdog fed on every record (docs/OBSERVABILITY.md).
+        #: The default instance classifies but never alerts; configure
+        #: budgets and callbacks via :meth:`guard` or pass your own.
+        self.monitor = monitor if monitor is not None else GrowthMonitor()
 
     @property
     def history(self) -> Tuple[Tuple[PSQuery, DataTree], ...]:
@@ -100,6 +117,7 @@ class Webhouse:
             recovered = session.recover()
             self._state = recovered.state
             self._history = list(recovered.history)
+            self._all_linear = all(q.is_linear() for q, _ in self._history)
             self._knowledge_cache = None
         else:
             for query, answer in self._history:
@@ -138,6 +156,9 @@ class Webhouse:
             recovered = session.recover()
             webhouse._state = recovered.state
             webhouse._history = list(recovered.history)
+            webhouse._all_linear = all(
+                q.is_linear() for q, _ in webhouse._history
+            )
             webhouse._knowledge_cache = None
             webhouse._session = session
             webhouse.metrics.inc("webhouse.resumes")
@@ -169,13 +190,29 @@ class Webhouse:
     def record(
         self, query: PSQuery, answer: DataTree, _origin: str = "record"
     ) -> None:
-        """Refine knowledge with one query/answer pair (Theorem 3.4)."""
+        """Refine knowledge with one query/answer pair (Theorem 3.4).
+
+        In conjunctive mode (after ``apply_remedy("conjunctive")``) the
+        pair is appended as a Refine⁺ layer instead (Theorem 3.8) —
+        O((|A|+|q|)·|Σ|) added size rather than a product intersection.
+
+        The growth monitor sees the new knowledge size afterwards; it
+        may fire alerts, invoke the degrade callback, or raise
+        :class:`~repro.obs.monitor.BudgetExceeded` (knowledge and
+        journal are consistent either way).
+        """
         with _span("webhouse.record") as sp:
-            self._state = refine(self._state, query, answer, self._alphabet)
-            if self._auto_minimize:
-                self._state = merge_equivalent_symbols(self._state)
+            if self._conjunctive is not None:
+                self._conjunctive = self._conjunctive.refine_plus(
+                    query, answer, self._alphabet
+                )
+            else:
+                self._state = refine(self._state, query, answer, self._alphabet)
+                if self._auto_minimize:
+                    self._state = merge_equivalent_symbols(self._state)
             self._knowledge_cache = None
             self._history.append((query, answer))
+            self._all_linear = self._all_linear and query.is_linear()
             self.metrics.inc("webhouse.records")
             self._journal(
                 {
@@ -185,8 +222,8 @@ class Webhouse:
                     "answer": _codec.tree_to_json(answer),
                 }
             )
+            size = self._representation_size()
             if _OBS.enabled:
-                size = self._state.size()
                 _OBS.metrics.inc("webhouse.records")
                 _OBS.metrics.observe("webhouse.knowledge_size", size)
                 if sp is not None:
@@ -194,7 +231,9 @@ class Webhouse:
                         step=len(self._history),
                         answer_nodes=len(answer),
                         knowledge_size=size,
+                        engine=self.engine,
                     )
+            self.monitor.observe(size, linear=self._all_linear)
 
     def ask(self, source: InMemorySource, query: PSQuery) -> DataTree:
         """Query the source and fold the answer into knowledge."""
@@ -210,17 +249,112 @@ class Webhouse:
         """Re-initialize to the bare type — the paper's answer to source
         updates when no change information is available."""
         self._state = universal_incomplete(self._alphabet)
+        self._conjunctive = None
         self._knowledge_cache = None
         self._history.clear()
+        self._all_linear = True
+        self.monitor.reset_window()
         self._journal({"type": "reset"})
+
+    # -- growth control ----------------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        """``"plain"`` (Algorithm Refine) or ``"conjunctive"`` (Refine⁺)."""
+        return "conjunctive" if self._conjunctive is not None else "plain"
+
+    def guard(
+        self,
+        warn_budget: Optional[float] = None,
+        hard_budget: Optional[float] = None,
+        on_hard: str = "degrade",
+        window: int = 8,
+        degrade_on_superlinear: bool = False,
+    ) -> GrowthMonitor:
+        """Install a :class:`GrowthMonitor` wired to :meth:`apply_remedy`.
+
+        The degrade callback applies each alert's recommended remedy to
+        this warehouse, closing the paper's monitor-and-degrade loop:
+        superlinear growth or a hard-budget breach triggers the matching
+        Example 3.2 remedy automatically.  Returns the monitor (register
+        extra callbacks with :meth:`GrowthMonitor.on_alert`).
+        """
+        monitor = GrowthMonitor(
+            window=window,
+            warn_budget=warn_budget,
+            hard_budget=hard_budget,
+            on_hard=on_hard,
+            degrade_callback=self._degrade,
+            degrade_on_superlinear=degrade_on_superlinear,
+        )
+        monitor.seed(self.monitor.sizes, all_linear=self._all_linear)
+        self.monitor = monitor
+        return monitor
+
+    def _degrade(self, alert: Alert) -> None:
+        self.apply_remedy(alert.remedy)
+
+    def apply_remedy(self, remedy: str) -> None:
+        """Apply one of the paper's three blowup remedies in place.
+
+        * ``"conjunctive"`` — re-fold the history with Refine⁺
+          (Corollary 3.9): representation becomes linear in the history;
+          querying the materialized knowledge gets more expensive.
+        * ``"linear"`` — turn on per-step minimization (Lemma 3.12) and
+          minimize the current state now.
+        * ``"lossy"`` — forget specializations (Section 3.2 heuristics);
+          in conjunctive mode each layer is coarsened independently
+          (still a superset of the represented trees, so still sound).
+
+        Remedies are an in-memory performance posture and are **not**
+        journaled (except lossy forgetting, which changes the
+        represented set and journals as ``compact``): a session resumed
+        from disk starts back in plain mode.
+        """
+        with _span("webhouse.apply_remedy", remedy=remedy):
+            if remedy == REMEDY_CONJUNCTIVE:
+                if self._conjunctive is None:
+                    self._conjunctive = refine_plus_sequence(
+                        self._alphabet, self._history, tree_type=self._tree_type
+                    )
+                    self._knowledge_cache = None
+            elif remedy == REMEDY_LINEAR:
+                self._auto_minimize = True
+                if self._conjunctive is None:
+                    self._state = merge_equivalent_symbols(self._state)
+                    self._knowledge_cache = None
+            elif remedy == REMEDY_LOSSY:
+                self.compact()
+            else:
+                raise ValueError(f"unknown remedy {remedy!r}")
+            self.metrics.inc(f"webhouse.remedy.{remedy}")
+            if _OBS.enabled:
+                _OBS.metrics.inc(f"webhouse.remedy.{remedy}")
+            self.monitor.reset_window()
+
+    def _representation_size(self) -> int:
+        """Size of the *maintained* representation (not the materialized
+        knowledge): conjunctive layers when degraded, else the plain
+        state.  This is the quantity the growth remedies bound."""
+        if self._conjunctive is not None:
+            return self._conjunctive.size()
+        return self._state.size()
 
     # -- knowledge ------------------------------------------------------------------
 
     @property
     def knowledge(self) -> IncompleteTree:
-        """The incomplete tree (history ∩ source type, Theorem 3.5)."""
+        """The incomplete tree (history ∩ source type, Theorem 3.5).
+
+        In conjunctive mode this materializes the layer product — the
+        operation Theorem 3.10 prices: worst-case exponential, which is
+        precisely the cost the conjunctive representation defers from
+        every ``record`` to the queries that need full knowledge.
+        """
         if self._knowledge_cache is None:
-            if self._tree_type is not None:
+            if self._conjunctive is not None:
+                self._knowledge_cache = self._conjunctive.to_incomplete_tree()
+            elif self._tree_type is not None:
                 self._knowledge_cache = intersect_with_tree_type(
                     self._state, self._tree_type
                 )
@@ -233,22 +367,42 @@ class Webhouse:
         return self.knowledge.data_tree()
 
     def size(self) -> int:
+        """Maintained representation size (conjunctive-aware)."""
+        if self._conjunctive is not None:
+            return self._conjunctive.size()
         return self.knowledge.size()
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         """Operation counts and current knowledge shape, as plain data.
 
         Built on the per-instance metrics registry (``self.metrics``) so
         the counts are exact whether or not global observability is on.
+        In conjunctive mode the shape is reported from the layers
+        (materializing the product just for stats would defeat the
+        remedy).
         """
-        knowledge = self.knowledge
+        if self._conjunctive is not None:
+            shape: Dict[str, object] = {
+                "knowledge_size": self._conjunctive.size(),
+                "specializations": sum(
+                    len(layer.type.symbols()) for layer in self._conjunctive.layers
+                ),
+                "data_nodes": len(self._conjunctive.data_nodes()),
+            }
+        else:
+            knowledge = self.knowledge
+            shape = {
+                "knowledge_size": knowledge.size(),
+                "specializations": len(knowledge.type.symbols()),
+                "data_nodes": len(knowledge.data_node_ids()),
+            }
         return {
             "queries_recorded": len(self._history),
             "asks": int(self.metrics.value("webhouse.asks")),
             "source_completions": int(self.metrics.value("webhouse.completions")),
-            "knowledge_size": knowledge.size(),
-            "specializations": len(knowledge.type.symbols()),
-            "data_nodes": len(knowledge.data_node_ids()),
+            **shape,
+            "engine": self.engine,
+            "growth_regime": self.monitor.classification(),
         }
 
     def __repr__(self) -> str:
@@ -257,9 +411,23 @@ class Webhouse:
         return f"Webhouse({rendered})"
 
     def compact(self, labels: Optional[Iterable[str]] = None) -> None:
-        """Apply the lossy forgetting heuristic (Section 3.2) in place."""
+        """Apply the lossy forgetting heuristic (Section 3.2) in place.
+
+        In conjunctive mode every layer is coarsened independently — each
+        layer's rep set only grows, so the intersection still contains
+        every tree the exact knowledge did (sound, lossy).
+        """
         labels = None if labels is None else sorted(set(labels))
-        self._state = forget_specializations(self._state, labels)
+        if self._conjunctive is not None:
+            self._conjunctive = ConjunctiveIncompleteTree(
+                [
+                    forget_specializations(layer, labels)
+                    for layer in self._conjunctive.layers
+                ],
+                self._conjunctive.tree_type,
+            )
+        else:
+            self._state = forget_specializations(self._state, labels)
         self._knowledge_cache = None
         self._journal({"type": "compact", "labels": labels})
 

@@ -25,6 +25,12 @@ Typical usage::
 Or explicitly: ``obs.enable(obs.JsonLinesSink("trace.jsonl"))`` ...
 ``obs.disable()``.  See ``docs/OBSERVABILITY.md`` for the event schema
 and the span-name catalogue.
+
+On top of the raw collection sits the diagnostics layer: span-tree
+profiles (:mod:`~repro.obs.profile`), EXPLAIN for Refine and q(T)
+(:mod:`~repro.obs.explain`), knowledge-growth monitoring with blowup
+alerts and budget enforcement (:mod:`~repro.obs.monitor`), and
+Prometheus / Chrome-trace exporters (:mod:`~repro.obs.export`).
 """
 
 from __future__ import annotations
@@ -32,6 +38,24 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from .explain import Explanation, explain_ask, explain_refine, isolated_observation
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    prometheus_text,
+    validate_chrome_trace,
+    validate_prometheus_text,
+    write_chrome_trace,
+)
+from .monitor import (
+    Alert,
+    BudgetExceeded,
+    GrowthMonitor,
+    REMEDY_CONJUNCTIVE,
+    REMEDY_LINEAR,
+    REMEDY_LOSSY,
+)
+from .profile import Profile, ProfileEntry, aggregate, profile_traces
 from .registry import Counter, Histogram, Metrics
 from .sinks import Event, JsonLinesSink, NullSink, RingBufferSink, Sink, TeeSink
 from .spans import Span, add_attrs, current_span, event, span
@@ -98,14 +122,28 @@ def snapshot() -> Dict[str, object]:
     }
 
 
+def profile() -> Profile:
+    """Aggregate every collected trace tree into a :class:`Profile`."""
+    return profile_traces(traces())
+
+
 __all__ = [
+    "Alert",
+    "BudgetExceeded",
     "Counter",
     "Event",
+    "Explanation",
+    "GrowthMonitor",
     "Histogram",
     "JsonLinesSink",
     "Metrics",
     "NullSink",
     "ObsState",
+    "Profile",
+    "ProfileEntry",
+    "REMEDY_CONJUNCTIVE",
+    "REMEDY_LINEAR",
+    "REMEDY_LOSSY",
     "RingBufferSink",
     "STATE",
     "Sink",
@@ -113,17 +151,29 @@ __all__ = [
     "TeeSink",
     "Timer",
     "add_attrs",
+    "aggregate",
     "capture",
+    "chrome_trace",
+    "chrome_trace_events",
     "current_span",
     "disable",
     "enable",
     "enabled",
     "event",
+    "explain_ask",
+    "explain_refine",
+    "isolated_observation",
     "metrics",
+    "profile",
+    "profile_traces",
+    "prometheus_text",
     "reset",
     "snapshot",
     "span",
     "timed",
     "timer",
     "traces",
+    "validate_chrome_trace",
+    "validate_prometheus_text",
+    "write_chrome_trace",
 ]

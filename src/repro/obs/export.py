@@ -1,0 +1,233 @@
+"""Standard exporters: Prometheus text exposition and Chrome trace JSON.
+
+Two renderings of what ``repro.obs`` collects, in formats existing
+tooling already understands:
+
+* :func:`prometheus_text` — the metrics registry as Prometheus text
+  exposition format (version 0.0.4): counters become ``*_total``
+  counter families, histograms become summaries (``_count`` / ``_sum``)
+  plus ``_min`` / ``_max`` gauges.  :func:`validate_prometheus_text` is
+  a strict structural checker (used by tests and CI) so exports stay
+  scrape-able without requiring the ``prometheus_client`` package.
+* :func:`chrome_trace` — finished span trees as Chrome ``trace_event``
+  JSON (complete ``"X"`` events with microsecond timestamps), loadable
+  in ``chrome://tracing`` / Perfetto.  :func:`validate_chrome_trace`
+  checks the structural schema.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .registry import Metrics
+from .spans import Span
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_VALID_TYPES = frozenset(["counter", "gauge", "histogram", "summary", "untyped"])
+
+
+def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
+    """Dotted registry name -> legal Prometheus metric name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    full = f"{namespace}_{cleaned}" if namespace else cleaned
+    if not _NAME_RE.match(full):
+        full = "_" + full
+    return full
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(metrics: Optional[Metrics] = None, namespace: str = "repro") -> str:
+    """Render a metrics registry in Prometheus text exposition format."""
+    if metrics is None:
+        from .state import STATE
+
+        metrics = STATE.metrics
+    lines: List[str] = []
+    for name, value in metrics.counters().items():
+        family = sanitize_metric_name(name, namespace) + "_total"
+        lines.append(f"# HELP {family} repro counter {name}")
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_fmt_value(value)}")
+    for name, summary in metrics.histograms().items():
+        family = sanitize_metric_name(name, namespace)
+        lines.append(f"# HELP {family} repro histogram {name}")
+        lines.append(f"# TYPE {family} summary")
+        lines.append(f"{family}_count {_fmt_value(summary['count'])}")
+        lines.append(f"{family}_sum {_fmt_value(summary['total'])}")
+        for bound, suffix in ((summary["min"], "min"), (summary["max"], "max")):
+            if bound is None:
+                continue
+            gauge = f"{family}_{suffix}"
+            lines.append(f"# HELP {gauge} repro histogram {name} {suffix}")
+            lines.append(f"# TYPE {gauge} gauge")
+            lines.append(f"{gauge} {_fmt_value(bound)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def validate_prometheus_text(text: str) -> Dict[str, float]:
+    """Strict structural check of a text-exposition document.
+
+    Returns ``{sample_name: value}``.  Raises :class:`ValueError` on the
+    first malformed line, unknown TYPE, or sample whose family was not
+    declared with ``# TYPE`` beforehand (the ordering Prometheus's own
+    parser enforces).
+    """
+    samples: Dict[str, float] = {}
+    typed: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {raw!r}")
+            family = parts[2]
+            if not _NAME_RE.match(family):
+                raise ValueError(f"line {lineno}: bad metric name {family!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _VALID_TYPES:
+                    raise ValueError(f"line {lineno}: bad TYPE {raw!r}")
+                if family in typed:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {family!r}")
+                typed[family] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad value in {raw!r}") from exc
+        base = name
+        for suffix in ("_count", "_sum", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            raise ValueError(f"line {lineno}: sample {name!r} has no preceding # TYPE")
+        if name in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {name!r}")
+        samples[name] = value
+    return samples
+
+
+# -- Chrome trace_event ----------------------------------------------------------
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace_events(
+    roots: Iterable[Span], pid: int = 1, tid: int = 1
+) -> List[Dict[str, object]]:
+    """Flatten span trees into complete (``"ph": "X"``) trace events.
+
+    Timestamps are ``perf_counter`` microseconds — arbitrary epoch but
+    mutually consistent, which is all the trace viewer needs.
+    """
+    events: List[Dict[str, object]] = []
+
+    def walk(node: Span) -> None:
+        end = node.end if node.end is not None else node.start
+        events.append(
+            {
+                "name": node.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": node.start * 1e6,
+                "dur": max(0.0, end - node.start) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {key: _json_safe(val) for key, val in node.attrs.items()},
+            }
+        )
+        for child in node.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return events
+
+
+def chrome_trace(roots: Optional[Sequence[Span]] = None) -> Dict[str, object]:
+    """The Chrome trace-event JSON object for the given (or all) traces."""
+    if roots is None:
+        from .state import STATE
+
+        roots = list(STATE.traces)  # type: ignore[arg-type]
+    return {
+        "traceEvents": chrome_trace_events(roots),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "format": "trace_event"},
+    }
+
+
+def write_chrome_trace(
+    target: Union[str, Path], roots: Optional[Sequence[Span]] = None
+) -> int:
+    """Write the trace JSON to ``target``; returns the event count."""
+    document = chrome_trace(roots)
+    Path(target).write_text(
+        json.dumps(document, sort_keys=True, default=str), encoding="utf-8"
+    )
+    return len(document["traceEvents"])  # type: ignore[arg-type]
+
+
+def validate_chrome_trace(document: object) -> int:
+    """Structural schema check; returns the event count or raises ValueError."""
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {position} is not an object")
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                raise ValueError(f"event {position} misses required field {field!r}")
+        if not isinstance(event["name"], str):
+            raise ValueError(f"event {position}: name must be a string")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"event {position}: ts must be a number")
+        if event["ph"] == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                raise ValueError(f"event {position}: X event needs numeric dur")
+        args = event.get("args", {})
+        if not isinstance(args, dict):
+            raise ValueError(f"event {position}: args must be an object")
+    return len(events)
+
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_events",
+    "prometheus_text",
+    "sanitize_metric_name",
+    "validate_chrome_trace",
+    "validate_prometheus_text",
+    "write_chrome_trace",
+]

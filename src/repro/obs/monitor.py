@@ -1,0 +1,319 @@
+"""Knowledge-growth monitoring: regime classification, alerts, budgets.
+
+The paper's operational tension: each Refine step is PTIME (Theorems
+3.4/3.5) but the incomplete-tree representation can double per recorded
+query (Example 3.2) — and the paper names three remedies: conjunctive
+trees (Section 3.2, Corollary 3.9), restriction to linear queries
+(Lemma 3.12), and lossy forgetting (Proposition 3.13 / Section 3.2).
+A :class:`GrowthMonitor` watches the knowledge-size series as it is
+produced (``Webhouse.record`` feeds it), classifies the growth regime
+over a sliding window — ``flat`` / ``linear`` / ``superlinear`` — and
+fires :class:`Alert` callbacks carrying the recommended remedy, so an
+operator (or an automatic degrade hook) can act *before* the session
+melts.
+
+Budgets add hard enforcement: crossing ``warn_budget`` fires a warning
+alert once; crossing ``hard_budget`` either warns, raises
+:class:`BudgetExceeded`, or invokes the ``degrade_callback`` (which
+``Webhouse.guard`` wires to :meth:`Webhouse.apply_remedy`), depending on
+``on_hard``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+Number = float
+
+# -- the paper's three remedies, by stable name ----------------------------------
+
+#: Switch to conjunctive incomplete trees (Refine⁺, Corollary 3.9):
+#: representation linear in the history, emptiness becomes NP-hard.
+REMEDY_CONJUNCTIVE = "conjunctive"
+#: Restrict to linear queries and minimize per step (Lemma 3.12).
+REMEDY_LINEAR = "linear"
+#: Lossy forgetting: coarsen specializations (Section 3.2 heuristics).
+REMEDY_LOSSY = "lossy"
+
+#: Classification labels.
+REGIME_WARMUP = "warming-up"
+REGIME_FLAT = "flat"
+REGIME_LINEAR = "linear"
+REGIME_SUPERLINEAR = "superlinear"
+
+
+class Alert:
+    """One monitor finding: what happened, how bad, what to do."""
+
+    __slots__ = ("kind", "regime", "remedy", "size", "step", "window", "message")
+
+    def __init__(
+        self,
+        kind: str,
+        regime: str,
+        remedy: str,
+        size: Number,
+        step: int,
+        window: Sequence[Number],
+        message: str,
+    ):
+        self.kind = kind  # "regime" | "budget_warn" | "budget_hard"
+        self.regime = regime
+        self.remedy = remedy
+        self.size = size
+        self.step = step
+        self.window = tuple(window)
+        self.message = message
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "regime": self.regime,
+            "remedy": self.remedy,
+            "size": self.size,
+            "step": self.step,
+            "window": list(self.window),
+            "message": self.message,
+        }
+
+    def __repr__(self) -> str:
+        return f"Alert({self.kind!r}, regime={self.regime!r}, remedy={self.remedy!r}, size={self.size})"
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when the hard knowledge budget is crossed under ``on_hard="raise"``."""
+
+    def __init__(self, alert: Alert):
+        super().__init__(alert.message)
+        self.alert = alert
+
+
+AlertCallback = Callable[[Alert], None]
+
+
+class GrowthMonitor:
+    """Classify the knowledge-size series and alert with a remedy.
+
+    The classifier looks at the last ``window`` sizes.  With fewer than
+    ``min_points`` observations it reports ``warming-up``.  Otherwise,
+    over the first differences ``d``:
+
+    * **flat** — every ``|d_i|`` is within ``flat_tolerance`` of the
+      current size (the representation has stabilized);
+    * **superlinear** — the differences are non-decreasing and the last
+      one exceeds ``delta_growth`` times the first (compounding growth —
+      Example 3.2 shows here as deltas doubling per step);
+    * **linear** — everything else (steady growth, bounded deltas).
+
+    Remedy recommendation follows the paper: a superlinear regime on an
+    all-linear query history means minimization was skipped → apply
+    Lemma 3.12 (``linear``); with branching queries the structural fix
+    is Refine⁺ (``conjunctive``); a budget breach without superlinear
+    structure falls back to lossy forgetting (``lossy``).
+    """
+
+    def __init__(
+        self,
+        window: int = 8,
+        min_points: int = 4,
+        flat_tolerance: float = 0.05,
+        delta_growth: float = 1.6,
+        warn_budget: Optional[Number] = None,
+        hard_budget: Optional[Number] = None,
+        on_hard: str = "raise",
+        alert_callbacks: Sequence[AlertCallback] = (),
+        degrade_callback: Optional[AlertCallback] = None,
+        degrade_on_superlinear: bool = False,
+    ):
+        if on_hard not in ("warn", "raise", "degrade"):
+            raise ValueError(f"on_hard must be warn|raise|degrade, got {on_hard!r}")
+        if on_hard == "degrade" and hard_budget is not None and degrade_callback is None:
+            raise ValueError("on_hard='degrade' needs a degrade_callback")
+        self.window = int(window)
+        self.min_points = max(3, int(min_points))
+        self.flat_tolerance = float(flat_tolerance)
+        self.delta_growth = float(delta_growth)
+        self.warn_budget = warn_budget
+        self.hard_budget = hard_budget
+        self.on_hard = on_hard
+        self.degrade_on_superlinear = bool(degrade_on_superlinear)
+        self._callbacks: List[AlertCallback] = list(alert_callbacks)
+        self._degrade = degrade_callback
+        self._sizes: Deque[Number] = deque(maxlen=self.window)
+        self._step = 0
+        self._all_linear = True
+        self._last_regime = REGIME_WARMUP
+        self._warned_budget = False
+        self._alerts: List[Alert] = []
+
+    # -- configuration ----------------------------------------------------------
+
+    def on_alert(self, callback: AlertCallback) -> None:
+        """Register an additional alert callback."""
+        self._callbacks.append(callback)
+
+    def set_degrade(self, callback: AlertCallback) -> None:
+        self._degrade = callback
+
+    def seed(self, sizes: Sequence[Number], all_linear: bool = True) -> None:
+        """Adopt an existing size series (e.g. when replacing a monitor
+        mid-session) without firing alerts for the past."""
+        for size in sizes:
+            self._sizes.append(size)
+        self._all_linear = bool(all_linear)
+        self._last_regime = self.classification()
+
+    # -- feeding ----------------------------------------------------------------
+
+    def observe(self, size: Number, linear: Optional[bool] = None) -> List[Alert]:
+        """Feed one knowledge size; returns the alerts fired (if any).
+
+        ``linear`` tells the monitor whether the history producing this
+        size consists of linear queries only (drives the remedy choice).
+        Raises :class:`BudgetExceeded` when the hard budget is crossed
+        and ``on_hard="raise"``.
+        """
+        self._step += 1
+        if linear is not None:
+            self._all_linear = self._all_linear and bool(linear)
+        self._sizes.append(size)
+
+        fired: List[Alert] = []
+        regime = self.classification()
+        if regime == REGIME_SUPERLINEAR and self._last_regime != REGIME_SUPERLINEAR:
+            alert = self._make_alert(
+                "regime",
+                regime,
+                self.recommend(regime),
+                size,
+                f"knowledge growth turned superlinear at size {size} "
+                f"(step {self._step}); recommend remedy: {self.recommend(regime)}",
+            )
+            fired.append(alert)
+        self._last_regime = regime
+
+        if (
+            self.warn_budget is not None
+            and size >= self.warn_budget
+            and not self._warned_budget
+        ):
+            self._warned_budget = True
+            fired.append(
+                self._make_alert(
+                    "budget_warn",
+                    regime,
+                    self.recommend(regime),
+                    size,
+                    f"knowledge size {size} crossed warn budget {self.warn_budget}",
+                )
+            )
+
+        hard_alert: Optional[Alert] = None
+        if self.hard_budget is not None and size >= self.hard_budget:
+            hard_alert = self._make_alert(
+                "budget_hard",
+                regime,
+                self.recommend(regime, budget_breach=True),
+                size,
+                f"knowledge size {size} crossed hard budget {self.hard_budget} "
+                f"(on_hard={self.on_hard})",
+            )
+            fired.append(hard_alert)
+
+        degrade_alert = hard_alert if self.on_hard == "degrade" else None
+        if degrade_alert is None and self.degrade_on_superlinear:
+            degrade_alert = next((a for a in fired if a.kind == "regime"), None)
+
+        for alert in fired:
+            self._alerts.append(alert)
+            for callback in self._callbacks:
+                callback(alert)
+        if degrade_alert is not None and self._degrade is not None:
+            self._degrade(degrade_alert)
+        if hard_alert is not None and self.on_hard == "raise":
+            raise BudgetExceeded(hard_alert)
+        return fired
+
+    def reset_window(self) -> None:
+        """Restart classification (e.g. right after a remedy was applied)."""
+        self._sizes.clear()
+        self._last_regime = REGIME_WARMUP
+        self._warned_budget = False
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def sizes(self) -> Tuple[Number, ...]:
+        return tuple(self._sizes)
+
+    @property
+    def alerts(self) -> Tuple[Alert, ...]:
+        """Every alert fired so far (survives ``reset_window``)."""
+        return tuple(self._alerts)
+
+    def classification(self) -> str:
+        """The current growth regime over the sliding window."""
+        sizes = list(self._sizes)
+        if len(sizes) < self.min_points:
+            return REGIME_WARMUP
+        deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+        slack = max(1.0, self.flat_tolerance * abs(sizes[-1]))
+        if all(abs(d) <= slack for d in deltas):
+            return REGIME_FLAT
+        non_decreasing = all(b >= a for a, b in zip(deltas, deltas[1:]))
+        compounding = deltas[-1] >= self.delta_growth * max(deltas[0], 1.0)
+        if non_decreasing and compounding and deltas[-1] > 0:
+            return REGIME_SUPERLINEAR
+        return REGIME_LINEAR
+
+    def recommend(self, regime: Optional[str] = None, budget_breach: bool = False) -> str:
+        """The paper remedy matching the current situation."""
+        regime = regime if regime is not None else self.classification()
+        if regime == REGIME_SUPERLINEAR:
+            return REMEDY_LINEAR if self._all_linear else REMEDY_CONJUNCTIVE
+        if budget_breach:
+            # growing past budget without superlinear structure: trade
+            # accuracy for size (graceful loss)
+            return REMEDY_LOSSY
+        return REMEDY_CONJUNCTIVE if not self._all_linear else REMEDY_LINEAR
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready monitor state."""
+        return {
+            "regime": self.classification(),
+            "recommendation": self.recommend(),
+            "steps_observed": self._step,
+            "window": list(self._sizes),
+            "all_linear_history": self._all_linear,
+            "warn_budget": self.warn_budget,
+            "hard_budget": self.hard_budget,
+            "on_hard": self.on_hard,
+            "alerts": [alert.to_dict() for alert in self._alerts],
+        }
+
+    def _make_alert(
+        self, kind: str, regime: str, remedy: str, size: Number, message: str
+    ) -> Alert:
+        return Alert(kind, regime, remedy, size, self._step, self._sizes, message)
+
+    def __repr__(self) -> str:
+        return (
+            f"GrowthMonitor(regime={self.classification()!r}, "
+            f"steps={self._step}, alerts={len(self._alerts)})"
+        )
+
+
+__all__ = [
+    "Alert",
+    "AlertCallback",
+    "BudgetExceeded",
+    "GrowthMonitor",
+    "REGIME_FLAT",
+    "REGIME_LINEAR",
+    "REGIME_SUPERLINEAR",
+    "REGIME_WARMUP",
+    "REMEDY_CONJUNCTIVE",
+    "REMEDY_LINEAR",
+    "REMEDY_LOSSY",
+]

@@ -1,0 +1,230 @@
+"""Span-tree aggregation: per-name profiles and hot paths.
+
+PR 1's spans record *where time went* one call at a time; this module
+turns a batch of finished trace trees into the operator's view: per
+span-name totals (calls, total/self seconds, child breakdown), per
+*call-path* totals (``refine.sequence > refine.step > refine.intersect``),
+and a flame-style text rendering.  The aggregation is the analysis half
+of the paper's cost story: Theorem 3.4 says each Refine step is PTIME in
+its input — the profile shows the input (and so the step time) growing
+across a query sequence, which is Example 3.2's blowup as a flame graph.
+
+Typical usage::
+
+    with obs.capture():
+        ...workload...
+    prof = obs.profile()           # aggregate obs.traces()
+    print(prof.render())           # flame-style text
+    prof.hot_paths(5)              # heaviest call paths
+    prof.to_dict()                 # JSON-ready
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .spans import Span
+
+#: A call path: span names from the root down to one span.
+PathKey = Tuple[str, ...]
+
+
+class ProfileEntry:
+    """Aggregate statistics for one span name."""
+
+    __slots__ = ("name", "calls", "total_s", "self_s", "min_s", "max_s", "errors", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.min_s: Optional[float] = None
+        self.max_s: Optional[float] = None
+        self.errors = 0
+        #: child span name -> (calls, total seconds) spent directly below
+        self.children: Dict[str, Tuple[int, float]] = {}
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "errors": self.errors,
+            "children": {
+                name: {"calls": calls, "total_s": seconds}
+                for name, (calls, seconds) in sorted(self.children.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileEntry({self.name!r}, calls={self.calls}, "
+            f"total={self.total_s:.6f}s, self={self.self_s:.6f}s)"
+        )
+
+
+class Profile:
+    """Aggregated view over a batch of finished span trees."""
+
+    __slots__ = ("entries", "paths", "roots_seen", "wall_s")
+
+    def __init__(self) -> None:
+        #: span name -> aggregate entry
+        self.entries: Dict[str, ProfileEntry] = {}
+        #: call path -> (calls, total seconds, self seconds)
+        self.paths: Dict[PathKey, Tuple[int, float, float]] = {}
+        self.roots_seen = 0
+        #: sum of root-span durations — the profiled wall clock
+        self.wall_s = 0.0
+
+    # -- building ---------------------------------------------------------------
+
+    def add(self, root: Span) -> None:
+        """Fold one finished trace tree into the aggregates."""
+        self.roots_seen += 1
+        self.wall_s += root.duration
+        self._walk(root, ())
+
+    def _walk(self, span: Span, prefix: PathKey) -> float:
+        duration = span.duration
+        child_total = 0.0
+        path = prefix + (span.name,)
+        for child in span.children:
+            child_total += self._walk(child, path)
+        self_s = max(0.0, duration - child_total)
+
+        entry = self.entries.get(span.name)
+        if entry is None:
+            entry = self.entries[span.name] = ProfileEntry(span.name)
+        entry.calls += 1
+        entry.total_s += duration
+        entry.self_s += self_s
+        if entry.min_s is None or duration < entry.min_s:
+            entry.min_s = duration
+        if entry.max_s is None or duration > entry.max_s:
+            entry.max_s = duration
+        if "error" in span.attrs:
+            entry.errors += 1
+        for child in span.children:
+            calls, seconds = entry.children.get(child.name, (0, 0.0))
+            entry.children[child.name] = (calls + 1, seconds + child.duration)
+
+        calls, total, self_acc = self.paths.get(path, (0, 0.0, 0.0))
+        self.paths[path] = (calls + 1, total + duration, self_acc + self_s)
+        return duration
+
+    # -- reading ----------------------------------------------------------------
+
+    def entry(self, name: str) -> Optional[ProfileEntry]:
+        return self.entries.get(name)
+
+    def hot_paths(self, top: int = 10, by: str = "self") -> List[Tuple[PathKey, int, float, float]]:
+        """The heaviest call paths: ``(path, calls, total_s, self_s)``.
+
+        ``by="self"`` ranks by time spent *in* the path's last frame
+        (exclusive of children) — the flame-graph notion of hot;
+        ``by="total"`` ranks by inclusive time.
+        """
+        index = 3 if by == "self" else 2
+        ranked = sorted(
+            ((path, calls, total, self_s) for path, (calls, total, self_s) in self.paths.items()),
+            key=lambda row: row[index],
+            reverse=True,
+        )
+        return ranked[: max(0, top)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering of the whole profile."""
+        return {
+            "roots": self.roots_seen,
+            "wall_s": self.wall_s,
+            "by_name": {
+                name: entry.to_dict() for name, entry in sorted(self.entries.items())
+            },
+            "hot_paths": [
+                {
+                    "path": " > ".join(path),
+                    "calls": calls,
+                    "total_s": total,
+                    "self_s": self_s,
+                }
+                for path, calls, total, self_s in self.hot_paths(top=len(self.paths))
+            ],
+        }
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self, width: int = 28, bar_width: int = 20) -> str:
+        """Flame-style text: the call-path tree, widest frames first.
+
+        Each line shows one call path (indented by depth), its share of
+        the profiled wall clock as a bar, total/self seconds, and calls.
+        """
+        if not self.paths:
+            return "(no spans recorded)"
+        lines = [
+            f"{'span':<{width + 12}}  {'bar':<{bar_width}}  "
+            f"{'total_s':>9}  {'self_s':>9}  {'calls':>6}"
+        ]
+        total_base = self.wall_s or max(t for _, t, _ in self.paths.values())
+
+        def emit(path: PathKey) -> None:
+            calls, total, self_s = self.paths[path]
+            depth = len(path) - 1
+            label = "  " * depth + path[-1]
+            share = min(1.0, total / total_base) if total_base else 0.0
+            bar = "█" * max(1 if total > 0 else 0, round(share * bar_width))
+            lines.append(
+                f"{label:<{width + 12}}  {bar:<{bar_width}}  "
+                f"{total:>9.6f}  {self_s:>9.6f}  {calls:>6}"
+            )
+            children = sorted(
+                (p for p in self.paths if len(p) == len(path) + 1 and p[: len(path)] == path),
+                key=lambda p: self.paths[p][1],
+                reverse=True,
+            )
+            for child in children:
+                emit(child)
+
+        roots = sorted(
+            (p for p in self.paths if len(p) == 1),
+            key=lambda p: self.paths[p][1],
+            reverse=True,
+        )
+        for root in roots:
+            emit(root)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Profile({len(self.entries)} span names, {self.roots_seen} roots, "
+            f"{self.wall_s:.6f}s)"
+        )
+
+
+def aggregate(roots: Iterable[Span]) -> Profile:
+    """Aggregate a batch of finished root spans into one :class:`Profile`."""
+    prof = Profile()
+    for root in roots:
+        prof.add(root)
+    return prof
+
+
+def profile_traces(roots: Optional[Sequence[Span]] = None) -> Profile:
+    """Profile the given roots, or everything in ``STATE.traces``."""
+    if roots is None:
+        from .state import STATE
+
+        roots = list(STATE.traces)  # type: ignore[arg-type]
+    return aggregate(roots)
+
+
+__all__ = ["Profile", "ProfileEntry", "aggregate", "profile_traces"]

@@ -15,6 +15,7 @@ readable without unbounded memory.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Union
 
@@ -25,25 +26,36 @@ RECENT_WINDOW = 1024
 
 
 class Counter:
-    """A monotonically increasing named count."""
+    """A monotonically increasing named count.
 
-    __slots__ = ("name", "value")
+    ``inc`` holds a per-instrument lock: ``value += amount`` is a
+    read-modify-write, and concurrent workloads (thread pools timing
+    their own Refine steps) would otherwise lose increments.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: Number = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Number = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
 
 
 class Histogram:
-    """Aggregate moments plus a bounded window of raw observations."""
+    """Aggregate moments plus a bounded window of raw observations.
 
-    __slots__ = ("name", "count", "total", "min", "max", "recent")
+    ``observe`` updates five fields; the per-instrument lock keeps them
+    mutually consistent under concurrent observation.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "recent", "_lock")
 
     def __init__(self, name: str, window: int = RECENT_WINDOW):
         self.name = name
@@ -52,15 +64,17 @@ class Histogram:
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
         self.recent: Deque[Number] = deque(maxlen=window)
+        self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        self.recent.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self.recent.append(value)
 
     @property
     def mean(self) -> float:
@@ -88,24 +102,33 @@ class Metrics:
     statistics) instantiate their own.
     """
 
-    __slots__ = ("_counters", "_histograms")
+    __slots__ = ("_counters", "_histograms", "_lock")
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- access -----------------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            # lock only the miss path: two racing creators must agree on
+            # one instrument or increments on the loser are lost
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(name)
         return instrument
 
     def inc(self, name: str, amount: Number = 1) -> None:
@@ -138,8 +161,9 @@ class Metrics:
 
     def reset(self) -> None:
         """Drop every instrument (identity of the registry is preserved)."""
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._histograms)

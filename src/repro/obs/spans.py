@@ -96,9 +96,14 @@ class _ActiveSpan:
         opened.start = time.perf_counter()
         return opened
 
-    def __exit__(self, *exc: object) -> bool:
+    def __exit__(self, exc_type: object = None, exc: object = None, tb: object = None) -> bool:
         closed = self._span
         closed.end = time.perf_counter()
+        if exc_type is not None:
+            # close-and-propagate: the span is marked errored so profiles
+            # and traces show where exceptions went, but it still lands in
+            # its parent / the trace list like any other span
+            closed.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
         stack = STATE.stack
         if stack and stack[-1] is closed:
             stack.pop()

@@ -41,9 +41,21 @@ def refine(
 ) -> IncompleteTree:
     """One Refine step: ``rep(result) = rep(current) ∩ q⁻¹(A)``."""
     with _span("refine.step") as sp:
-        inverse = inverse_incomplete(query, answer, alphabet)
-        result = intersect(current, inverse)
-        final = result.normalized() if normalize else result
+        with _span("refine.inverse") as sp_inv:
+            inverse = inverse_incomplete(query, answer, alphabet)
+            if sp_inv is not None:
+                sp_inv.attrs["inverse_size"] = inverse.size()
+        with _span("refine.intersect"):
+            result = intersect(current, inverse)
+        if normalize:
+            with _span("refine.normalize") as sp_norm:
+                final = result.normalized()
+                if sp_norm is not None:
+                    sp_norm.attrs["pruned_symbols"] = len(result.type.symbols()) - len(
+                        final.type.symbols()
+                    )
+        else:
+            final = result
         if _OBS.enabled:
             specializations = len(result.type.symbols())
             size = final.size()
@@ -53,7 +65,9 @@ def refine(
             metrics.observe("refine.result_size", size)
             if sp is not None:
                 sp.attrs.update(
+                    input_size=current.size(),
                     answer_nodes=len(answer),
+                    query_nodes=query.size(),
                     specializations=specializations,
                     result_size=size,
                 )

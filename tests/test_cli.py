@@ -86,3 +86,88 @@ class TestCli:
 
     def test_xml_missing_file_argument(self):
         assert main(["repro", "xml"]) == 2
+
+
+class TestDiagnosticsCli:
+    def test_stats_profile_flag(self, capsys):
+        import json
+
+        assert main(["repro", "stats", "--profile", "4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        profile = doc["profile"]
+        assert profile["roots"] >= 1
+        assert "refine.step" in profile["by_name"]
+        assert profile["hot_paths"]
+
+    def test_profile_text(self, capsys):
+        assert main(["repro", "profile", "--top", "3", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "refine.step" in out
+        assert "hot paths" in out
+
+    def test_profile_json(self, capsys):
+        import json
+
+        assert main(["repro", "profile", "--json", "4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "webhouse.ask" in doc["by_name"]
+
+    def test_explain_refine(self, capsys):
+        assert main(["repro", "explain", "refine", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN refine" in out
+        assert "refine.inverse" in out
+
+    def test_explain_ask_json(self, capsys):
+        import json
+
+        assert main(["repro", "explain", "ask", "--json", "3"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["operation"].startswith("ask")
+        assert any(p["phase"] == "query_incomplete" for p in doc["phases"])
+
+    def test_explain_needs_operation(self):
+        assert main(["repro", "explain"]) == 2
+        assert main(["repro", "explain", "nonsense"]) == 2
+
+    def test_export_prometheus_stdout(self, capsys):
+        import repro.obs as obs
+
+        assert main(["repro", "export", "--prometheus", "4"]) == 0
+        out = capsys.readouterr().out
+        samples = obs.validate_prometheus_text(out)
+        assert samples["repro_refine_steps_total"] >= 2
+
+    def test_export_default_is_prometheus(self, capsys):
+        assert main(["repro", "export", "4"]) == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+    def test_export_chrome_file(self, tmp_path, capsys):
+        import json
+
+        import repro.obs as obs
+
+        target = tmp_path / "trace.json"
+        assert main(["repro", "export", "--chrome", str(target), "4"]) == 0
+        document = json.loads(target.read_text())
+        assert obs.validate_chrome_trace(document) > 0
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "refine.step" in names
+
+    def test_export_prometheus_file(self, tmp_path, capsys):
+        import repro.obs as obs
+
+        target = tmp_path / "metrics.prom"
+        assert main(["repro", "export", "--prometheus", str(target), "4"]) == 0
+        obs.validate_prometheus_text(target.read_text())
+
+    def test_diagnostics_commands_leave_obs_disabled(self, capsys):
+        import repro.obs as obs
+
+        for argv in (
+            ["repro", "profile", "3"],
+            ["repro", "export", "3"],
+        ):
+            assert main(argv) == 0
+            capsys.readouterr()
+            assert not obs.enabled()
