@@ -9,6 +9,12 @@ baseline at the repo root::
     python benchmarks/baseline.py --check    # exit 1 on a >3x regression
     python benchmarks/baseline.py            # run + print, no file I/O
 
+Add ``--caches`` to any mode to run the suite with the ``repro.perf``
+memo caches enabled (they are off by default); the emitted document
+then carries ``"caches": true``.  The committed baseline is recorded
+cache-off, so ``--check --caches`` additionally proves the cached
+configuration is no slower than the uncached tolerance envelope.
+
 The check is deliberately loose — a 3x multiplier plus an absolute
 floor (``FLOOR_S``) below which timings are pure noise — so it catches
 accidental complexity regressions (a PTIME step going exponential)
@@ -25,6 +31,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 import series  # noqa: E402
+
+import repro.perf as perf  # noqa: E402
 
 #: Repo-root location of the committed baseline.
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
@@ -48,19 +56,28 @@ SMOKE = {
 }
 
 
-def run_smoke() -> dict:
+def run_smoke(with_caches: bool = False) -> dict:
     """Run every smoke series; returns the baseline document."""
     experiments = {}
-    for name, fn in SMOKE.items():
-        start = time.perf_counter()
-        rows = fn()
-        seconds = time.perf_counter() - start
-        experiments[name] = {"seconds": round(seconds, 6), "rows": len(rows)}
-        print(f"  {name:<28} {seconds:>9.4f}s  ({len(rows)} rows)")
+    if with_caches:
+        perf.clear_caches()
+        perf.enable_caches()
+    try:
+        for name, fn in SMOKE.items():
+            start = time.perf_counter()
+            rows = fn()
+            seconds = time.perf_counter() - start
+            experiments[name] = {"seconds": round(seconds, 6), "rows": len(rows)}
+            print(f"  {name:<28} {seconds:>9.4f}s  ({len(rows)} rows)")
+    finally:
+        if with_caches:
+            perf.disable_caches()
+            perf.clear_caches()
     return {
         "suite": "smoke-E4-E11",
         "tolerance": TOLERANCE,
         "floor_s": FLOOR_S,
+        "caches": with_caches,
         "experiments": experiments,
     }
 
@@ -91,12 +108,17 @@ def check(current: dict, baseline: dict) -> list:
 
 
 def main(argv) -> int:
-    mode = argv[1] if len(argv) > 1 else None
+    args = list(argv[1:])
+    with_caches = "--caches" in args
+    if with_caches:
+        args.remove("--caches")
+    mode = args[0] if args else None
     if mode not in (None, "--write", "--check"):
         print(__doc__)
         return 2
-    print(f"running smoke benchmarks ({len(SMOKE)} experiments)...")
-    current = run_smoke()
+    flavor = "caches on" if with_caches else "caches off"
+    print(f"running smoke benchmarks ({len(SMOKE)} experiments, {flavor})...")
+    current = run_smoke(with_caches=with_caches)
     if mode == "--write":
         BASELINE_PATH.write_text(
             json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"

@@ -5,13 +5,16 @@
     python -m repro demo                      # the paper's catalog scenario
     python -m repro blowup [n]                # Example 3.2 size table
     python -m repro xml FILE                  # parse & pretty-print a document
-    python -m repro stats [--trace FILE] [--profile] [n]
+    python -m repro stats [--trace FILE] [--profile] [--caches] [n]
                                               # run the catalog workload under
                                               # observability; dump metrics and
                                               # the span trace tree as JSON (and
                                               # raw events as JSONL to FILE);
                                               # --profile adds the aggregated
-                                              # span profile to the document
+                                              # span profile to the document;
+                                              # --caches runs with the perf
+                                              # caches enabled and adds their
+                                              # hit/miss statistics
     python -m repro profile [--json] [--top K] [n]
                                               # same workload, rendered as a
                                               # flame-style span profile with
@@ -173,16 +176,21 @@ def _stats(args: list[str]) -> int:
     and ``trace`` (the span trees).  With ``--trace FILE`` the raw event
     stream is additionally written to FILE as JSON lines; with
     ``--profile`` the aggregated span profile is added under
-    ``profile``.
+    ``profile``.  With ``--caches`` the workload runs with the
+    :mod:`repro.perf` caches enabled and their hit/miss statistics are
+    added under ``caches``.
     """
     import json
+    from contextlib import nullcontext
 
     from . import obs
+    from . import perf
 
-    usage = "usage: python -m repro stats [--trace FILE] [--profile] [n]"
+    usage = "usage: python -m repro stats [--trace FILE] [--profile] [--caches] [n]"
     args = list(args)
     try:
         with_profile = _take_flag(args, "--profile")
+        with_caches = _take_flag(args, "--caches")
         trace_file = _take_value(args, "--trace")
         products = _positional_products(args, usage)
     except ValueError:
@@ -194,12 +202,16 @@ def _stats(args: list[str]) -> int:
     sink = obs.TeeSink(ring, jsonl) if jsonl is not None else ring
 
     obs.reset()
-    with obs.capture(sink):
+    if with_caches:
+        perf.clear_caches()
+    with obs.capture(sink), (perf.cached() if with_caches else nullcontext()):
         webhouse = _scripted_session(products)
         payload = {
             "workload": {"name": "catalog", "products": products},
             "webhouse": webhouse.stats(),
         }
+        if with_caches:
+            payload["caches"] = perf.cache_stats()
     payload.update(obs.snapshot())
     if with_profile:
         payload["profile"] = obs.profile_traces(obs.traces()).to_dict()

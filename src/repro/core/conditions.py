@@ -33,11 +33,14 @@ from .values import Value, ValueInput, as_value, is_numeric
 class ValueSet:
     """The exact denotation of a condition: rationals plus strings."""
 
-    __slots__ = ("numbers", "strings")
+    __slots__ = ("numbers", "strings", "_hash")
 
     def __init__(self, numbers: IntervalSet, strings: StringSet):
         self.numbers = numbers
         self.strings = strings
+        # hash is cached: denotations are the keys of every condition
+        # memo/intern table and hashing an IntervalSet walks its cells
+        self._hash: Optional[int] = None
 
     # -- constructors -----------------------------------------------------
 
@@ -139,7 +142,11 @@ class ValueSet:
         return self.numbers == other.numbers and self.strings == other.strings
 
     def __hash__(self) -> int:
-        return hash((self.numbers, self.strings))
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.numbers, self.strings))
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ValueSet({self.numbers!r}, {self.strings!r})"
@@ -283,6 +290,8 @@ class Cond:
     # -- dunder ---------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, Cond):
             return NotImplemented
         return self._values == other._values

@@ -18,10 +18,25 @@ from collections import deque
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..obs.state import STATE as _OBS
+from ..perf.memo import MISS as _MISS
+from ..perf.state import STATE as _PERF
 
 Node = Hashable
 
 _INF = float("inf")
+
+
+def _shape_key(
+    items: Sequence[Node], allowed: Mapping[Node, Iterable[Node]]
+) -> Tuple[Tuple[Node, Tuple[Node, ...]], ...]:
+    """The (item, partners) shape that determines a matching exactly.
+
+    Both solvers below are deterministic functions of the item order and
+    each item's partner order, so this tuple is a sound memo key for
+    repeated (tree, type) shapes — the same children matched against the
+    same atoms on every prefix/membership check.
+    """
+    return tuple((item, tuple(allowed.get(item, ()))) for item in items)
 
 
 class Dinic:
@@ -120,6 +135,12 @@ def max_bipartite_matching(
     augmenting-path algorithm; instance sizes in this library are the
     branching factors of trees, so the O(V·E) bound is comfortable.
     """
+    cache = _PERF.caches["matching"] if _PERF.enabled else None
+    if cache is not None:
+        key = ("kuhn", _shape_key(left, adjacency))
+        cached = cache.get(key)
+        if cached is not _MISS:
+            return dict(cached)
     match_right: Dict[Node, Node] = {}
     match_left: Dict[Node, Node] = {}
 
@@ -140,6 +161,8 @@ def max_bipartite_matching(
         metrics = _OBS.metrics
         metrics.inc("matching.bipartite_calls")
         metrics.observe("matching.matching_size", len(match_left))
+    if cache is not None:
+        cache.put(key, dict(match_left))  # copies: callers may mutate theirs
     return match_left
 
 
@@ -172,6 +195,27 @@ def feasible_assignment(
     """
     if _OBS.enabled:
         _OBS.metrics.inc("matching.assignment_calls")
+    cache = _PERF.caches["matching"] if _PERF.enabled else None
+    if cache is not None:
+        key = (
+            "flow",
+            _shape_key(items, allowed),
+            tuple(sorted(slots.items(), key=lambda kv: repr(kv[0]))),
+        )
+        cached = cache.get(key)
+        if cached is not _MISS:
+            return dict(cached) if cached is not None else None
+        result = _feasible_assignment_uncached(items, slots, allowed)
+        cache.put(key, dict(result) if result is not None else None)
+        return result
+    return _feasible_assignment_uncached(items, slots, allowed)
+
+
+def _feasible_assignment_uncached(
+    items: Sequence[Node],
+    slots: Mapping[Node, Tuple[int, Optional[int]]],
+    allowed: Mapping[Node, Iterable[Node]],
+) -> Optional[Dict[Node, Node]]:
     # Quick infeasibility: total min exceeds item count, or max below it.
     total_min = sum(low for low, _ in slots.values())
     if total_min > len(items):

@@ -108,7 +108,7 @@ class Atom:
     allowed.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_hash")
 
     def __init__(self, entries: Mapping[str, Mult] | Iterable[Tuple[str, Mult]] = ()):
         if isinstance(entries, Mapping):
@@ -121,6 +121,9 @@ class Atom:
                 raise ValueError(f"symbol {symbol!r} repeated in multiplicity atom")
             seen[symbol] = mult
         self._entries: Tuple[Tuple[str, Mult], ...] = tuple(sorted(seen.items()))
+        # atoms key the matching memo and every disjunction set; caching
+        # the hash keeps those lookups from re-walking the entry tuple
+        self._hash: Optional[int] = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -195,12 +198,18 @@ class Atom:
     # -- dunder --------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, Atom):
             return NotImplemented
         return self._entries == other._entries
 
     def __hash__(self) -> int:
-        return hash(self._entries)
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._entries)
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:
         if not self._entries:
@@ -221,7 +230,7 @@ class Disjunction:
     allows exactly the empty child multiset.
     """
 
-    __slots__ = ("_atoms",)
+    __slots__ = ("_atoms", "_hash")
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         unique = []
@@ -231,6 +240,7 @@ class Disjunction:
                 seen.add(atom)
                 unique.append(atom)
         self._atoms: Tuple[Atom, ...] = tuple(unique)
+        self._hash: Optional[int] = None
 
     @staticmethod
     def leaf() -> "Disjunction":
@@ -283,12 +293,18 @@ class Disjunction:
         return len(self._atoms)
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, Disjunction):
             return NotImplemented
         return set(self._atoms) == set(other._atoms)
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._atoms))
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._atoms))
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:
         if not self._atoms:

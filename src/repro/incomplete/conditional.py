@@ -33,6 +33,8 @@ from ..core.matching import feasible_assignment
 from ..core.multiplicity import Atom, Disjunction, Mult
 from ..core.tree import DataTree, NodeId
 from ..obs.state import STATE as _OBS
+from ..perf.memo import MISS as _MISS
+from ..perf.state import STATE as _PERF
 
 #: ``candidates(tree, node_id)`` -> symbols that may type this node.
 CandidatesFn = Callable[[DataTree, NodeId], Iterable[str]]
@@ -48,7 +50,7 @@ class ConditionalTreeType:
     identity.
     """
 
-    __slots__ = ("_roots", "_mu", "_cond", "_sigma")
+    __slots__ = ("_roots", "_mu", "_cond", "_sigma", "_fingerprint")
 
     def __init__(
         self,
@@ -57,7 +59,12 @@ class ConditionalTreeType:
         cond: Mapping[str, Cond],
         sigma: Mapping[str, str],
     ):
-        self._sigma: Dict[str, str] = dict(sigma)
+        intern = _PERF.pool if _PERF.enabled else None
+        self._sigma: Dict[str, str] = (
+            {intern.symbol(s): intern.symbol(t) for s, t in sigma.items()}
+            if intern is not None
+            else dict(sigma)
+        )
         symbols = set(self._sigma)
         self._roots: FrozenSet[str] = frozenset(roots)
         if not self._roots <= symbols:
@@ -73,8 +80,14 @@ class ConditionalTreeType:
                         raise ValueError(
                             f"rule for {symbol!r} mentions unknown symbol {child!r}"
                         )
+            if intern is not None:
+                disjunction = intern.disjunction(disjunction)
             self._mu[symbol] = disjunction
-            self._cond[symbol] = cond.get(symbol, Cond.true())
+            condition = cond.get(symbol, Cond.true())
+            self._cond[symbol] = (
+                intern.cond(condition) if intern is not None else condition
+            )
+        self._fingerprint: Optional[tuple] = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -139,6 +152,25 @@ class ConditionalTreeType:
         """
         return sum(1 + self._mu[s].size() for s in self._sigma)
 
+    def cache_key(self) -> tuple:
+        """A structural fingerprint usable as a memo-table key.
+
+        Covers everything :meth:`__eq__` inspects (roots, µ, cond, σ in
+        sorted symbol order), so equal fingerprints imply equal types.
+        Computed once and stored — types are immutable.
+        """
+        key = self._fingerprint
+        if key is None:
+            key = (
+                self._roots,
+                tuple(
+                    (s, self._mu[s], self._cond[s], self._sigma[s])
+                    for s in sorted(self._sigma)
+                ),
+            )
+            self._fingerprint = key
+        return key
+
     # -- emptiness / usefulness (Lemma 2.5, Corollary 2.6) -------------------------
 
     def productive_symbols(self) -> FrozenSet[str]:
@@ -149,6 +181,12 @@ class ConditionalTreeType:
         entries productive.  Computed as a least fixpoint — the CFG
         emptiness argument behind Lemma 2.5.
         """
+        cache = _PERF.caches["emptiness"] if _PERF.enabled else None
+        if cache is not None:
+            key = ("productive", self.cache_key())
+            cached = cache.get(key)
+            if cached is not _MISS:
+                return cached
         productive: Set[str] = set()
         rounds = 0
         changed = True
@@ -169,7 +207,10 @@ class ConditionalTreeType:
             metrics = _OBS.metrics
             metrics.inc("emptiness.productivity_calls")
             metrics.observe("emptiness.fixpoint_rounds", rounds)
-        return frozenset(productive)
+        result = frozenset(productive)
+        if cache is not None:
+            cache.put(key, result)
+        return result
 
     def is_empty(self) -> bool:
         """Emptiness of rep(τ) — PTIME (Lemma 2.5)."""
@@ -204,6 +245,12 @@ class ConditionalTreeType:
         optional entries for dead symbols are dropped.  rep() is
         preserved.  Idempotent.
         """
+        cache = _PERF.caches["normalize"] if _PERF.enabled else None
+        if cache is not None:
+            key = self.cache_key()
+            cached = cache.get(key)
+            if cached is not _MISS:
+                return cached
         useful = self.useful_symbols()
 
         def clean(atom: Atom) -> Optional[Atom]:
@@ -222,7 +269,11 @@ class ConditionalTreeType:
         }
         cond = {symbol: self._cond[symbol] for symbol in useful}
         sigma = {symbol: self._sigma[symbol] for symbol in useful}
-        return ConditionalTreeType(self._roots & useful, mu, cond, sigma)
+        result = ConditionalTreeType(self._roots & useful, mu, cond, sigma)
+        if cache is not None:
+            result = _PERF.pool.type(result)
+            cache.put(key, result)
+        return result
 
     # -- membership ------------------------------------------------------------------
 
@@ -320,6 +371,8 @@ class ConditionalTreeType:
         return "\n".join(lines)
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, ConditionalTreeType):
             return NotImplemented
         return (

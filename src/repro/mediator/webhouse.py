@@ -235,6 +235,72 @@ class Webhouse:
                     )
             self.monitor.observe(size, linear=self._all_linear)
 
+    def record_many(
+        self,
+        pairs: Iterable[Tuple[PSQuery, DataTree]],
+        _origin: str = "record_many",
+    ) -> None:
+        """Batched :meth:`record`: fold many pairs, then bookkeep once.
+
+        rep-equivalent to recording the pairs one by one (intersection
+        is commutative and idempotent), but cheaper on three counts:
+        duplicate pairs refine only once, compatible answers are merged
+        smallest-first so the intermediate products stay small, and the
+        growth monitor / auto-minimizer run once per batch instead of
+        once per pair.  History and the session journal still receive
+        every input pair, in input order, so resume/replay semantics are
+        unchanged.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return
+        with _span("webhouse.record_many", pairs=len(pairs)) as sp:
+            if self._conjunctive is not None:
+                for query, answer in pairs:
+                    self._conjunctive = self._conjunctive.refine_plus(
+                        query, answer, self._alphabet
+                    )
+            else:
+                unique: List[Tuple[PSQuery, DataTree]] = []
+                seen = set()
+                for pair in pairs:
+                    if pair not in seen:
+                        seen.add(pair)
+                        unique.append(pair)
+                # merge small answers first: keeps intermediate products small
+                unique.sort(key=lambda qa: (qa[0].size(), len(qa[1])))
+                for query, answer in unique:
+                    self._state = refine(self._state, query, answer, self._alphabet)
+                if self._auto_minimize:
+                    self._state = merge_equivalent_symbols(self._state)
+            self._knowledge_cache = None
+            for query, answer in pairs:
+                self._history.append((query, answer))
+                self._all_linear = self._all_linear and query.is_linear()
+                self.metrics.inc("webhouse.records")
+                self._journal(
+                    {
+                        "type": "record",
+                        "origin": _origin,
+                        "query": _codec.query_to_json(query),
+                        "answer": _codec.tree_to_json(answer),
+                    }
+                )
+            self.metrics.inc("webhouse.batches")
+            size = self._representation_size()
+            if _OBS.enabled:
+                _OBS.metrics.inc("webhouse.batches")
+                _OBS.metrics.inc("webhouse.records", len(pairs))
+                _OBS.metrics.observe("webhouse.batch_pairs", len(pairs))
+                _OBS.metrics.observe("webhouse.knowledge_size", size)
+                if sp is not None:
+                    sp.attrs.update(
+                        step=len(self._history),
+                        knowledge_size=size,
+                        engine=self.engine,
+                    )
+            self.monitor.observe(size, linear=self._all_linear)
+
     def ask(self, source: InMemorySource, query: PSQuery) -> DataTree:
         """Query the source and fold the answer into knowledge."""
         with _span("webhouse.ask"):

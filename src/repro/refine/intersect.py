@@ -24,6 +24,7 @@ from ..core.multiplicity import Atom, Disjunction, Mult
 from ..core.values import values_equal
 from ..incomplete.conditional import ConditionalTreeType
 from ..incomplete.incomplete_tree import DataNode, IncompleteTree
+from ..perf.state import STATE as _PERF
 
 _MISS = object()  # memo sentinel
 
@@ -187,7 +188,9 @@ class _Product:
         entries = [
             (self._enqueue(e1, e2), met) for e1, e2, met in rho
         ]
-        return Atom(entries)
+        atom = Atom(entries)
+        # product atoms repeat heavily across pair rules; share them
+        return _PERF.pool.atom(atom) if _PERF.enabled else atom
 
     # -- main loop ------------------------------------------------------------------
 
@@ -204,7 +207,10 @@ class _Product:
             target = self._pair_target(s1, s2)
             assert target is not None
             self._sigma[name] = target
-            self._cond[name] = self._ltype.cond(s1) & self._rtype.cond(s2)
+            combined_cond = self._ltype.cond(s1) & self._rtype.cond(s2)
+            if _PERF.enabled:
+                combined_cond = _PERF.pool.cond(combined_cond)
+            self._cond[name] = combined_cond
             atoms = []
             for a1 in self._ltype.mu(s1):
                 for a2 in self._rtype.mu(s2):

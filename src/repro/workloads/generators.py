@@ -4,12 +4,19 @@ Deterministic given a seed.  Trees are generated to *satisfy* a given
 tree type; ps-queries are generated to be well-formed over a type
 (labels follow the type's parent/child structure, so queries are never
 trivially empty by shape).
+
+Every generator takes ``seed`` as either an int (a fresh
+``random.Random(seed)`` is created — the historical behaviour, kept
+byte-identical) or an explicit :class:`random.Random` instance, so
+callers running randomized sweeps can thread one RNG through many calls
+without collisions between derived integer seeds.  No generator touches
+the module-global ``random`` state.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.conditions import Cond
 from ..core.multiplicity import Mult
@@ -17,10 +24,21 @@ from ..core.query import PSQuery, QueryNode, pattern, subtree
 from ..core.tree import DataTree, NodeSpec, node
 from ..core.treetype import TreeType
 
+#: A reproducible randomness source: an integer seed or a live RNG.
+Seed = Union[int, random.Random]
+
+
+def _rng(seed: Seed) -> random.Random:
+    """An RNG for ``seed``: pass ints through ``random.Random`` (exactly
+    the historical sequences), use ``random.Random`` instances as-is."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
 
 def random_tree(
     tree_type: TreeType,
-    seed: int = 0,
+    seed: Seed = 0,
     max_depth: int = 5,
     max_children_per_entry: int = 2,
     values: Sequence[object] = (0, 1, 2, 5, 10),
@@ -30,7 +48,7 @@ def random_tree(
     Depth overruns are resolved by preferring minimal counts; types
     whose required chains exceed ``max_depth`` raise ``ValueError``.
     """
-    rng = random.Random(seed)
+    rng = _rng(seed)
     counter = [0]
 
     def grow(label: str, depth: int) -> NodeSpec:
@@ -56,14 +74,14 @@ def random_tree(
 
 def random_ps_query(
     tree_type: TreeType,
-    seed: int = 0,
+    seed: Seed = 0,
     max_depth: int = 4,
     cond_probability: float = 0.5,
     bar_probability: float = 0.15,
     values: Sequence[object] = (0, 1, 2, 5, 10),
 ) -> PSQuery:
     """A random well-formed ps-query following the type's structure."""
-    rng = random.Random(seed)
+    rng = _rng(seed)
 
     def random_cond() -> Cond:
         if rng.random() >= cond_probability:
@@ -96,12 +114,19 @@ def random_history(
     tree_type: TreeType,
     document: DataTree,
     n_queries: int,
-    seed: int = 0,
+    seed: Seed = 0,
     **query_kwargs,
 ) -> List[Tuple[PSQuery, DataTree]]:
-    """``n_queries`` random queries evaluated on a fixed document."""
+    """``n_queries`` random queries evaluated on a fixed document.
+
+    With an int seed each query gets the historical derived seed
+    ``seed*1000 + i``; with an RNG instance the queries simply continue
+    consuming its stream (no derived-seed collisions across calls).
+    """
     history = []
+    rng = seed if isinstance(seed, random.Random) else None
     for i in range(n_queries):
-        query = random_ps_query(tree_type, seed=seed * 1000 + i, **query_kwargs)
+        query_seed: Seed = rng if rng is not None else seed * 1000 + i
+        query = random_ps_query(tree_type, seed=query_seed, **query_kwargs)
         history.append((query, query.evaluate(document)))
     return history

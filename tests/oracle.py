@@ -1,0 +1,441 @@
+"""Brute-force semantics oracle, independent of the library's algorithms.
+
+Everything here recomputes the paper's semantics *from first
+principles*, deliberately avoiding every code path the perf caches
+memoize (``max_bipartite_matching`` / ``feasible_assignment``, the
+emptiness fixpoint, Refine, q(T)):
+
+* membership ``tree ∈ rep(T)`` by exhaustive symbol assignment
+  (:func:`oracle_member`) — atom satisfaction is plain counting once an
+  assignment is fixed, so no flow/matching solver is involved;
+* the prefix relation by exhaustive injective embedding
+  (:func:`oracle_embeds`) — recursive child-assignment search, no Kuhn;
+* ps-query evaluation by explicit valuation enumeration
+  (:func:`oracle_evaluate`) — Section 2 semantics verbatim;
+* bounded enumeration of rep(T) straight off the grammar
+  (:func:`oracle_trees`), every emitted tree double-checked by
+  :func:`oracle_member`;
+* certain/possible prefixes (Theorem 2.8) and answer sets
+  (Theorem 3.14) as quantifications over the enumerated set.
+
+The enumeration is bounded (node budget, star cap, representative
+values), so quantified answers are one-sided the way the existing
+oracle tests are: a bounded "possible" witness is conclusive, a bounded
+"certain" refutation is conclusive, and the differential tests assert
+exactly those directions.  All uses should run under
+``repro.perf.uncached()`` so ground truth never touches a cache.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.tree import DataTree, NodeId, NodeSpec
+from repro.core.values import Value, as_value, values_equal
+from repro.incomplete.incomplete_tree import IncompleteTree
+
+#: Safety valve for the exhaustive searches (assignments / valuations).
+MAX_ASSIGNMENTS = 200_000
+
+
+# ---------------------------------------------------------------------------
+# prefix embedding (the paper's prefix relation, by exhaustive search)
+# ---------------------------------------------------------------------------
+
+
+def oracle_embeds(
+    prefix: DataTree, tree: DataTree, anchored: Iterable[NodeId] = ()
+) -> bool:
+    """Does ``prefix`` embed into ``tree`` (injective, identity on
+    ``anchored``, root to root, parent-preserving, labels and values
+    equal)?  Exhaustive recursive search — no matching solver."""
+    anchored_set = set(anchored)
+    if prefix.is_empty():
+        return True
+    if tree.is_empty():
+        return False
+
+    def node_ok(p: NodeId, t: NodeId) -> bool:
+        if p in anchored_set and p != t:
+            return False
+        if t in anchored_set and p != t:
+            return False
+        return prefix.label(p) == tree.label(t) and values_equal(
+            prefix.value(p), tree.value(t)
+        )
+
+    def assign(p: NodeId, t: NodeId) -> bool:
+        if not node_ok(p, t):
+            return False
+        p_kids = prefix.children(p)
+        if not p_kids:
+            return True
+        t_kids = tree.children(t)
+
+        def place(index: int, used: Set[NodeId]) -> bool:
+            if index == len(p_kids):
+                return True
+            for candidate in t_kids:
+                if candidate in used:
+                    continue
+                if assign(p_kids[index], candidate):
+                    if place(index + 1, used | {candidate}):
+                        return True
+            return False
+
+        return place(0, set())
+
+    return assign(prefix.root, tree.root)
+
+
+# ---------------------------------------------------------------------------
+# membership by exhaustive symbol assignment
+# ---------------------------------------------------------------------------
+
+
+def oracle_member(incomplete: IncompleteTree, tree: DataTree) -> bool:
+    """``tree ∈ rep(incomplete)`` from first principles.
+
+    Tries every assignment of type symbols to tree nodes; a fixed
+    assignment satisfies a multiplicity atom iff per-entry child counts
+    lie within the entry's bounds — plain counting, no flow problem.
+    """
+    if tree.is_empty():
+        return incomplete.allows_empty
+    tau = incomplete.type
+    node_ids = incomplete.data_node_ids()
+    nodes = list(tree.node_ids())
+
+    candidates: List[List[str]] = []
+    for n in nodes:
+        label, value = tree.label(n), tree.value(n)
+        options: List[str] = []
+        if n in node_ids:
+            if label != incomplete.data_label(n) or not values_equal(
+                value, incomplete.data_value(n)
+            ):
+                return False
+            for symbol in tau.symbols():
+                if tau.sigma(symbol) == n and tau.cond(symbol).accepts(value):
+                    options.append(symbol)
+        else:
+            for symbol in tau.symbols():
+                target = tau.sigma(symbol)
+                if target in node_ids:
+                    continue
+                if target == label and tau.cond(symbol).accepts(value):
+                    options.append(symbol)
+        if not options:
+            return False
+        candidates.append(options)
+
+    total = 1
+    for options in candidates:
+        total *= len(options)
+        if total > MAX_ASSIGNMENTS:
+            raise ValueError(
+                f"oracle_member: assignment space exceeds {MAX_ASSIGNMENTS}"
+            )
+
+    def atom_satisfied(atom, counts: Dict[str, int]) -> bool:
+        entries = dict(atom.items())
+        if any(symbol not in entries for symbol in counts):
+            return False
+        return all(
+            mult.allows(counts.get(entry, 0)) for entry, mult in entries.items()
+        )
+
+    for choice in iter_product(*candidates):
+        assignment = dict(zip(nodes, choice))
+        if assignment[tree.root] not in tau.roots:
+            continue
+        ok = True
+        for n in nodes:
+            counts: Dict[str, int] = {}
+            for child in tree.children(n):
+                child_symbol = assignment[child]
+                counts[child_symbol] = counts.get(child_symbol, 0) + 1
+            if not any(
+                atom_satisfied(atom, counts) for atom in tau.mu(assignment[n])
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# ps-query evaluation by explicit valuation enumeration
+# ---------------------------------------------------------------------------
+
+
+def oracle_evaluate(query, tree: DataTree) -> DataTree:
+    """``q(T)`` per Section 2: the prefix of every node in the image of
+    some valuation, plus full subtrees below matched bar nodes."""
+    if tree.is_empty():
+        return DataTree.empty()
+
+    def valuations(path: Tuple[int, ...], node_id: NodeId) -> List[Dict]:
+        qnode = query.node_at(path)
+        if qnode.label != tree.label(node_id) or not qnode.cond.accepts(
+            tree.value(node_id)
+        ):
+            return []
+        if not qnode.children:
+            return [{path: node_id}]
+        per_child: List[List[Dict]] = []
+        for i in range(len(qnode.children)):
+            options: List[Dict] = []
+            for child in tree.children(node_id):
+                options.extend(valuations(path + (i,), child))
+            if not options:
+                return []
+            per_child.append(options)
+        result: List[Dict] = []
+        for combo in iter_product(*per_child):
+            mapping = {path: node_id}
+            for sub in combo:
+                mapping.update(sub)
+            result.append(mapping)
+            if len(result) > MAX_ASSIGNMENTS:
+                raise ValueError("oracle_evaluate: too many valuations")
+        return result
+
+    mappings = valuations((), tree.root)
+    if not mappings:
+        return DataTree.empty()
+    keep: Set[NodeId] = set()
+    for mapping in mappings:
+        for path, node_id in mapping.items():
+            keep.add(node_id)
+            if query.node_at(path).extract:
+                keep.update(tree.descendants(node_id))
+    # close upward (valuation images are upward-closed already, but bar
+    # descendants are added wholesale; restrict() demands the closure)
+    for node_id in list(keep):
+        parent = tree.parent(node_id)
+        while parent is not None and parent not in keep:
+            keep.add(parent)
+            parent = tree.parent(parent)
+    return tree.restrict(keep)
+
+
+# ---------------------------------------------------------------------------
+# bounded enumeration of rep(T), straight off the grammar
+# ---------------------------------------------------------------------------
+
+
+def oracle_trees(
+    incomplete: IncompleteTree,
+    max_nodes: int = 5,
+    extra_values: Iterable[object] = (),
+    per_star_cap: int = 2,
+    check_membership: bool = True,
+) -> List[DataTree]:
+    """All trees of ``rep(incomplete)`` up to ``max_nodes`` nodes over
+    representative values, deduplicated up to fresh-id renaming.
+
+    Independent reimplementation of the bounded-enumeration idea: a
+    direct recursion over the grammar (µ, cond, σ), with ``+``/``*``
+    entries capped at ``per_star_cap`` children.  With
+    ``check_membership`` every produced tree is re-verified through
+    :func:`oracle_member` — generation and checking must agree.
+    """
+    tau = incomplete.type
+    node_ids = incomplete.data_node_ids()
+    pivots = [as_value(v) for v in extra_values]
+
+    options: Dict[str, List[Tuple[Optional[NodeId], str, Value]]] = {}
+    for symbol in tau.symbols():
+        target = tau.sigma(symbol)
+        cond = tau.cond(symbol)
+        opts: List[Tuple[Optional[NodeId], str, Value]] = []
+        if target in node_ids:
+            label = incomplete.data_label(target)
+            value = incomplete.data_value(target)
+            if cond.accepts(value):
+                opts.append((target, label, value))
+        else:
+            values: List[Value] = []
+            for pivot in pivots:
+                if cond.accepts(pivot) and not any(
+                    values_equal(pivot, v) for v in values
+                ):
+                    values.append(pivot)
+            for sample in cond.samples(1):
+                if not any(values_equal(sample, v) for v in values):
+                    values.append(sample)
+            opts.extend((None, target, value) for value in values)
+        options[symbol] = opts
+
+    def size(spec: NodeSpec) -> int:
+        return 1 + sum(size(child) for child in spec.children)
+
+    def subtrees(symbol: str, budget: int) -> Iterator[NodeSpec]:
+        if budget <= 0 or not options[symbol]:
+            return
+        for atom in tau.mu(symbol):
+            for forest in forests(list(atom.items()), budget - 1):
+                for anchor, label, value in options[symbol]:
+                    ident = anchor if anchor is not None else "\x00"
+                    yield NodeSpec(ident, label, value, forest)
+
+    def forests(entries, budget: int) -> Iterator[Tuple[NodeSpec, ...]]:
+        if not entries:
+            yield ()
+            return
+        (symbol, mult), rest = entries[0], entries[1:]
+        min_rest = sum(m.min_count for _s, m in rest)
+        cap = mult.max_count if mult.max_count is not None else per_star_cap
+        cap = min(cap, budget - min_rest)
+        for count in range(mult.min_count, cap + 1):
+            for group in groups(symbol, count, budget - min_rest):
+                used = sum(size(spec) for spec in group)
+                for rest_forest in forests(rest, budget - used):
+                    yield group + rest_forest
+
+    def groups(symbol: str, count: int, budget: int) -> Iterator[Tuple[NodeSpec, ...]]:
+        if count == 0:
+            yield ()
+            return
+        if budget < count:
+            return
+        for first in subtrees(symbol, budget - (count - 1)):
+            for rest in groups(symbol, count - 1, budget - size(first)):
+                yield (first,) + rest
+
+    def freshen(spec: NodeSpec) -> Optional[DataTree]:
+        counter = [0]
+        seen: Set[NodeId] = set()
+        ok = [True]
+
+        def walk(current: NodeSpec) -> NodeSpec:
+            if current.id == "\x00":
+                while True:
+                    ident = f"_o{counter[0]}"
+                    counter[0] += 1
+                    if ident not in node_ids and ident not in seen:
+                        break
+            else:
+                ident = current.id
+                if ident in seen:
+                    ok[0] = False  # one data node twice: not a tree of rep
+            seen.add(ident)
+            return NodeSpec(
+                ident,
+                current.label,
+                current.value,
+                tuple(walk(c) for c in current.children),
+            )
+
+        rebuilt = walk(spec)
+        return DataTree.build(rebuilt) if ok[0] else None
+
+    result: List[DataTree] = []
+    seen_forms: Set[object] = set()
+    if incomplete.allows_empty:
+        result.append(DataTree.empty())
+        seen_forms.add(oracle_canonical(DataTree.empty(), node_ids))
+    for root_symbol in sorted(tau.roots):
+        for spec in subtrees(root_symbol, max_nodes):
+            tree = freshen(spec)
+            if tree is None:
+                continue
+            form = oracle_canonical(tree, node_ids)
+            if form in seen_forms:
+                continue
+            seen_forms.add(form)
+            if check_membership and not oracle_member(incomplete, tree):
+                raise AssertionError(
+                    "oracle generated a tree its own membership checker "
+                    f"rejects:\n{tree.pretty()}"
+                )
+            result.append(tree)
+    return result
+
+
+def oracle_canonical(tree: DataTree, anchored: Iterable[NodeId] = ()) -> object:
+    """Hashable form identifying trees up to renaming of fresh ids."""
+    anchored_set = set(anchored)
+    if tree.is_empty():
+        return ("empty",)
+
+    def walk(node_id: NodeId) -> object:
+        ident = node_id if node_id in anchored_set else None
+        kids = tuple(sorted((walk(c) for c in tree.children(node_id)), key=repr))
+        return (tree.label(node_id), tree.value(node_id), ident, kids)
+
+    return walk(tree.root)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2.8 / Theorem 3.14 quantifications over the enumerated set
+# ---------------------------------------------------------------------------
+
+
+def oracle_possible_prefix(
+    prefix: DataTree, trees: Iterable[DataTree], anchored: Iterable[NodeId]
+) -> bool:
+    """Bounded possible-prefix: a witness in the enumerated set."""
+    anchored_list = list(anchored)
+    return any(oracle_embeds(prefix, t, anchored_list) for t in trees)
+
+
+def oracle_certain_prefix(
+    prefix: DataTree, trees: Iterable[DataTree], anchored: Iterable[NodeId]
+) -> bool:
+    """Bounded certain-prefix: every enumerated tree embeds the prefix.
+
+    (The real notion also requires rep nonempty; callers pass a
+    nonempty enumeration.)"""
+    anchored_list = list(anchored)
+    trees = list(trees)
+    return bool(trees) and all(
+        oracle_embeds(prefix, t, anchored_list) for t in trees
+    )
+
+
+def oracle_answer_set(
+    query, trees: Iterable[DataTree], anchored: Iterable[NodeId] = ()
+) -> Set[object]:
+    """Canonical forms of ``q(t)`` over the enumerated trees, with the
+    oracle's own evaluator."""
+    return {oracle_canonical(oracle_evaluate(query, t), anchored) for t in trees}
+
+
+def oracle_rep_equal(
+    a: IncompleteTree,
+    b: IncompleteTree,
+    max_nodes: int = 4,
+    extra_values: Iterable[object] = (1,),
+    per_star_cap: int = 2,
+) -> bool:
+    """Bounded rep-equality: identical enumerations up to the budget.
+
+    Stronger than the library's ``incomplete_equivalent`` (which is
+    intentionally weak when ``allows_empty`` trees carry anchored
+    nodes): two incomplete trees with equal bounded enumerations and
+    agreeing empty-tree behaviour are indistinguishable up to the
+    budget.  Sound for refutation — unequal sets prove a genuine
+    semantic difference; equality is evidence within the budget.
+    """
+    if a.allows_empty != b.allows_empty:
+        return False
+    anchored = a.data_node_ids() | b.data_node_ids()
+    forms_a = {
+        oracle_canonical(t, anchored)
+        for t in oracle_trees(
+            a, max_nodes=max_nodes, extra_values=extra_values,
+            per_star_cap=per_star_cap,
+        )
+    }
+    forms_b = {
+        oracle_canonical(t, anchored)
+        for t in oracle_trees(
+            b, max_nodes=max_nodes, extra_values=extra_values,
+            per_star_cap=per_star_cap,
+        )
+    }
+    return forms_a == forms_b
