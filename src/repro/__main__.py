@@ -39,6 +39,16 @@
                                               # ./.repro-sessions); QUERY is one
                                               # of q1..q4 or a path like
                                               # 'catalog/product/price[<300]'
+    python -m repro serve [--host H] [--port P] [--session NAME]
+                          [--root DIR] [--products N] [--seed N]
+                          [--no-caches] [--request-log FILE] [--once]
+                                              # live ops plane (docs/OPS.md):
+                                              # /healthz /statusz /metrics
+                                              # /profile /sessions /ask?q=...
+                                              # /debug/flightrecorder
+                                              # /debug/requests; --once probes
+                                              # every endpoint and exits
+                                              # nonzero on failure
 """
 
 from __future__ import annotations
@@ -343,15 +353,11 @@ def _export_cmd(args: list[str]) -> int:
 def _parse_query_spec(spec: str):
     """``q1``..``q4`` or a slash path like ``catalog/product/price[<300]``.
 
-    Each path segment may carry a bracketed condition (``parse_cond``
-    syntax); a ``~`` prefix on the last segment extracts the whole
-    subtree (the paper's bar adornment).
+    Thin wrapper over :func:`repro.core.parsing.parse_query_spec` with
+    the catalog workload's named queries bound (the ops server binds
+    the same map for its ``/ask`` endpoint).
     """
-    import re
-
-    from .core.parsing import parse_cond
-    from .core.query import PSQuery, QueryNode
-    from .core.conditions import Cond
+    from .core.parsing import parse_query_spec
     from .workloads import catalog
 
     named = {
@@ -360,26 +366,7 @@ def _parse_query_spec(spec: str):
         "q3": catalog.query3,
         "q4": catalog.query4,
     }
-    if spec in named:
-        return named[spec]()
-    segment_re = re.compile(r"^(~?)([^\[\]/]+?)(?:\[(.+)\])?$")
-    current = None
-    segments = spec.split("/")
-    for position, segment in enumerate(reversed(segments)):
-        match = segment_re.match(segment.strip())
-        if match is None:
-            raise ValueError(f"cannot parse query segment {segment!r}")
-        bar, label, cond_text = match.groups()
-        if bar and position != 0:
-            raise ValueError("only the last path segment may be bar-labeled (~)")
-        cond = parse_cond(cond_text) if cond_text else Cond.true()
-        children = () if current is None else (current,)
-        if bar and children:
-            raise ValueError("bar-labeled segments must be leaves")
-        current = QueryNode(label, cond, bool(bar), children)
-    if current is None:
-        raise ValueError("empty query spec")
-    return PSQuery(current)
+    return parse_query_spec(spec, named=named)
 
 
 def _session_cmd(args: list[str]) -> int:
@@ -523,6 +510,98 @@ def _session_cmd(args: list[str]) -> int:
         return 1
 
 
+def _serve_cmd(args: list[str]) -> int:
+    """The live ops plane: serve a webhouse over HTTP (docs/OPS.md).
+
+    Without ``--session`` an in-memory catalog webhouse is hosted
+    (``--products``/``--seed`` shape it); with ``--session NAME`` the
+    named durable session is resumed and held (its writer lock is taken
+    for the lifetime of the server).  ``--once`` starts the server,
+    probes every endpoint from inside the process, prints the report
+    and exits nonzero on any failure — no sleep/poll loop needed.
+    """
+    import json
+
+    from . import obs
+    from . import perf
+    from .ops import OpsServer, RequestLog, demo_webhouse, hosted_webhouse, self_check
+    from .store import SessionStore, StoreError
+
+    usage = (
+        "usage: python -m repro serve [--host H] [--port P] [--session NAME] "
+        "[--root DIR] [--products N] [--seed N] [--no-caches] "
+        "[--request-log FILE] [--once]"
+    )
+    args = list(args)
+    try:
+        once = _take_flag(args, "--once")
+        no_caches = _take_flag(args, "--no-caches")
+        host = _take_value(args, "--host") or "127.0.0.1"
+        port = int(_take_value(args, "--port") or "0")
+        session_name = _take_value(args, "--session")
+        root = _take_value(args, "--root") or os.environ.get(
+            "REPRO_SESSION_ROOT", ".repro-sessions"
+        )
+        products = int(_take_value(args, "--products") or "8")
+        seed = _take_value(args, "--seed")
+        log_path = _take_value(args, "--request-log")
+        if args:
+            raise ValueError(usage)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+
+    obs.enable(obs.RingBufferSink())
+    if not no_caches:
+        perf.enable_caches()
+    store = SessionStore(root)
+    try:
+        if session_name is not None:
+            webhouse, source = hosted_webhouse(store, session_name)
+        else:
+            webhouse, source = demo_webhouse(
+                products, seed=None if seed is None else int(seed)
+            )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    server = OpsServer(
+        webhouse,
+        source=source,
+        store=store,
+        session_name=session_name,
+        host=host,
+        port=port,
+        request_log=RequestLog(path=log_path),
+    )
+    try:
+        if once:
+            server.start()
+            ok, report = self_check(server.url)
+            print(
+                json.dumps(
+                    {"url": server.url, "ok": ok, "probes": report},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            server.stop()
+            return 0 if ok else 1
+        server._bind()
+        print(f"repro ops plane listening on {server.url}", file=sys.stderr)
+        print(
+            f"  endpoints: /healthz /statusz /metrics /profile /sessions "
+            f"/ask?q=q1 /debug/flightrecorder /debug/requests",
+            file=sys.stderr,
+        )
+        server.serve_forever()
+        return 0
+    finally:
+        if session_name is not None:
+            webhouse.detach()
+
+
 def _xml(path: str) -> int:
     from .core.xml_io import tree_from_xml
 
@@ -551,6 +630,8 @@ def main(argv: list[str]) -> int:
         return _export_cmd(argv[2:])
     if command == "session":
         return _session_cmd(argv[2:])
+    if command == "serve":
+        return _serve_cmd(argv[2:])
     if command == "xml":
         if len(argv) < 3:
             print("usage: python -m repro xml FILE", file=sys.stderr)

@@ -239,3 +239,34 @@ def _build_node(
         child, rest = _build_node(rest, depth + 1)
         children.append(child)
     return QueryNode(label, cond, bar, tuple(children)), rest
+
+
+def parse_query_spec(spec: str, named=None) -> PSQuery:
+    """A slash path like ``catalog/product/price[<300]`` as a ps-query.
+
+    Each path segment may carry a bracketed condition (``parse_cond``
+    syntax); a ``~`` prefix on the last segment extracts the whole
+    subtree (the paper's bar adornment).  ``named`` optionally maps
+    shorthand names (``"q1"``) to zero-arg query factories — the CLI and
+    the ops server pass the catalog workload's q1..q4 here.
+    """
+    if named and spec in named:
+        return named[spec]()
+    segment_re = re.compile(r"^(~?)([^\[\]/]+?)(?:\[(.+)\])?$")
+    current: Optional[QueryNode] = None
+    segments = spec.split("/")
+    for position, segment in enumerate(reversed(segments)):
+        match = segment_re.match(segment.strip())
+        if match is None:
+            raise QuerySyntaxError(f"cannot parse query segment {segment!r}")
+        bar, label, cond_text = match.groups()
+        if bar and position != 0:
+            raise QuerySyntaxError("only the last path segment may be bar-labeled (~)")
+        cond = parse_cond(cond_text) if cond_text else Cond.true()
+        children = () if current is None else (current,)
+        if bar and children:
+            raise QuerySyntaxError("bar-labeled segments must be leaves")
+        current = QueryNode(label, cond, bool(bar), children)
+    if current is None:
+        raise QuerySyntaxError("empty query spec")
+    return PSQuery(current)

@@ -170,6 +170,22 @@ class Webhouse:
             session.close()
             raise
 
+    def source_hint(self) -> Dict[str, object]:
+        """Workload parameters remembered by the attached session's meta.
+
+        Sessions created by the CLI / ops server store the synthetic
+        source's parameters (``{"name": "catalog", "products": N,
+        "seed": N}``) under ``extra.workload`` so any later process —
+        another CLI invocation, or the HTTP ops plane hosting the
+        session — can regenerate the exact document the journaled
+        knowledge was acquired from.  Empty when detached or when the
+        session carries no workload hint.
+        """
+        if self._session is None:
+            return {}
+        extra = self._session.meta.get("extra") or {}
+        return dict(extra.get("workload") or {})
+
     def checkpoint(self) -> Optional[str]:
         """Force a snapshot of the attached session now (None if detached).
 

@@ -56,9 +56,18 @@ from .monitor import (
     REMEDY_LOSSY,
 )
 from .profile import Profile, ProfileEntry, aggregate, profile_traces
-from .registry import Counter, Histogram, Metrics
+from .registry import Counter, Gauge, Histogram, Metrics
 from .sinks import Event, JsonLinesSink, NullSink, RingBufferSink, Sink, TeeSink
-from .spans import Span, add_attrs, current_span, event, span
+from .spans import (
+    Span,
+    add_attrs,
+    current_span,
+    current_trace_id,
+    event,
+    reset_trace_id,
+    set_trace_id,
+    span,
+)
 from .state import STATE, ObsState
 from .timing import Timer, timed, timer
 
@@ -133,6 +142,7 @@ __all__ = [
     "Counter",
     "Event",
     "Explanation",
+    "Gauge",
     "GrowthMonitor",
     "Histogram",
     "JsonLinesSink",
@@ -156,6 +166,7 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_events",
     "current_span",
+    "current_trace_id",
     "disable",
     "enable",
     "enabled",
@@ -168,6 +179,8 @@ __all__ = [
     "profile_traces",
     "prometheus_text",
     "reset",
+    "reset_trace_id",
+    "set_trace_id",
     "snapshot",
     "span",
     "timed",

@@ -54,17 +54,71 @@ def _fmt_value(value: object) -> str:
     return str(value)
 
 
-def prometheus_text(metrics: Optional[Metrics] = None, namespace: str = "repro") -> str:
-    """Render a metrics registry in Prometheus text exposition format."""
+def _cache_metric_lines(namespace: str) -> List[str]:
+    """Perf-cache hit/miss/eviction counters as exposition lines.
+
+    Mirrors :func:`repro.perf.cache_stats` so ``/metrics`` and ``python
+    -m repro export`` report cache behaviour next to the obs registry
+    (the always-on per-table books, not the obs mirror counters, so the
+    numbers are exact even when obs was enabled mid-run).  Imported
+    lazily — ``repro.perf`` depends on ``repro.obs``, not vice versa.
+    """
+    from ..perf import STATE as _PERF
+
+    lines: List[str] = []
+    enabled_family = sanitize_metric_name("cache.enabled", namespace)
+    lines.append(f"# HELP {enabled_family} repro perf caches switch (1=on)")
+    lines.append(f"# TYPE {enabled_family} gauge")
+    lines.append(f"{enabled_family} {1 if _PERF.enabled else 0}")
+    for table, cache in sorted(_PERF.caches.items()):
+        for suffix, value in (
+            ("hits", cache.hits),
+            ("misses", cache.misses),
+            ("evictions", cache.evictions),
+        ):
+            family = sanitize_metric_name(f"cache.{table}.{suffix}", namespace) + "_total"
+            lines.append(f"# HELP {family} repro perf cache {table} {suffix}")
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family} {_fmt_value(value)}")
+        size_family = sanitize_metric_name(f"cache.{table}.size", namespace)
+        lines.append(f"# HELP {size_family} repro perf cache {table} live entries")
+        lines.append(f"# TYPE {size_family} gauge")
+        lines.append(f"{size_family} {len(cache)}")
+    return lines
+
+
+def prometheus_text(
+    metrics: Optional[Metrics] = None,
+    namespace: str = "repro",
+    include_caches: bool = True,
+) -> str:
+    """Render a metrics registry in Prometheus text exposition format.
+
+    With ``include_caches`` (the default) the :mod:`repro.perf` memo
+    tables contribute ``<namespace>_cache_<table>_{hits,misses,evictions}_total``
+    counters and per-table size gauges, so cache behaviour is scrape-able
+    alongside the registry.
+    """
     if metrics is None:
         from .state import STATE
 
         metrics = STATE.metrics
     lines: List[str] = []
+    if include_caches:
+        lines.extend(_cache_metric_lines(namespace))
     for name, value in metrics.counters().items():
+        if include_caches and name.startswith("cache."):
+            # the perf books above are the exact source for these; the
+            # obs mirror counters would emit duplicate families
+            continue
         family = sanitize_metric_name(name, namespace) + "_total"
         lines.append(f"# HELP {family} repro counter {name}")
         lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_fmt_value(value)}")
+    for name, value in metrics.gauges().items():
+        family = sanitize_metric_name(name, namespace)
+        lines.append(f"# HELP {family} repro gauge {name}")
+        lines.append(f"# TYPE {family} gauge")
         lines.append(f"{family} {_fmt_value(value)}")
     for name, summary in metrics.histograms().items():
         family = sanitize_metric_name(name, namespace)

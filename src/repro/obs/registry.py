@@ -48,6 +48,29 @@ class Counter:
         return f"Counter({self.name!r}, value={self.value})"
 
 
+class Gauge:
+    """A named value that can go up and down (current knowledge size,
+    server uptime, in-flight requests).  Last-write-wins under a lock."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, amount: Number = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
 class Histogram:
     """Aggregate moments plus a bounded window of raw observations.
 
@@ -102,10 +125,11 @@ class Metrics:
     statistics) instantiate their own.
     """
 
-    __slots__ = ("_counters", "_histograms", "_lock")
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
@@ -122,6 +146,15 @@ class Metrics:
                     instrument = self._counters[name] = Counter(name)
         return instrument
 
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
@@ -134,12 +167,20 @@ class Metrics:
     def inc(self, name: str, amount: Number = 1) -> None:
         self.counter(name).inc(amount)
 
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
     def observe(self, name: str, value: Number) -> None:
         self.histogram(name).observe(value)
 
     def value(self, name: str) -> Number:
         """Current value of a counter (0 when never incremented)."""
         instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def gauge_value(self, name: str) -> Number:
+        """Current value of a gauge (0 when never set)."""
+        instrument = self._gauges.get(name)
         return instrument.value if instrument is not None else 0
 
     def series(self, name: str) -> List[Number]:
@@ -150,6 +191,9 @@ class Metrics:
     def counters(self) -> Dict[str, Number]:
         return {name: c.value for name, c in sorted(self._counters.items())}
 
+    def gauges(self) -> Dict[str, Number]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
     def histograms(self) -> Dict[str, Dict[str, object]]:
         return {name: h.summary() for name, h in sorted(self._histograms.items())}
 
@@ -157,19 +201,27 @@ class Metrics:
 
     def snapshot(self) -> Dict[str, object]:
         """The whole registry as JSON-ready plain data."""
-        return {"counters": self.counters(), "histograms": self.histograms()}
+        document: Dict[str, object] = {
+            "counters": self.counters(),
+            "histograms": self.histograms(),
+        }
+        if self._gauges:
+            document["gauges"] = self.gauges()
+        return document
 
     def reset(self) -> None:
         """Drop every instrument (identity of the registry is preserved)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._histograms)
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
 
     def __repr__(self) -> str:
         return (
             f"Metrics({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, "
             f"{len(self._histograms)} histograms)"
         )

@@ -16,14 +16,44 @@ When observability is disabled ``span()`` returns a shared no-op context
 manager and yields ``None`` — call sites write
 ``if sp is not None: sp.attrs[...] = ...`` for any attribute whose
 computation is not free.
+
+Span parentage is *context-local* (``contextvars``, see
+:mod:`repro.obs.state`): a span opened in one thread can never become
+the parent of a span opened in another.  A request-scoped **trace id**
+rides the same mechanism — :func:`set_trace_id` binds an id to the
+current context and every span closed while it is bound carries it as
+the ``trace_id`` attribute (and in its emitted sink event), so flat
+JSONL logs and Chrome traces can be correlated back to one request.
+The ops plane (:mod:`repro.ops.trace`) manages this per HTTP request.
 """
 
 from __future__ import annotations
 
 import time
+from contextvars import ContextVar, Token
 from typing import Dict, List, Optional
 
 from .state import STATE
+
+#: The context-local trace id stamped onto every span closed while set.
+_TRACE_ID: "ContextVar[Optional[str]]" = ContextVar(
+    "repro_obs_trace_id", default=None
+)
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to the current context, if any."""
+    return _TRACE_ID.get()
+
+
+def set_trace_id(trace_id: Optional[str]) -> "Token[Optional[str]]":
+    """Bind a trace id to the current context; returns the reset token."""
+    return _TRACE_ID.set(trace_id)
+
+
+def reset_trace_id(token: "Token[Optional[str]]") -> None:
+    """Restore the trace-id binding captured by :func:`set_trace_id`."""
+    _TRACE_ID.reset(token)
 
 
 class Span:
@@ -104,6 +134,9 @@ class _ActiveSpan:
             # and traces show where exceptions went, but it still lands in
             # its parent / the trace list like any other span
             closed.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+        trace_id = _TRACE_ID.get()
+        if trace_id is not None:
+            closed.attrs.setdefault("trace_id", trace_id)
         stack = STATE.stack
         if stack and stack[-1] is closed:
             stack.pop()
@@ -132,7 +165,7 @@ def span(name: str, **attrs: object):
 
 
 def current_span() -> Optional[Span]:
-    """The innermost open span of this thread, if any."""
+    """The innermost open span of this context, if any."""
     if not STATE.enabled:
         return None
     stack = STATE.stack

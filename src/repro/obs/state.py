@@ -11,21 +11,34 @@ The state owns:
 * ``enabled`` — the master switch;
 * ``metrics`` — the global :class:`~repro.obs.registry.Metrics` registry;
 * ``sink`` — where finished spans / events are delivered;
-* a per-thread span stack (traces from concurrent threads never
-  interleave) and a bounded list of finished root spans (``traces``).
+* a *context-local* span stack (``contextvars``: each thread — and each
+  copied context, e.g. an asyncio task — gets its own stack, so traces
+  from concurrent requests never interleave and a span opened in one
+  thread can never become the parent of a span opened in another), and
+  a bounded list of finished root spans (``traces``).
 """
 
 from __future__ import annotations
 
 import threading
+from contextvars import ContextVar
 from typing import List, Optional
 
 from .registry import Metrics
 from .sinks import NullSink, Sink
 
+#: The context-local stack of open spans.  A ``ContextVar`` rather than
+#: ``threading.local`` so that span parentage follows Python's context
+#: propagation rules: a fresh thread (or a request handled by a server
+#: worker) starts with an empty stack, while code running in the same
+#: context keeps the familiar nesting behaviour.
+_SPAN_STACK: "ContextVar[Optional[List[object]]]" = ContextVar(
+    "repro_obs_span_stack", default=None
+)
+
 
 class ObsState:
-    __slots__ = ("enabled", "metrics", "sink", "traces", "max_traces", "_local", "_lock")
+    __slots__ = ("enabled", "metrics", "sink", "traces", "max_traces", "_lock")
 
     def __init__(self) -> None:
         self.enabled: bool = False
@@ -33,16 +46,15 @@ class ObsState:
         self.sink: Sink = NullSink()
         self.traces: List[object] = []  # finished root Spans, oldest first
         self.max_traces: int = 256
-        self._local = threading.local()
         self._lock = threading.Lock()
 
     @property
     def stack(self) -> List[object]:
-        """This thread's stack of open spans."""
-        stack = getattr(self._local, "stack", None)
+        """This context's stack of open spans (created empty on demand)."""
+        stack = _SPAN_STACK.get()
         if stack is None:
             stack = []
-            self._local.stack = stack
+            _SPAN_STACK.set(stack)
         return stack
 
     def add_trace(self, span: object) -> None:

@@ -1,0 +1,498 @@
+"""The admin/ops HTTP server: a live surface over a running mediator.
+
+Zero dependencies — stdlib :mod:`http.server` with a threading mixin —
+exposing the observability stack while requests are in flight:
+
+==========================  ====================================================
+``/healthz``                liveness probe (``ok``)
+``/statusz``                engine + growth regime + session info, JSON
+``/metrics``                Prometheus text exposition (registry + perf caches)
+``/profile``                aggregated span profile, JSON
+``/sessions``               durable-store listing (read-only peek, no locks)
+``/ask?q=SPEC``             answer a path query over the hosted session
+``/debug/flightrecorder``   retained traces as Chrome trace-event JSON
+``/debug/requests``         recent structured request-log records, JSON
+==========================  ====================================================
+
+Every request runs under a :class:`~repro.ops.trace.request_trace`: a
+fresh ``trace_id`` is bound to the handler thread's context, stamped on
+every engine span the request triggers, returned in the
+``X-Repro-Trace-Id`` response header, written to the structured request
+log, and the finished trace root lands in the
+:class:`~repro.ops.flight.FlightRecorder` (errored traces retained
+longest).  ``contextvars`` isolation means concurrent requests can never
+adopt each other's spans.
+
+The hosted :class:`~repro.mediator.webhouse.Webhouse` is guarded by one
+re-entrant lock — correctness first; the read endpoints (metrics,
+profile, flight recorder) are lock-free with respect to the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.parsing import parse_query_spec
+from ..mediator.source import InMemorySource
+from ..mediator.webhouse import Webhouse
+from ..obs.export import prometheus_text
+from ..obs.profile import profile_traces
+from ..obs.state import STATE as _OBS
+from .flight import FlightRecorder
+from .reqlog import RequestLog
+from .trace import request_trace
+
+#: JSON content type used by every structured endpoint.
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+_TEXT = "text/plain; charset=utf-8"
+
+
+class OpsError(Exception):
+    """A request that cannot be served; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _named_queries():
+    from ..workloads.catalog import query1, query2, query3, query4
+
+    return {"q1": query1, "q2": query2, "q3": query3, "q4": query4}
+
+
+def demo_webhouse(products: int = 8, seed: Optional[int] = None) -> Tuple[Webhouse, InMemorySource]:
+    """An in-memory catalog webhouse + source for sessionless serving.
+
+    Pre-records Query 1 so the served knowledge is non-trivial from the
+    first scrape.
+    """
+    from ..workloads.catalog import (
+        CATALOG_ALPHABET,
+        catalog_type,
+        generate_catalog,
+        query1,
+    )
+
+    tree_type = catalog_type()
+    # the default seed is one where Query 1 has a non-empty answer for
+    # every reasonable catalog size, so /ask?q=q1 demos real knowledge
+    document = generate_catalog(products, seed=7 if seed is None else seed)
+    source = InMemorySource(document, tree_type)
+    webhouse = Webhouse(CATALOG_ALPHABET, tree_type=tree_type)
+    webhouse.ask(source, query1())
+    return webhouse, source
+
+
+def hosted_webhouse(store, name: str) -> Tuple[Webhouse, InMemorySource]:
+    """Resume a durable session for serving, plus its regenerated source.
+
+    The source is rebuilt from the workload parameters the session's
+    meta remembers (:meth:`Webhouse.source_hint`), so ``mode=fetch``
+    asks answer against the same document the journaled knowledge came
+    from.
+    """
+    from ..workloads.catalog import catalog_type, generate_catalog
+
+    webhouse = Webhouse.resume(store, name)
+    hint = webhouse.source_hint()
+    document = generate_catalog(
+        int(hint.get("products", 10)), seed=int(hint.get("seed", 0))
+    )
+    return webhouse, InMemorySource(document, catalog_type())
+
+
+class _OpsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    ops: "OpsServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-ops/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # the default handler logs every request to stderr; the ops plane
+    # has its own structured request log
+    def log_message(self, format: str, *args: object) -> None:
+        pass
+
+    def do_GET(self) -> None:
+        self._handle()
+
+    def do_HEAD(self) -> None:
+        self._handle(send_body=False)
+
+    def _handle(self, send_body: bool = True) -> None:
+        ops: "OpsServer" = self.server.ops  # type: ignore[attr-defined]
+        parsed = urlsplit(self.path)
+        started = time.perf_counter()
+        status = 500
+        extras: Dict[str, object] = {}
+        with request_trace(
+            "ops.request", method=self.command, path=parsed.path
+        ) as handle:
+            try:
+                status, body, ctype = ops.dispatch(
+                    parsed.path, parse_qs(parsed.query), extras
+                )
+            except OpsError as exc:
+                status = exc.status
+                body = json.dumps({"error": str(exc), "status": status}) + "\n"
+                ctype = _JSON
+                handle.annotate(error=type(exc).__name__, error_message=str(exc))
+            except Exception as exc:  # pragma: no cover - defensive
+                status = 500
+                body = json.dumps({"error": str(exc), "status": 500}) + "\n"
+                ctype = _JSON
+                handle.annotate(error=type(exc).__name__, error_message=str(exc))
+            handle.annotate(status=status)
+            payload = body.encode("utf-8")
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(payload)))
+                self.send_header("X-Repro-Trace-Id", handle.trace_id)
+                self.end_headers()
+                if send_body:
+                    self.wfile.write(payload)
+            except (BrokenPipeError, ConnectionResetError):
+                handle.annotate(error="ClientDisconnected")
+        ops.finish_request(
+            self.command,
+            parsed.path,
+            status,
+            time.perf_counter() - started,
+            handle,
+            extras,
+        )
+
+
+class OpsServer:
+    """The live ops plane around one hosted :class:`Webhouse`.
+
+    ``start()`` binds and serves from a daemon thread (``port=0`` picks
+    a free port); ``serve_forever()`` blocks instead.  All endpoint
+    handlers run on the server's handler threads — engine access is
+    serialized through ``self._engine_lock``.
+    """
+
+    def __init__(
+        self,
+        webhouse: Optional[Webhouse] = None,
+        source: Optional[InMemorySource] = None,
+        store=None,
+        session_name: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recorder: Optional[FlightRecorder] = None,
+        request_log: Optional[RequestLog] = None,
+    ):
+        if webhouse is None:
+            webhouse, source = demo_webhouse()
+        self.webhouse = webhouse
+        self.source = source
+        self.store = store
+        self.session_name = session_name
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self.request_log = request_log if request_log is not None else RequestLog()
+        self._engine_lock = threading.RLock()
+        self._host = host
+        self._port = port
+        self._httpd: Optional[_OpsHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self._routes = {
+            "/healthz": self._handle_healthz,
+            "/statusz": self._handle_statusz,
+            "/metrics": self._handle_metrics,
+            "/profile": self._handle_profile,
+            "/sessions": self._handle_sessions,
+            "/ask": self._handle_ask,
+            "/debug/flightrecorder": self._handle_flightrecorder,
+            "/debug/requests": self._handle_requests,
+        }
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _bind(self) -> None:
+        if self._httpd is None:
+            self._httpd = _OpsHTTPServer((self._host, self._port), _Handler)
+            self._httpd.ops = self
+            self._started_at = time.time()
+
+    def start(self) -> "OpsServer":
+        """Bind and serve from a daemon thread; returns self."""
+        self._bind()
+        assert self._httpd is not None
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-ops-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread (Ctrl-C to stop)."""
+        self._bind()
+        assert self._httpd is not None
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.request_log.close()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._httpd is None:
+            raise RuntimeError("server is not bound; call start()")
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def uptime_s(self) -> float:
+        return 0.0 if self._started_at is None else time.time() - self._started_at
+
+    # -- request plumbing -------------------------------------------------------
+
+    def dispatch(
+        self, path: str, params: Dict[str, list], extras: Dict[str, object]
+    ) -> Tuple[int, str, str]:
+        """Route one request; returns ``(status, body, content_type)``."""
+        handler = self._routes.get(path.rstrip("/") or "/")
+        if handler is None:
+            raise OpsError(404, f"no such endpoint {path!r}")
+        return handler(params, extras)
+
+    def finish_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        duration_s: float,
+        handle,
+        extras: Dict[str, object],
+    ) -> None:
+        """Post-response bookkeeping: flight recorder, request log, metrics."""
+        errored = status >= 400 or handle.errored
+        self.recorder.record(handle.root, errored=errored)
+        self.request_log.log(
+            method, path, status, duration_s, handle.trace_id, **extras
+        )
+        if _OBS.enabled:
+            endpoint = (path.strip("/") or "root").replace("/", ".")
+            _OBS.metrics.inc("ops.http.requests")
+            _OBS.metrics.inc(f"ops.http.status.{status // 100}xx")
+            _OBS.metrics.observe(f"ops.http.{endpoint}.seconds", duration_s)
+
+    # -- endpoints --------------------------------------------------------------
+
+    def _handle_healthz(self, params, extras) -> Tuple[int, str, str]:
+        return 200, "ok\n", _TEXT
+
+    def _handle_statusz(self, params, extras) -> Tuple[int, str, str]:
+        with self._engine_lock:
+            stats = self.webhouse.stats()
+            session = self.webhouse.session
+            session_info = session.info() if session is not None else None
+        document = {
+            "service": "repro-ops",
+            "pid": __import__("os").getpid(),
+            "uptime_s": round(self.uptime_s, 3),
+            "webhouse": stats,
+            "engine": stats["engine"],
+            "growth_regime": stats["growth_regime"],
+            "session": session_info,
+            "session_name": self.session_name,
+            "observability_enabled": _OBS.enabled,
+            "caches": self._cache_summary(),
+            "flight_recorder": self.recorder.stats(),
+            "requests_logged": self.request_log.logged,
+        }
+        return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
+
+    def _cache_summary(self) -> Dict[str, object]:
+        from .. import perf
+
+        stats = perf.cache_stats()
+        return {
+            "enabled": stats["enabled"],
+            "hits": sum(t["hits"] for t in stats["tables"].values()),
+            "misses": sum(t["misses"] for t in stats["tables"].values()),
+            "evictions": sum(t["evictions"] for t in stats["tables"].values()),
+        }
+
+    def _handle_metrics(self, params, extras) -> Tuple[int, str, str]:
+        if _OBS.enabled:
+            # point-in-time gauges refreshed per scrape
+            _OBS.metrics.set_gauge("ops.uptime_seconds", round(self.uptime_s, 3))
+            with self._engine_lock:
+                _OBS.metrics.set_gauge(
+                    "webhouse.knowledge_size_current", self.webhouse.size()
+                )
+                _OBS.metrics.set_gauge(
+                    "webhouse.queries_recorded", len(self.webhouse.history)
+                )
+        return 200, prometheus_text(), _PROM
+
+    def _handle_profile(self, params, extras) -> Tuple[int, str, str]:
+        profile = profile_traces(list(_OBS.traces))
+        return 200, json.dumps(profile.to_dict(), sort_keys=True, default=str) + "\n", _JSON
+
+    def _handle_sessions(self, params, extras) -> Tuple[int, str, str]:
+        if self.store is None:
+            document = {"root": None, "hosted": self.session_name, "sessions": []}
+        else:
+            document = {
+                "root": self.store.root,
+                "hosted": self.session_name,
+                "sessions": [
+                    self.store.peek(name) for name in self.store.list_sessions()
+                ],
+            }
+        return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
+
+    def _handle_ask(self, params, extras) -> Tuple[int, str, str]:
+        specs = params.get("q")
+        if not specs or not specs[0]:
+            raise OpsError(400, "missing query parameter q (q1..q4 or a slash path)")
+        spec = specs[0]
+        mode = (params.get("mode") or ["local"])[0]
+        if mode not in ("local", "fetch"):
+            raise OpsError(400, f"unknown mode {mode!r} (local|fetch)")
+        try:
+            query = parse_query_spec(spec, named=_named_queries())
+        except ValueError as exc:
+            raise OpsError(400, f"bad query {spec!r}: {exc}")
+        with self._engine_lock:
+            if mode == "fetch":
+                if self.source is None:
+                    raise OpsError(409, "no source attached; mode=fetch unavailable")
+                answer = self.webhouse.ask(self.source, query)
+                document = {
+                    "query": spec,
+                    "mode": mode,
+                    "answer_nodes": len(answer),
+                    "knowledge_size": self.webhouse.size(),
+                    "queries_recorded": len(self.webhouse.history),
+                    "engine": self.webhouse.engine,
+                }
+            else:
+                sure, may_have_more = self.webhouse.answer_with_caveats(query)
+                document = {
+                    "query": spec,
+                    "mode": mode,
+                    "sure_nodes": len(sure),
+                    "may_have_more": may_have_more,
+                    "knowledge_size": self.webhouse.size(),
+                    "queries_recorded": len(self.webhouse.history),
+                    "engine": self.webhouse.engine,
+                }
+        extras["knowledge_size"] = document["knowledge_size"]
+        extras["query"] = spec
+        return 200, json.dumps(document, sort_keys=True) + "\n", _JSON
+
+    def _handle_flightrecorder(self, params, extras) -> Tuple[int, str, str]:
+        document = self.recorder.chrome_trace()
+        return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
+
+    def _handle_requests(self, params, extras) -> Tuple[int, str, str]:
+        limits = params.get("limit") or ["100"]
+        try:
+            limit = max(1, int(limits[0]))
+        except ValueError:
+            raise OpsError(400, f"bad limit {limits[0]!r}")
+        document = {"requests": self.request_log.recent(limit)}
+        return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
+
+
+# -- self-check ------------------------------------------------------------------
+
+#: Endpoints ``self_check`` probes, with their validator kind.
+_PROBES = (
+    ("/healthz", "text"),
+    ("/statusz", "json"),
+    ("/metrics", "prometheus"),
+    ("/profile", "json"),
+    ("/sessions", "json"),
+    ("/ask?q=q1", "json"),
+    ("/debug/flightrecorder", "chrome"),
+    ("/debug/requests", "json"),
+)
+
+
+def self_check(base_url: str, timeout: float = 5.0):
+    """Probe every endpoint of a live server and validate the payloads.
+
+    Returns ``(ok, report)`` where ``report`` is one row per probe:
+    ``{"endpoint", "status", "ok", "trace_id", "detail"}``.  Used by
+    ``python -m repro serve --once`` so CI smoke tests need no
+    sleep/poll loop — the server process checks itself and exits
+    nonzero on any failure.
+    """
+    import urllib.request
+
+    from ..obs.export import validate_chrome_trace, validate_prometheus_text
+
+    report = []
+    all_ok = True
+    for endpoint, kind in _PROBES:
+        row = {"endpoint": endpoint, "status": 0, "ok": False, "trace_id": None, "detail": ""}
+        try:
+            with urllib.request.urlopen(base_url + endpoint, timeout=timeout) as resp:
+                body = resp.read().decode("utf-8")
+                row["status"] = resp.status
+                row["trace_id"] = resp.headers.get("X-Repro-Trace-Id")
+            if row["status"] != 200:
+                raise ValueError(f"status {row['status']}")
+            if not row["trace_id"]:
+                raise ValueError("missing X-Repro-Trace-Id header")
+            if kind == "json":
+                json.loads(body)
+            elif kind == "prometheus":
+                samples = validate_prometheus_text(body)
+                if not any(name.startswith("repro_cache_") for name in samples):
+                    raise ValueError("no repro_cache_* series in /metrics")
+            elif kind == "chrome":
+                row["detail"] = f"{validate_chrome_trace(json.loads(body))} events"
+            elif kind == "text" and "ok" not in body:
+                raise ValueError(f"unexpected body {body!r}")
+            row["ok"] = True
+        except Exception as exc:
+            row["detail"] = f"{type(exc).__name__}: {exc}"
+            all_ok = False
+        report.append(row)
+    return all_ok, report
+
+
+__all__ = [
+    "OpsError",
+    "OpsServer",
+    "demo_webhouse",
+    "hosted_webhouse",
+    "self_check",
+]

@@ -427,6 +427,49 @@ class SessionStore:
             if os.path.exists(os.path.join(self._root, name, META_FILENAME))
         )
 
+    def peek(self, name: str) -> Dict[str, Any]:
+        """Read-only description of a session **without** taking its lock.
+
+        The ops server's ``/sessions`` endpoint lists every session
+        while writers may be live; this reads only ``meta.json`` and
+        file sizes, so it never blocks or steals a lock.  Numbers are
+        advisory (a concurrent writer may be appending).
+        """
+        directory = self._session_dir(name)
+        meta_path = os.path.join(directory, META_FILENAME)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except OSError:
+            raise StoreError(f"no such session {name!r} under {self._root}")
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"session {name!r} has a corrupt meta.json: {exc}")
+        try:
+            journal_bytes = os.stat(os.path.join(directory, JOURNAL_FILENAME)).st_size
+        except OSError:
+            journal_bytes = 0
+        snapshots = list_snapshots(directory)
+        lock_path = os.path.join(directory, LOCK_FILENAME)
+        locked = False
+        if os.path.exists(lock_path):
+            try:
+                with open(lock_path, "r") as handle:
+                    owner = int(handle.read().strip())
+                locked = _pid_alive(owner)
+            except (OSError, ValueError):
+                locked = False
+        return {
+            "name": meta.get("name", name),
+            "format": meta.get("format"),
+            "alphabet_size": len(meta.get("alphabet") or []),
+            "auto_minimize": bool(meta.get("auto_minimize", False)),
+            "workload": (meta.get("extra") or {}).get("workload"),
+            "journal_bytes": journal_bytes,
+            "snapshots": len(snapshots),
+            "snapshot_seq": snapshots[0][0] if snapshots else 0,
+            "locked": locked,
+        }
+
     def delete(self, name: str) -> None:
         """Remove a session and everything under it.
 

@@ -1,0 +1,555 @@
+"""The live ops plane: trace context, flight recorder, HTTP server.
+
+Covers the PR-6 acceptance criteria: concurrent clients against a
+served session get per-request trace ids with no cross-thread span
+parentage; ``/metrics`` passes the Prometheus validator (including
+``repro_cache_*`` series); the flight recorder retains every errored
+trace and dumps valid Chrome trace JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.obs as obs
+import repro.perf as perf
+from repro.__main__ import main as cli_main
+from repro.core.parsing import parse_query_spec
+from repro.mediator.webhouse import Webhouse
+from repro.obs.export import validate_chrome_trace, validate_prometheus_text
+from repro.obs.sinks import NullSink
+from repro.obs.spans import Span
+from repro.ops import (
+    FlightRecorder,
+    OpsServer,
+    RequestLog,
+    demo_webhouse,
+    hosted_webhouse,
+    new_trace_id,
+    request_trace,
+)
+from repro.store import SessionStore
+from repro.workloads.catalog import CATALOG_ALPHABET, catalog_type, query1
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Pristine obs/perf state around every test."""
+    obs.disable()
+    obs.STATE.sink = NullSink()
+    obs.STATE.clear()
+    perf.disable_caches()
+    perf.clear_caches()
+    yield
+    obs.disable()
+    obs.STATE.sink = NullSink()
+    obs.STATE.clear()
+    perf.disable_caches()
+    perf.clear_caches()
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    """Request bookkeeping happens after the response is sent; spin
+    briefly until the server side catches up."""
+    deadline = time.time() + timeout
+    while not predicate() and time.time() < deadline:
+        time.sleep(0.01)
+
+
+def _get(url: str, timeout: float = 10.0):
+    """(status, headers, body-bytes), following HTTPError for 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.headers, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, exc.read()
+
+
+@pytest.fixture()
+def server():
+    """A live ops server over the demo catalog webhouse, obs enabled."""
+    obs.enable(obs.RingBufferSink())
+    perf.enable_caches()
+    webhouse, source = demo_webhouse(products=4)
+    srv = OpsServer(webhouse, source=source).start()
+    yield srv
+    srv.stop()
+
+
+# -- trace context ---------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_new_trace_ids_are_unique(self):
+        ids = {new_trace_id() for _ in range(200)}
+        assert len(ids) == 200
+
+    def test_trace_id_binds_and_restores(self):
+        assert obs.current_trace_id() is None
+        token = obs.set_trace_id("outer")
+        assert obs.current_trace_id() == "outer"
+        with request_trace("t") as handle:
+            assert obs.current_trace_id() == handle.trace_id
+            assert handle.trace_id != "outer"
+        assert obs.current_trace_id() == "outer"
+        obs.reset_trace_id(token)
+        assert obs.current_trace_id() is None
+
+    def test_spans_carry_the_trace_id(self):
+        obs.enable(obs.RingBufferSink())
+        with request_trace("ops.request") as handle:
+            with obs.span("inner.work"):
+                with obs.span("inner.deep"):
+                    pass
+        root = handle.root
+        assert root is not None
+        assert root.attrs["trace_id"] == handle.trace_id
+        deep = root.find("inner.deep")
+        assert len(deep) == 1
+        assert deep[0].attrs["trace_id"] == handle.trace_id
+
+    def test_disabled_obs_still_yields_a_trace_id(self):
+        with request_trace("t") as handle:
+            assert handle.root is None
+            assert handle.trace_id
+            handle.annotate(status=200)  # tolerated no-op
+        assert not handle.errored
+
+    def test_errored_detection_walks_the_tree(self):
+        obs.enable(obs.RingBufferSink())
+        with request_trace("t") as handle:
+            with pytest.raises(RuntimeError):
+                with obs.span("child"):
+                    raise RuntimeError("boom")
+        assert handle.errored
+        assert handle.root.children[0].attrs["error"] == "RuntimeError"
+
+    def test_thread_span_does_not_adopt_foreign_parent(self):
+        """The satellite fix: a span opened in another thread must not
+        become a child of this thread's open span."""
+        obs.enable(obs.RingBufferSink())
+        done = threading.Event()
+
+        def worker() -> None:
+            with obs.span("worker.span"):
+                pass
+            done.set()
+
+        with obs.span("main.span") as sp:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert done.wait(1)
+            # the worker's span closed while main.span was still open:
+            # it must have landed as its own trace root, not as a child
+            assert [c.name for c in sp.children] == []
+        names = [root.name for root in obs.traces()]
+        assert "worker.span" in names and "main.span" in names
+
+    def test_concurrent_traces_do_not_share_ids_or_spans(self):
+        obs.enable(obs.RingBufferSink())
+        seen = {}
+        barrier = threading.Barrier(4)
+
+        def worker(tag: int) -> None:
+            barrier.wait()
+            with request_trace("ops.request", worker=tag) as handle:
+                with obs.span("engine.step", worker=tag):
+                    pass
+            seen[tag] = handle
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = {h.trace_id for h in seen.values()}
+        assert len(ids) == 4
+        for tag, handle in seen.items():
+            root = handle.root
+            assert root.attrs["worker"] == tag
+            assert [c.attrs["worker"] for c in root.children] == [tag]
+            assert all(
+                c.attrs["trace_id"] == handle.trace_id for c in root.children
+            )
+
+
+# -- flight recorder -------------------------------------------------------------
+
+
+def _span(name: str, start: float = 0.0, **attrs) -> Span:
+    s = Span(name, dict(attrs))
+    s.start = start
+    s.end = start + 0.001
+    return s
+
+
+class TestFlightRecorder:
+    def test_completed_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=3, errored_capacity=8)
+        for i in range(10):
+            recorder.record(_span(f"t{i}", start=float(i)))
+        assert [r.name for r in recorder.completed()] == ["t7", "t8", "t9"]
+        assert recorder.stats()["recorded"] == 10
+
+    def test_errored_survive_completed_churn(self):
+        recorder = FlightRecorder(capacity=2, errored_capacity=64)
+        for i in range(5):
+            recorder.record(_span(f"bad{i}", start=float(i), error="ValueError"))
+        for i in range(20):
+            recorder.record(_span(f"ok{i}", start=100.0 + i))
+        assert len(recorder.completed()) == 2
+        assert [r.name for r in recorder.errored()] == [f"bad{i}" for i in range(5)]
+
+    def test_error_classification_scans_descendants(self):
+        recorder = FlightRecorder()
+        root = _span("root")
+        child = _span("child", error="KeyError")
+        root.children.append(child)
+        recorder.record(root)
+        assert [r.name for r in recorder.errored()] == ["root"]
+
+    def test_none_root_is_a_noop(self):
+        recorder = FlightRecorder()
+        recorder.record(None)
+        assert len(recorder) == 0
+
+    def test_chrome_trace_dump_validates(self):
+        recorder = FlightRecorder()
+        recorder.record(_span("a", start=1.0))
+        recorder.record(_span("b", start=2.0, error="X"))
+        document = recorder.chrome_trace()
+        assert validate_chrome_trace(document) == 2
+        tids = {e["tid"] for e in document["traceEvents"]}
+        assert len(tids) == 2  # errored traces get their own tid band
+        assert document["otherData"]["retained_errored"] == "1"
+
+
+# -- request log -----------------------------------------------------------------
+
+
+class TestRequestLog:
+    def test_ring_is_bounded_and_ordered(self):
+        log = RequestLog(capacity=3)
+        for i in range(6):
+            log.log("GET", f"/p{i}", 200, 0.001, f"t{i}")
+        recent = log.recent()
+        assert [r["path"] for r in recent] == ["/p3", "/p4", "/p5"]
+        assert log.logged == 6
+
+    def test_jsonl_file_records(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        log = RequestLog(path=path)
+        log.log("GET", "/ask", 200, 0.0042, "abc", knowledge_size=17)
+        log.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["path"] == "/ask"
+        assert rows[0]["status"] == 200
+        assert rows[0]["trace_id"] == "abc"
+        assert rows[0]["knowledge_size"] == 17
+        assert rows[0]["duration_ms"] == pytest.approx(4.2)
+
+
+# -- the HTTP server -------------------------------------------------------------
+
+
+class TestOpsServer:
+    def test_healthz_and_trace_header(self, server):
+        status, headers, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body == b"ok\n"
+        assert headers["X-Repro-Trace-Id"]
+
+    def test_statusz_reports_engine_and_growth(self, server):
+        status, _, body = _get(server.url + "/statusz")
+        assert status == 200
+        document = json.loads(body)
+        assert document["engine"] == "plain"
+        assert isinstance(document["growth_regime"], str) and document["growth_regime"]
+        assert document["webhouse"]["queries_recorded"] >= 1
+        assert document["observability_enabled"] is True
+        assert document["caches"]["enabled"] is True
+
+    def test_metrics_validate_with_cache_series(self, server):
+        # drive at least one cached code path through the engine first,
+        # then wait for its post-response bookkeeping to land
+        _get(server.url + "/ask?q=q1")
+        _wait_until(lambda: obs.STATE.metrics.value("ops.http.requests") >= 1)
+        status, _, body = _get(server.url + "/metrics")
+        assert status == 200
+        samples = validate_prometheus_text(body.decode("utf-8"))
+        cache_series = [n for n in samples if n.startswith("repro_cache_")]
+        assert cache_series, "no repro_cache_* series exposed"
+        assert samples["repro_cache_enabled"] == 1.0
+        assert "repro_ops_http_requests_total" in samples
+        assert "repro_ops_uptime_seconds" in samples
+
+    def test_ask_local_and_fetch(self, server):
+        status, headers, body = _get(server.url + "/ask?q=q1")
+        assert status == 200
+        document = json.loads(body)
+        assert document["mode"] == "local"
+        assert document["sure_nodes"] >= 1
+        assert isinstance(document["may_have_more"], bool)
+        recorded = document["queries_recorded"]
+        status, _, body = _get(server.url + "/ask?q=q2&mode=fetch")
+        assert status == 200
+        fetched = json.loads(body)
+        assert fetched["queries_recorded"] == recorded + 1
+
+    def test_ask_path_query(self, server):
+        status, _, body = _get(
+            server.url + "/ask?q=catalog/product/price%5B%3C300%5D"
+        )
+        assert status == 200
+        assert json.loads(body)["query"] == "catalog/product/price[<300]"
+
+    def test_bad_query_is_400_with_trace_id(self, server):
+        status, headers, body = _get(server.url + "/ask?q=%5Bnope")
+        assert status == 400
+        assert headers["X-Repro-Trace-Id"]
+        assert "bad query" in json.loads(body)["error"]
+
+    def test_unknown_endpoint_is_404(self, server):
+        status, _, body = _get(server.url + "/nope")
+        assert status == 404
+        assert json.loads(body)["status"] == 404
+
+    def test_profile_endpoint(self, server):
+        _get(server.url + "/ask?q=q1")
+        _wait_until(lambda: any(r.name == "ops.request" for r in obs.traces()))
+        status, _, body = _get(server.url + "/profile")
+        assert status == 200
+        document = json.loads(body)
+        assert document["roots"] >= 1
+        assert any(name.startswith("ops.request") for name in document["by_name"])
+
+    def test_flightrecorder_dump_validates(self, server):
+        _get(server.url + "/ask?q=q1")
+        _get(server.url + "/ask?q=%5Bbad")  # one errored trace
+        _wait_until(
+            lambda: len(server.recorder.errored()) >= 1
+            and len(server.recorder.roots()) >= 2
+        )
+        status, _, body = _get(server.url + "/debug/flightrecorder")
+        assert status == 200
+        document = json.loads(body)
+        assert validate_chrome_trace(document) >= 2
+        assert int(document["otherData"]["retained_errored"]) >= 1
+
+    def test_request_log_endpoint_carries_knowledge_size(self, server):
+        _get(server.url + "/ask?q=q1")
+        _wait_until(
+            lambda: any(r["path"] == "/ask" for r in server.request_log.recent())
+        )
+        status, _, body = _get(server.url + "/debug/requests")
+        assert status == 200
+        rows = json.loads(body)["requests"]
+        asks = [r for r in rows if r["path"] == "/ask"]
+        assert asks and asks[-1]["knowledge_size"] >= 1
+        assert asks[-1]["trace_id"]
+
+    def test_every_errored_trace_is_retained(self):
+        obs.enable(obs.RingBufferSink())
+        webhouse, source = demo_webhouse(products=3)
+        recorder = FlightRecorder(capacity=2, errored_capacity=256)
+        srv = OpsServer(webhouse, source=source, recorder=recorder).start()
+        try:
+            for _ in range(12):
+                status, _, _ = _get(srv.url + "/ask?q=%5Bbad")
+                assert status == 400
+            for _ in range(8):
+                _get(srv.url + "/healthz")
+            _wait_until(lambda: recorder.stats()["recorded"] >= 20)
+        finally:
+            srv.stop()
+        stats = recorder.stats()
+        assert stats["retained_errored"] == 12  # none evicted by healthy churn
+        assert stats["retained_completed"] == 2  # completed ring stayed bounded
+
+    def test_concurrent_load_unique_traces_no_cross_parentage(self, server):
+        """The acceptance load test: >=4 threaded clients, per-request
+        trace ids, no span adopted across threads."""
+        results = []
+        lock = threading.Lock()
+
+        def client(worker: int) -> None:
+            rows = []
+            for i in range(6):
+                endpoint = "/ask?q=q1" if (worker + i) % 2 else "/metrics"
+                status, headers, _ = _get(server.url + endpoint)
+                rows.append((status, headers["X-Repro-Trace-Id"]))
+            with lock:
+                results.extend(rows)
+
+        threads = [threading.Thread(target=client, args=(w,)) for w in range(5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 30
+        assert all(status == 200 for status, _ in results)
+        trace_ids = [tid for _, tid in results]
+        assert len(set(trace_ids)) == 30
+        _wait_until(lambda: len(server.recorder.roots()) >= 30)
+        roots = server.recorder.roots()
+        assert len(roots) >= 30
+        for root in roots:
+            expected = root.attrs.get("trace_id")
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                assert node.attrs.get("trace_id") == expected
+                stack.extend(node.children)
+
+    def test_server_requires_start_before_address(self):
+        webhouse, source = demo_webhouse(products=3)
+        srv = OpsServer(webhouse, source=source)
+        with pytest.raises(RuntimeError):
+            srv.url
+
+
+# -- durable-session hosting ------------------------------------------------------
+
+
+class TestHostedSessions:
+    def test_source_hint_roundtrip(self, tmp_path):
+        store = SessionStore(str(tmp_path))
+        session = store.create(
+            "svc",
+            CATALOG_ALPHABET,
+            tree_type=catalog_type(),
+            extra={"workload": {"name": "catalog", "products": 5, "seed": 7}},
+        )
+        webhouse = Webhouse(CATALOG_ALPHABET, tree_type=catalog_type())
+        webhouse.attach(session)
+        assert webhouse.source_hint() == {
+            "name": "catalog",
+            "products": 5,
+            "seed": 7,
+        }
+        webhouse.detach()
+        assert webhouse.source_hint() == {}
+
+    def test_hosted_webhouse_serves_a_named_session(self, tmp_path):
+        store = SessionStore(str(tmp_path))
+        store.create(
+            "svc",
+            CATALOG_ALPHABET,
+            tree_type=catalog_type(),
+            extra={"workload": {"name": "catalog", "products": 4, "seed": 4}},
+        ).close()
+        webhouse, source = hosted_webhouse(store, "svc")
+        try:
+            webhouse.ask(source, query1())
+            srv = OpsServer(
+                webhouse, source=source, store=store, session_name="svc"
+            ).start()
+            try:
+                status, _, body = _get(srv.url + "/ask?q=q1")
+                assert status == 200
+                assert json.loads(body)["knowledge_size"] >= 1
+                status, _, body = _get(srv.url + "/sessions")
+                document = json.loads(body)
+                assert document["hosted"] == "svc"
+                names = [row["name"] for row in document["sessions"]]
+                assert "svc" in names
+                row = document["sessions"][names.index("svc")]
+                assert row["locked"] is True  # we hold the writer lock
+                assert row["workload"]["products"] == 4
+            finally:
+                srv.stop()
+        finally:
+            webhouse.detach()
+
+    def test_store_peek_needs_no_lock(self, tmp_path):
+        store = SessionStore(str(tmp_path))
+        store.create("idle", CATALOG_ALPHABET).close()
+        row = store.peek("idle")
+        assert row["name"] == "idle"
+        assert row["locked"] is False
+        assert row["snapshots"] == 0
+        # peeking never created or stole a lock
+        assert store.open("idle").close() is None
+
+
+# -- prometheus cache mirroring ---------------------------------------------------
+
+
+class TestPrometheusCacheSeries:
+    def test_cache_counters_exported_and_deduplicated(self):
+        """Counters come from the perf books; the obs mirror counters
+        (cache.*) must not produce duplicate families."""
+        obs.enable(obs.RingBufferSink())  # so LRUCache mirrors into obs too
+        with perf.cached():
+            from repro.refine.refine import refine_sequence
+            from repro.workloads.catalog import demo_catalog
+
+            doc = demo_catalog()
+            history = [(query1(), query1().evaluate(doc))]
+            refine_sequence(CATALOG_ALPHABET, history)
+            refine_sequence(CATALOG_ALPHABET, history)  # repeat -> cache hits
+        text = obs.prometheus_text()
+        samples = validate_prometheus_text(text)  # raises on duplicates
+        assert samples["repro_cache_refine_hits_total"] >= 1
+        assert "repro_cache_refine_misses_total" in samples
+        assert "repro_cache_refine_size" in samples
+
+    def test_include_caches_false_restores_old_shape(self):
+        obs.STATE.metrics.inc("some.counter")
+        text = obs.prometheus_text(include_caches=False)
+        samples = validate_prometheus_text(text)
+        assert not any(n.startswith("repro_cache_") for n in samples)
+        assert samples["repro_some_counter_total"] == 1.0
+
+    def test_gauges_are_exported(self):
+        obs.STATE.metrics.set_gauge("ops.demo_gauge", 12.5)
+        samples = validate_prometheus_text(obs.prometheus_text())
+        assert samples["repro_ops_demo_gauge"] == 12.5
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+class TestServeCli:
+    def test_serve_once_self_checks_every_endpoint(self, capsys):
+        code = cli_main(["repro", "serve", "--once", "--products", "4"])
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)
+        assert code == 0
+        assert document["ok"] is True
+        probed = {row["endpoint"] for row in document["probes"]}
+        assert {"/healthz", "/statusz", "/metrics", "/ask?q=q1"} <= probed
+        assert all(row["trace_id"] for row in document["probes"])
+
+    def test_serve_rejects_unknown_flags(self, capsys):
+        assert cli_main(["repro", "serve", "--bogus"]) == 2
+
+    def test_serve_missing_session_fails_cleanly(self, tmp_path, capsys):
+        code = cli_main(
+            ["repro", "serve", "--once", "--session", "ghost", "--root", str(tmp_path)]
+        )
+        assert code == 1
+        assert "ghost" in capsys.readouterr().err
+
+
+class TestParseQuerySpec:
+    def test_path_with_condition(self):
+        query = parse_query_spec("catalog/product/price[<300]")
+        assert query.root.label == "catalog"
+        leaf = query.root.children[0].children[0]
+        assert leaf.label == "price"
+
+    def test_named_map_wins(self):
+        query = parse_query_spec("q1", named={"q1": query1})
+        assert query == query1()
+
+    def test_bar_must_be_leaf(self):
+        with pytest.raises(ValueError):
+            parse_query_spec("~a/b")
