@@ -3,18 +3,24 @@
 
 Usage::
 
-    python benchmarks/report.py            # all experiments
+    python benchmarks/report.py            # all experiments + perf trajectory
     python benchmarks/report.py E6 E8      # selected ids
 
-The numbers printed here populate EXPERIMENTS.md.
+The numbers printed here populate EXPERIMENTS.md.  The perf trajectory
+at the end is read from the committed ``BENCH_*.json`` documents at the
+repo root — every suite that writes one shows up here automatically, no
+edits needed when a PR adds a new benchmark.
 """
 
+import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
 import series  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 EXPERIMENTS = {
     "E4": ("emptiness (Lemma 2.5, PTIME)", series.series_emptiness),
@@ -41,6 +47,40 @@ EXPERIMENTS = {
 }
 
 
+def _headline(document):
+    """The document's top-level scalars — each suite's headline figures."""
+    scalars = {
+        key: value
+        for key, value in document.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    return ", ".join(f"{k}={v}" for k, v in sorted(scalars.items())) or "-"
+
+
+def perf_trajectory():
+    """One row per committed ``BENCH_*.json``, lexicographic order."""
+    rows = []
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            rows.append({"file": path.name, "suite": f"unreadable: {exc}",
+                         "criteria": "?", "headline": "-"})
+            continue
+        criteria = document.get("criteria")
+        if isinstance(criteria, dict) and "met" in criteria:
+            verdict = "PASS" if criteria["met"] else "FAIL"
+        else:
+            verdict = "-"
+        rows.append({
+            "file": path.name,
+            "suite": str(document.get("suite", "-")),
+            "criteria": verdict,
+            "headline": _headline(document),
+        })
+    return rows
+
+
 def main(argv):
     wanted = [w.upper() for w in argv[1:]]
     for key, (title, fn) in EXPERIMENTS.items():
@@ -48,6 +88,8 @@ def main(argv):
             continue
         rows = fn()
         series.print_table(f"{key}: {title}", rows)
+    if not wanted:
+        series.print_table("perf trajectory (BENCH_*.json)", perf_trajectory())
     return 0
 
 

@@ -63,6 +63,7 @@ from .incomplete import (
     possible_prefix,
 )
 from . import obs
+from .cluster import Router, ShardedWebhouse, ShardOverloaded
 from .mediator import InMemorySource, LocalQuery, Webhouse, completion_plan
 from .store import Session, SessionStore
 from .refine import (
@@ -98,8 +99,11 @@ __all__ = [
     "Mult",
     "PSQuery",
     "QueryNode",
+    "Router",
     "Session",
     "SessionStore",
+    "ShardOverloaded",
+    "ShardedWebhouse",
     "StringSet",
     "TreeType",
     "ValueSet",

@@ -41,14 +41,20 @@
                                               # 'catalog/product/price[<300]'
     python -m repro serve [--host H] [--port P] [--session NAME]
                           [--root DIR] [--products N] [--seed N]
-                          [--no-caches] [--request-log FILE] [--once]
+                          [--shards N] [--no-caches] [--request-log FILE]
+                          [--once]
                                               # live ops plane (docs/OPS.md):
                                               # /healthz /statusz /metrics
                                               # /profile /sessions /ask?q=...
                                               # /debug/flightrecorder
                                               # /debug/requests; --once probes
                                               # every endpoint and exits
-                                              # nonzero on failure
+                                              # nonzero on failure;
+                                              # --shards N > 1 serves a
+                                              # sharded webhouse pool
+                                              # (docs/CLUSTER.md): /ask takes
+                                              # session=KEY (routed) or none
+                                              # (fleet-wide union)
 """
 
 from __future__ import annotations
@@ -516,20 +522,31 @@ def _serve_cmd(args: list[str]) -> int:
     Without ``--session`` an in-memory catalog webhouse is hosted
     (``--products``/``--seed`` shape it); with ``--session NAME`` the
     named durable session is resumed and held (its writer lock is taken
-    for the lifetime of the server).  ``--once`` starts the server,
-    probes every endpoint from inside the process, prints the report
-    and exits nonzero on any failure — no sleep/poll loop needed.
+    for the lifetime of the server).  With ``--shards N`` (N > 1) a
+    sharded webhouse pool is served instead (docs/CLUSTER.md): ``/ask``
+    routes ``session=KEY`` through the consistent-hash ring and answers
+    fleet-wide without one.  ``--once`` starts the server, probes every
+    endpoint from inside the process, prints the report and exits
+    nonzero on any failure — no sleep/poll loop needed.
     """
     import json
 
     from . import obs
     from . import perf
-    from .ops import OpsServer, RequestLog, demo_webhouse, hosted_webhouse, self_check
+    from .ops import (
+        OpsServer,
+        RequestLog,
+        demo_cluster,
+        demo_webhouse,
+        hosted_webhouse,
+        self_check,
+    )
+    from .ops.server import _CLUSTER_PROBES
     from .store import SessionStore, StoreError
 
     usage = (
         "usage: python -m repro serve [--host H] [--port P] [--session NAME] "
-        "[--root DIR] [--products N] [--seed N] [--no-caches] "
+        "[--root DIR] [--products N] [--seed N] [--shards N] [--no-caches] "
         "[--request-log FILE] [--once]"
     )
     args = list(args)
@@ -544,9 +561,17 @@ def _serve_cmd(args: list[str]) -> int:
         )
         products = int(_take_value(args, "--products") or "8")
         seed = _take_value(args, "--seed")
+        shards = int(_take_value(args, "--shards") or "1")
         log_path = _take_value(args, "--request-log")
         if args:
             raise ValueError(usage)
+        if shards < 1:
+            raise ValueError("--shards needs a positive count")
+        if shards > 1 and session_name is not None:
+            raise ValueError(
+                "--session hosts one durable session; it cannot be combined "
+                "with --shards (cluster sessions are keyed per request)"
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         print(usage, file=sys.stderr)
@@ -556,8 +581,13 @@ def _serve_cmd(args: list[str]) -> int:
     if not no_caches:
         perf.enable_caches()
     store = SessionStore(root)
+    webhouse = cluster = None
     try:
-        if session_name is not None:
+        if shards > 1:
+            cluster, source = demo_cluster(
+                shards, products, seed=None if seed is None else int(seed)
+            )
+        elif session_name is not None:
             webhouse, source = hosted_webhouse(store, session_name)
         else:
             webhouse, source = demo_webhouse(
@@ -574,11 +604,14 @@ def _serve_cmd(args: list[str]) -> int:
         host=host,
         port=port,
         request_log=RequestLog(path=log_path),
+        cluster=cluster,
     )
     try:
         if once:
             server.start()
-            ok, report = self_check(server.url)
+            ok, report = self_check(
+                server.url, probes=_CLUSTER_PROBES if cluster is not None else None
+            )
             print(
                 json.dumps(
                     {"url": server.url, "ok": ok, "probes": report},
@@ -589,7 +622,10 @@ def _serve_cmd(args: list[str]) -> int:
             server.stop()
             return 0 if ok else 1
         server._bind()
-        print(f"repro ops plane listening on {server.url}", file=sys.stderr)
+        mode = f"{shards} shards" if cluster is not None else "single engine"
+        print(
+            f"repro ops plane listening on {server.url} ({mode})", file=sys.stderr
+        )
         print(
             f"  endpoints: /healthz /statusz /metrics /profile /sessions "
             f"/ask?q=q1 /debug/flightrecorder /debug/requests",
@@ -598,8 +634,10 @@ def _serve_cmd(args: list[str]) -> int:
         server.serve_forever()
         return 0
     finally:
-        if session_name is not None:
+        if session_name is not None and webhouse is not None:
             webhouse.detach()
+        if cluster is not None:
+            cluster.close()
 
 
 def _xml(path: str) -> int:

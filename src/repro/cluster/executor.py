@@ -1,0 +1,111 @@
+"""Scatter-gather execution of per-shard work on a thread pool.
+
+Fleet-wide operations (``ask_all``, ``stats_all``, checkpoints) fan one
+callable out over every shard and gather the results **in shard
+order** — the merge order is part of the cluster's determinism
+contract, so gather never reorders by completion time.
+
+Each task runs with the target shard bound to the observability
+context (:func:`repro.obs.spans.set_shard`), so every engine span a
+scattered task closes carries a ``shard`` attribute and profiles /
+flight-recorder traces attribute work to shards even when the pool
+thread is reused across shards.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..obs.spans import reset_shard, set_shard, span as _span
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor:
+    """A lazily-started thread pool with ordered scatter-gather."""
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-shard",
+                )
+            return self._pool
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        return self._max_workers
+
+    def submit(
+        self, shard: int, fn: Callable[..., R], *args: object, **kwargs: object
+    ) -> "Future[R]":
+        """Run ``fn`` on the pool with ``shard`` bound to the obs context."""
+
+        def bound() -> R:
+            token = set_shard(shard)
+            try:
+                with _span("cluster.task", shard=shard):
+                    return fn(*args, **kwargs)
+            finally:
+                reset_shard(token)
+
+        return self._ensure_pool().submit(bound)
+
+    def scatter(
+        self, items: Sequence[T], fn: Callable[[int, T], R]
+    ) -> List[R]:
+        """Run ``fn(index, item)`` for every item concurrently; gather in
+        item order.
+
+        The first exception (in item order, not completion order) is
+        re-raised after every task has finished, so a failing shard
+        cannot leave siblings running against torn-down state.
+        """
+        if not items:
+            return []
+        if len(items) == 1:
+            # no pool hop for a single shard: same semantics, less latency
+            return [self._run_inline(0, items[0], fn)]
+        futures = [self.submit(index, fn, index, item) for index, item in enumerate(items)]
+        results: List[R] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # gather everything before raising
+                if first_error is None:
+                    first_error = exc
+                results.append(None)  # type: ignore[arg-type]
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _run_inline(self, index: int, item: T, fn: Callable[[int, T], R]) -> R:
+        token = set_shard(index)
+        try:
+            with _span("cluster.task", shard=index):
+                return fn(index, item)
+        finally:
+            reset_shard(token)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        state = "idle" if self._pool is None else "running"
+        return f"Executor(max_workers={self._max_workers}, {state})"
+
+
+__all__ = ["Executor"]

@@ -1,0 +1,99 @@
+"""Consistent-hash routing of session keys onto shards.
+
+The mediator keeps one incomplete tree per interaction (§3.4), and
+Theorem 3.5 makes Refine a pure function of one session's history — so
+the only routing requirement is *stability*: the same session key must
+always reach the same shard, and resizing the fleet must move as few
+sessions as possible (each moved session pays a resume/replay).
+
+:class:`Router` is a classic consistent-hash ring: every shard owns
+``replicas`` virtual points on a 64-bit circle, a key routes to the
+first point clockwise from its own hash.  Hashes come from
+:mod:`hashlib` (BLAKE2b), not ``hash()``, so routing is stable across
+processes and ``PYTHONHASHSEED`` values — a journaled session resumed
+by a different server process lands on the same shard.
+
+Growing ``n`` shards to ``n+1`` moves an expected ``1/(n+1)`` of the
+keys (only the keys whose arc the new shard's points capture); every
+other key keeps its shard.  Compare a naive ``hash(key) % n``, which
+moves ``(n-1)/n`` of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Tuple
+
+#: Virtual points per shard; more points → smoother key distribution.
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(text: str) -> int:
+    """A process-independent 64-bit hash of ``text`` (BLAKE2b prefix)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class Router:
+    """An immutable consistent-hash ring over ``shards`` shard indices."""
+
+    __slots__ = ("_shards", "_replicas", "_salt", "_points", "_owners")
+
+    def __init__(
+        self, shards: int, replicas: int = DEFAULT_REPLICAS, salt: str = "repro"
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        self._shards = int(shards)
+        self._replicas = int(replicas)
+        self._salt = salt
+        ring: List[Tuple[int, int]] = []
+        for shard in range(self._shards):
+            for point in range(self._replicas):
+                ring.append((stable_hash(f"{salt}/shard-{shard}#{point}"), shard))
+        ring.sort()
+        self._points = [h for h, _ in ring]
+        self._owners = [s for _, s in ring]
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def replicas(self) -> int:
+        return self._replicas
+
+    def route(self, key: str) -> int:
+        """The shard index owning ``key`` (stable across processes)."""
+        point = stable_hash(f"{self._salt}:{key}")
+        index = bisect_right(self._points, point) % len(self._points)
+        return self._owners[index]
+
+    def resized(self, shards: int) -> "Router":
+        """A ring over a different shard count (same salt and replicas).
+
+        Existing shards keep their virtual points, so only the keys on
+        arcs captured by added points (or orphaned by removed ones)
+        change owner.
+        """
+        return Router(shards, replicas=self._replicas, salt=self._salt)
+
+    def distribution(self, keys: Iterable[str]) -> Dict[int, int]:
+        """How many of ``keys`` land on each shard (all shards present)."""
+        counts = {shard: 0 for shard in range(self._shards)}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+    def moved_keys(self, other: "Router", keys: Iterable[str]) -> List[str]:
+        """The keys that route differently under ``other`` (rebalance cost)."""
+        return [key for key in keys if self.route(key) != other.route(key)]
+
+    def __repr__(self) -> str:
+        return f"Router(shards={self._shards}, replicas={self._replicas})"
+
+
+__all__ = ["DEFAULT_REPLICAS", "Router", "stable_hash"]

@@ -1,0 +1,442 @@
+"""A sharded pool of webhouses with parallel scatter-gather answering.
+
+The paper's mediator keeps one incomplete tree per interaction (§3.4):
+knowledge is acquired and refined *per session*, and Theorem 3.5 makes
+each session's knowledge a pure function of its own query/answer
+history.  That independence is exactly what makes the warehouse
+shardable: :class:`ShardedWebhouse` owns one :class:`Webhouse` per
+session key, groups the sessions into ``shards`` independent lock
+domains via a consistent-hash :class:`~repro.cluster.ring.Router`, and
+runs fleet-wide operations on a scatter-gather
+:class:`~repro.cluster.executor.Executor`.
+
+Because routing only decides *grouping* — never what any session
+knows — the certain answers are invariant under the shard count: the
+same fact sequence yields identical answers on 1, 2, or 8 shards
+(exercised by ``tests/test_cluster.py``).  Concretely:
+
+* keyed operations (:meth:`record`, :meth:`ask`, :meth:`answer`) route
+  the key, pass the shard's admission gate, and take the shard's
+  readers-writer lock — reads share, writes exclude, and a hot shard
+  sheds load (:class:`~repro.cluster.admission.ShardOverloaded`)
+  instead of queueing without bound;
+* fleet operations (:meth:`ask_all`, :meth:`stats_all`) scatter one
+  task per shard and gather **deterministically**: per-shard results
+  are merged in globally sorted session-key order, so the certain-
+  answer union is reproducible regardless of thread scheduling.
+
+:meth:`ask_all`'s union assumes the fleet observes one source document
+(the Section 1 scenario: many interactions against the same catalog);
+per-session sure answers then share the document root and compose with
+:func:`~repro.mediator.local_query.overlay`.  Sessions over genuinely
+different documents should be queried per key, not fleet-wide.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..core.query import PSQuery
+from ..core.tree import DataTree
+from ..core.treetype import TreeType
+from ..mediator.local_query import overlay
+from ..mediator.source import InMemorySource
+from ..mediator.webhouse import Webhouse
+from ..obs.spans import reset_shard, set_shard, span as _span
+from ..obs.state import STATE as _OBS
+from .admission import AdmissionController
+from .executor import Executor
+from .locks import RWLock
+from .ring import DEFAULT_REPLICAS, Router
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.session import SessionStore
+
+
+def _validate_key(key: str) -> str:
+    """Session keys double as durable session names; same rules apply."""
+    if not key or key != os.path.basename(key) or key.startswith("."):
+        raise ValueError(f"invalid session key {key!r}")
+    return key
+
+
+class Shard:
+    """One lock domain: a dict of per-session engines behind an RWLock."""
+
+    __slots__ = ("index", "lock", "engines")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.lock = RWLock()
+        #: session key -> its engine; guarded by :attr:`lock`.
+        self.engines: Dict[str, Webhouse] = {}
+
+    def __repr__(self) -> str:
+        return f"Shard({self.index}, sessions={len(self.engines)})"
+
+
+class ShardedWebhouse:
+    """N independent webhouse shards behind a consistent-hash router."""
+
+    def __init__(
+        self,
+        alphabet: Iterable[str],
+        tree_type: Optional[TreeType] = None,
+        shards: int = 4,
+        *,
+        auto_minimize: bool = False,
+        replicas: int = DEFAULT_REPLICAS,
+        factory: Optional[Callable[[], Webhouse]] = None,
+        router: Optional[Router] = None,
+        executor: Optional[Executor] = None,
+        admission: Optional[AdmissionController] = None,
+        store: Optional["SessionStore"] = None,
+    ):
+        if router is not None and router.shards != shards:
+            raise ValueError(
+                f"router covers {router.shards} shards, cluster has {shards}"
+            )
+        self._alphabet = sorted(set(alphabet))
+        self._tree_type = tree_type
+        self._auto_minimize = auto_minimize
+        self._factory = factory
+        self.router = router if router is not None else Router(shards, replicas=replicas)
+        self._shards: List[Shard] = [Shard(index) for index in range(shards)]
+        self._owns_executor = executor is None
+        self.executor = executor if executor is not None else Executor(max_workers=shards)
+        self.admission = (
+            admission if admission is not None else AdmissionController(shards)
+        )
+        self._store = store
+        self._substores: List[Optional["SessionStore"]] = [None] * shards
+        if store is not None:
+            self._substores = [store.shard(index) for index in range(shards)]
+            self._load_persisted()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _load_persisted(self) -> None:
+        """Resume every journaled session from the per-shard namespaces."""
+        for shard in self._shards:
+            sub = self._substores[shard.index]
+            if sub is None:
+                continue
+            for name in sub.list_sessions():
+                engine = Webhouse.resume(sub, name)
+                engine.prepare()
+                shard.engines[name] = engine
+
+    def _new_engine(self, shard: Shard, key: str) -> Webhouse:
+        """Create (and, when durable, attach) the engine for ``key``.
+
+        Caller holds the shard's write lock.
+        """
+        engine = (
+            self._factory()
+            if self._factory is not None
+            else Webhouse(
+                self._alphabet,
+                tree_type=self._tree_type,
+                auto_minimize=self._auto_minimize,
+            )
+        )
+        sub = self._substores[shard.index]
+        if sub is not None:
+            session = sub.create(
+                key,
+                self._alphabet,
+                tree_type=self._tree_type,
+                auto_minimize=self._auto_minimize,
+            )
+            engine.attach(session)
+        shard.engines[key] = engine
+        if _OBS.enabled:
+            _OBS.metrics.inc("cluster.sessions_created")
+            _OBS.metrics.set_gauge(
+                f"shard.{shard.index}.sessions", len(shard.engines)
+            )
+        return engine
+
+    # -- routing ----------------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, key: str) -> int:
+        """The shard index that owns ``key`` (stable across processes)."""
+        return self.router.route(_validate_key(key))
+
+    # -- keyed operations -------------------------------------------------------
+
+    def record(self, key: str, query: PSQuery, answer: DataTree) -> None:
+        """Refine session ``key``'s knowledge with one pair (write path)."""
+        shard = self._shards[self.shard_of(key)]
+        with self.admission.admit(shard.index):
+            token = set_shard(shard.index)
+            try:
+                with _span("cluster.record", shard=shard.index, key=key):
+                    with shard.lock.write_locked():
+                        engine = shard.engines.get(key)
+                        if engine is None:
+                            engine = self._new_engine(shard, key)
+                        engine.record(query, answer)
+                        engine.prepare()
+            finally:
+                reset_shard(token)
+
+    def ask(self, key: str, source: InMemorySource, query: PSQuery) -> DataTree:
+        """Query the source for session ``key`` and fold the answer in."""
+        shard = self._shards[self.shard_of(key)]
+        with self.admission.admit(shard.index):
+            token = set_shard(shard.index)
+            try:
+                with _span("cluster.ask", shard=shard.index, key=key):
+                    with shard.lock.write_locked():
+                        engine = shard.engines.get(key)
+                        if engine is None:
+                            engine = self._new_engine(shard, key)
+                        result = engine.ask(source, query)
+                        engine.prepare()
+                        return result
+            finally:
+                reset_shard(token)
+
+    def answer(self, key: str, query: PSQuery) -> Tuple[DataTree, bool]:
+        """Session ``key``'s certain answer with caveat flag (read path).
+
+        An unknown key answers from zero knowledge — empty sure part,
+        ``may_have_more=True`` — *without* creating an engine, so probe
+        traffic cannot grow the pool.
+        """
+        shard = self._shards[self.shard_of(key)]
+        with self.admission.admit(shard.index):
+            token = set_shard(shard.index)
+            try:
+                with _span("cluster.answer", shard=shard.index, key=key):
+                    with shard.lock.read_locked():
+                        engine = shard.engines.get(key)
+                        if engine is None:
+                            return DataTree.empty(), True
+                        return engine.answer_with_caveats(query)
+            finally:
+                reset_shard(token)
+
+    def answer_info(self, key: str, query: PSQuery) -> Dict[str, object]:
+        """:meth:`answer` plus the session's books, one lock round-trip.
+
+        The HTTP ``/ask`` path needs the caveated answer *and* the
+        session's knowledge size and history length for its response
+        body; fetching them separately would take the shard's read lock
+        (and an admission slot) twice per request.  Returns a dict with
+        ``sure``, ``may_have_more``, ``shard``, ``knowledge_size``,
+        ``queries_recorded``.
+        """
+        shard = self._shards[self.shard_of(key)]
+        with self.admission.admit(shard.index):
+            token = set_shard(shard.index)
+            try:
+                with _span("cluster.answer", shard=shard.index, key=key):
+                    with shard.lock.read_locked():
+                        engine = shard.engines.get(key)
+                        if engine is None:
+                            return {
+                                "sure": DataTree.empty(),
+                                "may_have_more": True,
+                                "shard": shard.index,
+                                "knowledge_size": 0,
+                                "queries_recorded": 0,
+                            }
+                        sure, more = engine.answer_with_caveats(query)
+                        return {
+                            "sure": sure,
+                            "may_have_more": more,
+                            "shard": shard.index,
+                            "knowledge_size": engine.size(),
+                            "queries_recorded": len(engine.history),
+                        }
+            finally:
+                reset_shard(token)
+
+    def ask_info(
+        self, key: str, source: InMemorySource, query: PSQuery
+    ) -> Dict[str, object]:
+        """:meth:`ask` plus the session's books, one lock round-trip."""
+        shard = self._shards[self.shard_of(key)]
+        with self.admission.admit(shard.index):
+            token = set_shard(shard.index)
+            try:
+                with _span("cluster.ask", shard=shard.index, key=key):
+                    with shard.lock.write_locked():
+                        engine = shard.engines.get(key)
+                        if engine is None:
+                            engine = self._new_engine(shard, key)
+                        answer = engine.ask(source, query)
+                        engine.prepare()
+                        return {
+                            "answer": answer,
+                            "shard": shard.index,
+                            "knowledge_size": engine.size(),
+                            "queries_recorded": len(engine.history),
+                        }
+            finally:
+                reset_shard(token)
+
+    def engine(self, key: str) -> Optional[Webhouse]:
+        """The engine behind ``key``, if the session exists (read lock)."""
+        shard = self._shards[self.shard_of(key)]
+        with shard.lock.read_locked():
+            return shard.engines.get(key)
+
+    # -- fleet operations -------------------------------------------------------
+
+    def ask_all(self, query: PSQuery) -> Tuple[DataTree, bool]:
+        """Fleet-wide certain answer: scatter, gather, deterministic union.
+
+        Every shard evaluates the query against each of its sessions
+        under its read lock (shards run in parallel); the per-session
+        sure parts are then merged in globally sorted key order with
+        :func:`overlay`.  Returns ``(union, may_have_more)`` where the
+        flag is True when *any* session's knowledge might miss matches —
+        or when the fleet holds no sessions at all.
+        """
+        with _span("cluster.ask_all", shards=len(self._shards)):
+
+            def per_shard(index: int, shard: Shard) -> List[Tuple[str, DataTree, bool]]:
+                with self.admission.admit(index):
+                    with shard.lock.read_locked():
+                        return [
+                            (key, *engine.answer_with_caveats(query))
+                            for key, engine in sorted(shard.engines.items())
+                        ]
+
+            gathered = self.executor.scatter(self._shards, per_shard)
+            rows = sorted(
+                (row for shard_rows in gathered for row in shard_rows),
+                key=lambda row: row[0],
+            )
+            merged: Optional[DataTree] = None
+            may_have_more = not rows
+            for _key, sure, more in rows:
+                may_have_more = may_have_more or more
+                if sure.is_empty():
+                    continue
+                merged = sure if merged is None else overlay(merged, sure)
+            if _OBS.enabled:
+                _OBS.metrics.inc("cluster.ask_all")
+            return (merged if merged is not None else DataTree.empty()), may_have_more
+
+    def stats_all(self) -> Dict[str, object]:
+        """Fleet rollup: per-shard session books plus admission stats."""
+        with _span("cluster.stats_all", shards=len(self._shards)):
+
+            def per_shard(index: int, shard: Shard) -> Dict[str, object]:
+                with shard.lock.read_locked():
+                    return {
+                        "shard": index,
+                        "sessions": len(shard.engines),
+                        "session_keys": sorted(shard.engines),
+                        "queries_recorded": sum(
+                            len(engine.history) for engine in shard.engines.values()
+                        ),
+                        "knowledge_size": sum(
+                            engine.size() for engine in shard.engines.values()
+                        ),
+                    }
+
+            per_shard_stats = self.executor.scatter(self._shards, per_shard)
+            admission = self.admission.stats()
+            for stats, gate in zip(per_shard_stats, admission):
+                stats["admission"] = {
+                    name: count for name, count in gate.items() if name != "shard"
+                }
+            return {
+                "shards": len(self._shards),
+                "sessions": sum(s["sessions"] for s in per_shard_stats),
+                "queries_recorded": sum(
+                    s["queries_recorded"] for s in per_shard_stats
+                ),
+                "knowledge_size": sum(s["knowledge_size"] for s in per_shard_stats),
+                "per_shard": per_shard_stats,
+            }
+
+    # -- inventory --------------------------------------------------------------
+
+    def sessions(self) -> List[str]:
+        """All session keys, sorted (read-locks each shard in turn)."""
+        keys: List[str] = []
+        for shard in self._shards:
+            with shard.lock.read_locked():
+                keys.extend(shard.engines)
+        return sorted(keys)
+
+    def size(self) -> int:
+        """Total maintained knowledge size across every session."""
+        total = 0
+        for shard in self._shards:
+            with shard.lock.read_locked():
+                total += sum(engine.size() for engine in shard.engines.values())
+        return total
+
+    def __len__(self) -> int:
+        return sum(len(shard.engines) for shard in self._shards)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def resized(self, shards: int) -> Tuple["ShardedWebhouse", List[str]]:
+        """A new cluster over ``shards`` shards, engines moved as routed.
+
+        Consistent hashing keeps most keys in place: growing ``n`` to
+        ``n+1`` moves an expected ``1/(n+1)`` of the sessions.  Returns
+        the new cluster and the keys that changed shard (the rebalance
+        cost a deployment would pay in session migrations).  Engines
+        move by reference — in-memory only; durable namespaces are not
+        relocated (a restart against the store re-resumes into the new
+        layout's directories).
+        """
+        new = ShardedWebhouse(
+            self._alphabet,
+            tree_type=self._tree_type,
+            shards=shards,
+            auto_minimize=self._auto_minimize,
+            replicas=self.router.replicas,
+            factory=self._factory,
+            router=self.router.resized(shards),
+        )
+        moved: List[str] = []
+        for shard in self._shards:
+            with shard.lock.read_locked():
+                for key, engine in shard.engines.items():
+                    target = new.router.route(key)
+                    new._shards[target].engines[key] = engine
+                    if target != shard.index:
+                        moved.append(key)
+        return new, sorted(moved)
+
+    def close(self) -> None:
+        """Detach durable sessions and stop the executor (if owned)."""
+        for shard in self._shards:
+            with shard.lock.write_locked():
+                for engine in shard.engines.values():
+                    if engine.session is not None:
+                        engine.detach()
+        if self._owns_executor:
+            self.executor.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedWebhouse(shards={len(self._shards)}, sessions={len(self)}, "
+            f"policy={self.admission.policy!r})"
+        )
+
+
+__all__ = ["Shard", "ShardedWebhouse"]

@@ -444,6 +444,22 @@ class Webhouse:
                 self._knowledge_cache = self._state.normalized()
         return self._knowledge_cache
 
+    def prepare(self) -> "Webhouse":
+        """Materialize the knowledge cache now; returns self.
+
+        Read paths (``answer_with_caveats``, prefix checks) normally
+        materialize :attr:`knowledge` lazily on first use.  Under a
+        readers-writer discipline (the cluster's per-shard locks) that
+        lazy fill would happen under a *read* lock; it is idempotent —
+        racing readers compute equal values and the losing assignment
+        changes nothing observable — but wasteful.  Calling ``prepare``
+        while the write lock is still held moves the materialization
+        cost onto the mutation that invalidated the cache, so
+        subsequent readers are pure.
+        """
+        self.knowledge  # noqa: B018 - property access fills the cache
+        return self
+
     def data_tree(self) -> DataTree:
         """Everything known for sure — the data tree Td."""
         return self.knowledge.data_tree()

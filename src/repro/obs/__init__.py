@@ -61,10 +61,13 @@ from .sinks import Event, JsonLinesSink, NullSink, RingBufferSink, Sink, TeeSink
 from .spans import (
     Span,
     add_attrs,
+    current_shard,
     current_span,
     current_trace_id,
     event,
+    reset_shard,
     reset_trace_id,
+    set_shard,
     set_trace_id,
     span,
 )
@@ -165,6 +168,7 @@ __all__ = [
     "capture",
     "chrome_trace",
     "chrome_trace_events",
+    "current_shard",
     "current_span",
     "current_trace_id",
     "disable",
@@ -179,7 +183,9 @@ __all__ = [
     "profile_traces",
     "prometheus_text",
     "reset",
+    "reset_shard",
     "reset_trace_id",
+    "set_shard",
     "set_trace_id",
     "snapshot",
     "span",

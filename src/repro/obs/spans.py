@@ -40,6 +40,12 @@ _TRACE_ID: "ContextVar[Optional[str]]" = ContextVar(
     "repro_obs_trace_id", default=None
 )
 
+#: The context-local shard index stamped onto every span closed while
+#: set — the cluster layer (:mod:`repro.cluster`) binds it around every
+#: per-shard operation so profiles and flight-recorder traces can
+#: attribute engine work to shards.
+_SHARD: "ContextVar[Optional[int]]" = ContextVar("repro_obs_shard", default=None)
+
 
 def current_trace_id() -> Optional[str]:
     """The trace id bound to the current context, if any."""
@@ -54,6 +60,21 @@ def set_trace_id(trace_id: Optional[str]) -> "Token[Optional[str]]":
 def reset_trace_id(token: "Token[Optional[str]]") -> None:
     """Restore the trace-id binding captured by :func:`set_trace_id`."""
     _TRACE_ID.reset(token)
+
+
+def current_shard() -> Optional[int]:
+    """The shard index bound to the current context, if any."""
+    return _SHARD.get()
+
+
+def set_shard(shard: Optional[int]) -> "Token[Optional[int]]":
+    """Bind a shard index to the current context; returns the reset token."""
+    return _SHARD.set(shard)
+
+
+def reset_shard(token: "Token[Optional[int]]") -> None:
+    """Restore the shard binding captured by :func:`set_shard`."""
+    _SHARD.reset(token)
 
 
 class Span:
@@ -137,6 +158,9 @@ class _ActiveSpan:
         trace_id = _TRACE_ID.get()
         if trace_id is not None:
             closed.attrs.setdefault("trace_id", trace_id)
+        shard = _SHARD.get()
+        if shard is not None:
+            closed.attrs.setdefault("shard", shard)
         stack = STATE.stack
         if stack and stack[-1] is closed:
             stack.pop()

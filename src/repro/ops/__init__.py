@@ -26,7 +26,14 @@ from __future__ import annotations
 
 from .flight import FlightRecorder
 from .reqlog import RequestLog
-from .server import OpsError, OpsServer, demo_webhouse, hosted_webhouse, self_check
+from .server import (
+    OpsError,
+    OpsServer,
+    demo_cluster,
+    demo_webhouse,
+    hosted_webhouse,
+    self_check,
+)
 from .trace import TraceHandle, new_trace_id, request_trace
 
 __all__ = [
@@ -35,6 +42,7 @@ __all__ = [
     "OpsServer",
     "RequestLog",
     "TraceHandle",
+    "demo_cluster",
     "demo_webhouse",
     "hosted_webhouse",
     "new_trace_id",

@@ -23,9 +23,22 @@ log, and the finished trace root lands in the
 longest).  ``contextvars`` isolation means concurrent requests can never
 adopt each other's spans.
 
-The hosted :class:`~repro.mediator.webhouse.Webhouse` is guarded by one
-re-entrant lock — correctness first; the read endpoints (metrics,
-profile, flight recorder) are lock-free with respect to the engine.
+The hosted :class:`~repro.mediator.webhouse.Webhouse` is guarded by a
+readers-writer lock (:class:`~repro.cluster.locks.RWLock`): local
+answering, ``/statusz``, and ``/metrics`` share a read lock, only
+``mode=fetch`` ingestion takes the write side — reads never block
+reads, and a scrape storm cannot starve ingestion (writer-preferring).
+The read endpoints over the obs state (profile, flight recorder) stay
+lock-free with respect to the engine.
+
+With ``cluster=`` (or ``repro serve --shards N``) the server fronts a
+:class:`~repro.cluster.sharded.ShardedWebhouse` instead: ``/ask`` adds
+a ``session=KEY`` parameter routed through the consistent-hash ring,
+``/ask`` *without* a session answers fleet-wide (scatter-gather
+certain-answer union), ``/statusz`` carries the per-shard rollup,
+``/metrics`` exports ``repro_shard_*`` series, and an overloaded shard
+surfaces as HTTP 503 with a ``Retry-After`` hint
+(:class:`~repro.cluster.admission.ShardOverloaded`).
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..cluster import RWLock, ShardedWebhouse, ShardOverloaded
 from ..core.parsing import parse_query_spec
 from ..mediator.source import InMemorySource
 from ..mediator.webhouse import Webhouse
@@ -56,9 +70,13 @@ _TEXT = "text/plain; charset=utf-8"
 class OpsError(Exception):
     """A request that cannot be served; carries the HTTP status."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ):
         super().__init__(message)
         self.status = status
+        #: Extra response headers (e.g. ``Retry-After`` on a 503).
+        self.headers: Dict[str, str] = dict(headers or {})
 
 
 def _named_queries():
@@ -108,9 +126,46 @@ def hosted_webhouse(store, name: str) -> Tuple[Webhouse, InMemorySource]:
     return webhouse, InMemorySource(document, catalog_type())
 
 
+def demo_cluster(
+    shards: int = 4,
+    products: int = 8,
+    seed: Optional[int] = None,
+    tenants: int = 0,
+) -> Tuple[ShardedWebhouse, InMemorySource]:
+    """An in-memory sharded catalog pool + source for cluster serving.
+
+    Pre-records Query 1 into session ``"demo"`` (the session the
+    self-check probes), plus ``tenants`` extra sessions named
+    ``tenant-N`` so several shards hold knowledge from the first
+    scrape.  All sessions observe the same generated document — the
+    Section 1 scenario — so fleet-wide ``/ask`` unions compose.
+    """
+    from ..workloads.catalog import (
+        CATALOG_ALPHABET,
+        catalog_type,
+        generate_catalog,
+        query1,
+    )
+
+    tree_type = catalog_type()
+    document = generate_catalog(products, seed=7 if seed is None else seed)
+    source = InMemorySource(document, tree_type)
+    cluster = ShardedWebhouse(CATALOG_ALPHABET, tree_type=tree_type, shards=shards)
+    cluster.ask("demo", source, query1())
+    for tenant in range(tenants):
+        cluster.ask(f"tenant-{tenant}", source, query1())
+    return cluster, source
+
+
 class _OpsHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
+    # socketserver's default listen backlog is 5; a burst of concurrent
+    # clients (each urllib request opens a fresh connection) overflows
+    # it, the kernel drops the SYN, and the client stalls a full
+    # retransmit timeout (~1s) — visible as second-long outliers under
+    # load.  Size the backlog for bursts instead.
+    request_queue_size = 128
     ops: "OpsServer"
 
 
@@ -135,6 +190,7 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         status = 500
         extras: Dict[str, object] = {}
+        extra_headers: Dict[str, str] = {}
         with request_trace(
             "ops.request", method=self.command, path=parsed.path
         ) as handle:
@@ -146,6 +202,7 @@ class _Handler(BaseHTTPRequestHandler):
                 status = exc.status
                 body = json.dumps({"error": str(exc), "status": status}) + "\n"
                 ctype = _JSON
+                extra_headers.update(exc.headers)
                 handle.annotate(error=type(exc).__name__, error_message=str(exc))
             except Exception as exc:  # pragma: no cover - defensive
                 status = 500
@@ -159,6 +216,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(payload)))
                 self.send_header("X-Repro-Trace-Id", handle.trace_id)
+                for name, value in extra_headers.items():
+                    self.send_header(name, value)
                 self.end_headers()
                 if send_body:
                     self.wfile.write(payload)
@@ -175,12 +234,16 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class OpsServer:
-    """The live ops plane around one hosted :class:`Webhouse`.
+    """The live ops plane around one hosted :class:`Webhouse` — or, with
+    ``cluster=``, a :class:`~repro.cluster.sharded.ShardedWebhouse`.
 
     ``start()`` binds and serves from a daemon thread (``port=0`` picks
     a free port); ``serve_forever()`` blocks instead.  All endpoint
-    handlers run on the server's handler threads — engine access is
-    serialized through ``self._engine_lock``.
+    handlers run on the server's handler threads.  Single-engine mode
+    guards the webhouse with ``self._engine_lock`` (a readers-writer
+    lock: local answering and scrapes share, ingestion excludes);
+    cluster mode delegates to the pool's per-shard locks and admission
+    gates instead — the server itself holds no engine lock.
     """
 
     def __init__(
@@ -193,16 +256,20 @@ class OpsServer:
         port: int = 0,
         recorder: Optional[FlightRecorder] = None,
         request_log: Optional[RequestLog] = None,
+        cluster: Optional[ShardedWebhouse] = None,
     ):
-        if webhouse is None:
+        if webhouse is not None and cluster is not None:
+            raise ValueError("pass either webhouse or cluster, not both")
+        if webhouse is None and cluster is None:
             webhouse, source = demo_webhouse()
         self.webhouse = webhouse
+        self.cluster = cluster
         self.source = source
         self.store = store
         self.session_name = session_name
         self.recorder = recorder if recorder is not None else FlightRecorder()
         self.request_log = request_log if request_log is not None else RequestLog()
-        self._engine_lock = threading.RLock()
+        self._engine_lock = RWLock()
         self._host = host
         self._port = port
         self._httpd: Optional[_OpsHTTPServer] = None
@@ -286,7 +353,11 @@ class OpsServer:
         handler = self._routes.get(path.rstrip("/") or "/")
         if handler is None:
             raise OpsError(404, f"no such endpoint {path!r}")
-        return handler(params, extras)
+        try:
+            return handler(params, extras)
+        except ShardOverloaded as exc:
+            # one hot shard degrades loudly; the rest of the fleet is fine
+            raise OpsError(503, str(exc), headers={"Retry-After": "1"})
 
     def finish_request(
         self,
@@ -315,24 +386,30 @@ class OpsServer:
         return 200, "ok\n", _TEXT
 
     def _handle_statusz(self, params, extras) -> Tuple[int, str, str]:
-        with self._engine_lock:
-            stats = self.webhouse.stats()
-            session = self.webhouse.session
-            session_info = session.info() if session is not None else None
         document = {
             "service": "repro-ops",
             "pid": __import__("os").getpid(),
             "uptime_s": round(self.uptime_s, 3),
-            "webhouse": stats,
-            "engine": stats["engine"],
-            "growth_regime": stats["growth_regime"],
-            "session": session_info,
             "session_name": self.session_name,
             "observability_enabled": _OBS.enabled,
             "caches": self._cache_summary(),
             "flight_recorder": self.recorder.stats(),
             "requests_logged": self.request_log.logged,
         }
+        if self.cluster is not None:
+            document["cluster"] = self.cluster.stats_all()
+            document["shards"] = self.cluster.shards
+        else:
+            with self._engine_lock.read_locked():
+                stats = self.webhouse.stats()
+                session = self.webhouse.session
+                session_info = session.info() if session is not None else None
+            document.update(
+                webhouse=stats,
+                engine=stats["engine"],
+                growth_regime=stats["growth_regime"],
+                session=session_info,
+            )
         return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
 
     def _cache_summary(self) -> Dict[str, object]:
@@ -350,13 +427,41 @@ class OpsServer:
         if _OBS.enabled:
             # point-in-time gauges refreshed per scrape
             _OBS.metrics.set_gauge("ops.uptime_seconds", round(self.uptime_s, 3))
-            with self._engine_lock:
+            if self.cluster is not None:
+                rollup = self.cluster.stats_all()
+                _OBS.metrics.set_gauge("cluster.shards", rollup["shards"])
+                _OBS.metrics.set_gauge("cluster.sessions", rollup["sessions"])
                 _OBS.metrics.set_gauge(
-                    "webhouse.knowledge_size_current", self.webhouse.size()
+                    "cluster.knowledge_size", rollup["knowledge_size"]
                 )
-                _OBS.metrics.set_gauge(
-                    "webhouse.queries_recorded", len(self.webhouse.history)
-                )
+                for stats in rollup["per_shard"]:
+                    index = stats["shard"]
+                    _OBS.metrics.set_gauge(
+                        f"shard.{index}.sessions", stats["sessions"]
+                    )
+                    _OBS.metrics.set_gauge(
+                        f"shard.{index}.knowledge_size", stats["knowledge_size"]
+                    )
+                    _OBS.metrics.set_gauge(
+                        f"shard.{index}.queries_recorded",
+                        stats["queries_recorded"],
+                    )
+                    admission = stats["admission"]
+                    _OBS.metrics.set_gauge(
+                        f"shard.{index}.in_flight", admission["in_flight"]
+                    )
+                    _OBS.metrics.set_gauge(
+                        f"shard.{index}.admitted", admission["admitted"]
+                    )
+                    _OBS.metrics.set_gauge(f"shard.{index}.shed", admission["shed"])
+            else:
+                with self._engine_lock.read_locked():
+                    _OBS.metrics.set_gauge(
+                        "webhouse.knowledge_size_current", self.webhouse.size()
+                    )
+                    _OBS.metrics.set_gauge(
+                        "webhouse.queries_recorded", len(self.webhouse.history)
+                    )
         return 200, prometheus_text(), _PROM
 
     def _handle_profile(self, params, extras) -> Tuple[int, str, str]:
@@ -374,6 +479,8 @@ class OpsServer:
                     self.store.peek(name) for name in self.store.list_sessions()
                 ],
             }
+        if self.cluster is not None:
+            document["cluster_sessions"] = self.cluster.sessions()
         return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
 
     def _handle_ask(self, params, extras) -> Tuple[int, str, str]:
@@ -388,12 +495,29 @@ class OpsServer:
             query = parse_query_spec(spec, named=_named_queries())
         except ValueError as exc:
             raise OpsError(400, f"bad query {spec!r}: {exc}")
-        with self._engine_lock:
-            if mode == "fetch":
-                if self.source is None:
-                    raise OpsError(409, "no source attached; mode=fetch unavailable")
+        if self.cluster is not None:
+            document = self._ask_cluster(params, spec, mode, query)
+        else:
+            document = self._ask_single(spec, mode, query)
+        extras["knowledge_size"] = document["knowledge_size"]
+        extras["query"] = spec
+        return 200, json.dumps(document, sort_keys=True) + "\n", _JSON
+
+    def _ask_single(self, spec: str, mode: str, query) -> Dict[str, object]:
+        """Legacy single-engine ``/ask``.
+
+        Local answering is a pure read of the (prepared) knowledge, so
+        it takes the shared side of the engine lock — concurrent local
+        asks proceed in parallel and never block behind each other;
+        only ``mode=fetch`` (which runs Refine) excludes.
+        """
+        if mode == "fetch":
+            if self.source is None:
+                raise OpsError(409, "no source attached; mode=fetch unavailable")
+            with self._engine_lock.write_locked():
                 answer = self.webhouse.ask(self.source, query)
-                document = {
+                self.webhouse.prepare()
+                return {
                     "query": spec,
                     "mode": mode,
                     "answer_nodes": len(answer),
@@ -401,20 +525,71 @@ class OpsServer:
                     "queries_recorded": len(self.webhouse.history),
                     "engine": self.webhouse.engine,
                 }
-            else:
-                sure, may_have_more = self.webhouse.answer_with_caveats(query)
-                document = {
+        with self._engine_lock.read_locked():
+            sure, may_have_more = self.webhouse.answer_with_caveats(query)
+            return {
+                "query": spec,
+                "mode": mode,
+                "sure_nodes": len(sure),
+                "may_have_more": may_have_more,
+                "knowledge_size": self.webhouse.size(),
+                "queries_recorded": len(self.webhouse.history),
+                "engine": self.webhouse.engine,
+            }
+
+    def _ask_cluster(self, params, spec: str, mode: str, query) -> Dict[str, object]:
+        """Cluster ``/ask``: routed by session key, or fleet-wide union.
+
+        ``session=KEY`` answers (or, with ``mode=fetch``, ingests) for
+        exactly one session, routed through the consistent-hash ring.
+        Without a session, ``mode=local`` unions the certain answers of
+        every session in the fleet; fleet-wide fetch is refused — there
+        is no single session whose knowledge the answer would refine.
+        """
+        keys = params.get("session")
+        if keys and keys[0]:
+            key = keys[0]
+            try:
+                shard = self.cluster.shard_of(key)
+            except ValueError as exc:
+                raise OpsError(400, str(exc))
+            if mode == "fetch":
+                if self.source is None:
+                    raise OpsError(409, "no source attached; mode=fetch unavailable")
+                info = self.cluster.ask_info(key, self.source, query)
+                return {
                     "query": spec,
                     "mode": mode,
-                    "sure_nodes": len(sure),
-                    "may_have_more": may_have_more,
-                    "knowledge_size": self.webhouse.size(),
-                    "queries_recorded": len(self.webhouse.history),
-                    "engine": self.webhouse.engine,
+                    "session": key,
+                    "shard": shard,
+                    "answer_nodes": len(info["answer"]),
+                    "knowledge_size": info["knowledge_size"],
+                    "queries_recorded": info["queries_recorded"],
                 }
-        extras["knowledge_size"] = document["knowledge_size"]
-        extras["query"] = spec
-        return 200, json.dumps(document, sort_keys=True) + "\n", _JSON
+            info = self.cluster.answer_info(key, query)
+            return {
+                "query": spec,
+                "mode": mode,
+                "session": key,
+                "shard": shard,
+                "sure_nodes": len(info["sure"]),
+                "may_have_more": info["may_have_more"],
+                "knowledge_size": info["knowledge_size"],
+                "queries_recorded": info["queries_recorded"],
+            }
+        if mode == "fetch":
+            raise OpsError(400, "mode=fetch needs a session=KEY in cluster mode")
+        sure, may_have_more = self.cluster.ask_all(query)
+        return {
+            "query": spec,
+            "mode": mode,
+            "scope": "fleet",
+            "sessions": len(self.cluster),
+            "shards": self.cluster.shards,
+            "sure_nodes": len(sure),
+            "may_have_more": may_have_more,
+            "knowledge_size": self.cluster.size(),
+        }
 
     def _handle_flightrecorder(self, params, extras) -> Tuple[int, str, str]:
         document = self.recorder.chrome_trace()
@@ -444,15 +619,25 @@ _PROBES = (
     ("/debug/requests", "json"),
 )
 
+#: Extra probes for a cluster server: a routed ask (the ``demo``
+#: session :func:`demo_cluster` pre-ingests) and an explicit fleet ask.
+_CLUSTER_PROBES = _PROBES + (
+    ("/ask?q=q1&session=demo", "json"),
+    ("/ask?q=q1&session=demo&mode=fetch", "json"),
+    ("/ask?q=q2", "json"),
+)
 
-def self_check(base_url: str, timeout: float = 5.0):
+
+def self_check(base_url: str, timeout: float = 5.0, probes=None):
     """Probe every endpoint of a live server and validate the payloads.
 
     Returns ``(ok, report)`` where ``report`` is one row per probe:
     ``{"endpoint", "status", "ok", "trace_id", "detail"}``.  Used by
     ``python -m repro serve --once`` so CI smoke tests need no
     sleep/poll loop — the server process checks itself and exits
-    nonzero on any failure.
+    nonzero on any failure.  ``probes`` defaults to the single-engine
+    probe set; cluster servers pass :data:`_CLUSTER_PROBES` (which adds
+    routed and fleet-wide asks).
     """
     import urllib.request
 
@@ -460,7 +645,7 @@ def self_check(base_url: str, timeout: float = 5.0):
 
     report = []
     all_ok = True
-    for endpoint, kind in _PROBES:
+    for endpoint, kind in (_PROBES if probes is None else probes):
         row = {"endpoint": endpoint, "status": 0, "ok": False, "trace_id": None, "detail": ""}
         try:
             with urllib.request.urlopen(base_url + endpoint, timeout=timeout) as resp:
@@ -492,6 +677,7 @@ def self_check(base_url: str, timeout: float = 5.0):
 __all__ = [
     "OpsError",
     "OpsServer",
+    "demo_cluster",
     "demo_webhouse",
     "hosted_webhouse",
     "self_check",

@@ -354,6 +354,26 @@ class SessionStore:
     def root(self) -> str:
         return self._root
 
+    def shard(self, index: int) -> "SessionStore":
+        """A namespaced sub-store for one cluster shard.
+
+        Shard ``i``'s sessions live under ``<root>/shard-NNNN/`` so each
+        shard journals and snapshots independently: no shared journal
+        tail, no cross-shard lock contention, and a shard can be moved
+        to another process by moving one directory.  Session *names*
+        stay unchanged inside the namespace — the consistent-hash
+        router (``repro.cluster.ring``) decides which shard directory a
+        session key lives in, and because routing is stable across
+        processes a resumed cluster finds every session where it left
+        it.
+        """
+        if index < 0:
+            raise StoreError(f"invalid shard index {index!r}")
+        return SessionStore(
+            os.path.join(self._root, f"shard-{index:04d}"),
+            snapshot_every=self._snapshot_every,
+        )
+
     def _session_dir(self, name: str) -> str:
         if not name or name != os.path.basename(name) or name.startswith("."):
             raise StoreError(f"invalid session name {name!r}")

@@ -1,0 +1,651 @@
+"""The cluster layer: routing, locks, admission, scatter-gather, HTTP.
+
+Covers the PR-7 acceptance criteria: the consistent-hash router is
+deterministic across processes and moves few keys on resize; concurrent
+clients hammering distinct sessions across shards get unique trace ids
+and fully isolated knowledge; and the certain answers are invariant
+under the shard count — the same fact sequence yields identical
+answers on 1, 2, and 8 shards (Theorems 3.5 / 2.8: each session's
+knowledge is a pure function of its own history, and grouping sessions
+into shards changes no history).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.obs as obs
+from repro.cluster import (
+    AdmissionController,
+    Executor,
+    Router,
+    RWLock,
+    ShardedWebhouse,
+    ShardOverloaded,
+    stable_hash,
+)
+from repro.core.tree import DataTree
+from repro.mediator.source import InMemorySource
+from repro.obs.sinks import NullSink
+from repro.ops import OpsServer, demo_cluster
+from repro.ops.server import _CLUSTER_PROBES, self_check
+from repro.store import SessionStore
+from repro.workloads.catalog import (
+    CATALOG_ALPHABET,
+    catalog_type,
+    generate_catalog,
+    query1,
+    query2,
+    query3,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Pristine obs state around every test."""
+    obs.disable()
+    obs.STATE.sink = NullSink()
+    obs.STATE.clear()
+    yield
+    obs.disable()
+    obs.STATE.sink = NullSink()
+    obs.STATE.clear()
+
+
+def _catalog_source(products: int = 8, seed: int = 7) -> InMemorySource:
+    return InMemorySource(generate_catalog(products, seed=seed), catalog_type())
+
+
+def _cluster(shards: int, **kwargs) -> ShardedWebhouse:
+    return ShardedWebhouse(
+        CATALOG_ALPHABET, tree_type=catalog_type(), shards=shards, **kwargs
+    )
+
+
+def _tree_facts(tree: DataTree):
+    """A comparable rendering of a data tree: (id, label, value, parent)."""
+    return sorted(
+        (nid, tree.label(nid), tree.value(nid), tree.parent(nid))
+        for nid in tree.node_ids()
+    )
+
+
+# -- router ----------------------------------------------------------------------
+
+
+class TestRouter:
+    def test_routing_is_deterministic_across_instances(self):
+        first, second = Router(8), Router(8)
+        keys = [f"tenant-{i}" for i in range(200)]
+        assert [first.route(k) for k in keys] == [second.route(k) for k in keys]
+
+    def test_hash_is_process_independent(self):
+        # pinned: BLAKE2b, not hash(); a PYTHONHASHSEED change or a new
+        # process must not re-route journaled sessions
+        assert stable_hash("repro:demo") == 3288973811430667500
+
+    def test_distribution_is_balanced(self):
+        router = Router(4)
+        counts = router.distribution(f"key-{i}" for i in range(4000))
+        assert set(counts) == {0, 1, 2, 3}
+        for shard, count in counts.items():
+            assert 500 <= count <= 1600, f"shard {shard} holds {count}/4000"
+
+    def test_resize_moves_few_keys(self):
+        keys = [f"tenant-{i}" for i in range(1000)]
+        old = Router(4)
+        new = old.resized(5)
+        moved = old.moved_keys(new, keys)
+        # ideal is 1/5 = 200; allow slack for virtual-node granularity
+        assert len(moved) < 400
+        for key in set(keys) - set(moved):
+            assert old.route(key) == new.route(key)
+
+    def test_resize_down_and_bounds(self):
+        router = Router(3)
+        assert router.resized(1).route("anything") == 0
+        with pytest.raises(ValueError):
+            Router(0)
+        with pytest.raises(ValueError):
+            Router(2, replicas=0)
+
+
+# -- rwlock ----------------------------------------------------------------------
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        entered = threading.Barrier(3, timeout=5.0)
+
+        def reader():
+            with lock.read_locked():
+                entered.wait()  # all three inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert lock.readers == 0
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        observed = []
+        lock.acquire_write()
+        reader = threading.Thread(
+            target=lambda: (lock.acquire_read(), observed.append(lock.write_held), lock.release_read())
+        )
+        reader.start()
+        time.sleep(0.05)
+        assert observed == []  # reader blocked behind the writer
+        lock.release_write()
+        reader.join(timeout=5.0)
+        assert observed == [False]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer = threading.Thread(target=lambda: (lock.acquire_write(), lock.release_write()))
+        writer.start()
+        time.sleep(0.05)
+        late = []
+        reader = threading.Thread(
+            target=lambda: (lock.acquire_read(), late.append(True), lock.release_read())
+        )
+        reader.start()
+        time.sleep(0.05)
+        # writer-preferring: the late reader queues behind the waiting writer
+        assert late == []
+        lock.release_read()
+        writer.join(timeout=5.0)
+        reader.join(timeout=5.0)
+        assert late == [True]
+
+
+# -- admission -------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_shed_at_limit(self):
+        control = AdmissionController(2, max_in_flight=1, policy="shed")
+        with control.admit(0):
+            with pytest.raises(ShardOverloaded) as excinfo:
+                with control.admit(0):
+                    pass
+            assert excinfo.value.shard == 0
+            with control.admit(1):  # sibling shard unaffected
+                assert control.in_flight(1) == 1
+        assert control.in_flight(0) == 0
+        stats = control.stats()
+        assert stats[0]["shed"] == 1 and stats[0]["admitted"] == 1
+        assert stats[1]["shed"] == 0
+
+    def test_wait_policy_times_out(self):
+        control = AdmissionController(
+            1, max_in_flight=1, policy="wait", wait_timeout_s=0.05
+        )
+        with control.admit(0):
+            started = time.monotonic()
+            with pytest.raises(ShardOverloaded):
+                with control.admit(0):
+                    pass
+            assert time.monotonic() - started >= 0.04
+
+    def test_wait_policy_gets_freed_slot(self):
+        control = AdmissionController(
+            1, max_in_flight=1, policy="wait", wait_timeout_s=5.0
+        )
+        acquired = []
+
+        def holder():
+            with control.admit(0):
+                time.sleep(0.1)
+
+        def waiter():
+            with control.admit(0):
+                acquired.append(True)
+
+        hold = threading.Thread(target=holder)
+        hold.start()
+        time.sleep(0.02)
+        wait = threading.Thread(target=waiter)
+        wait.start()
+        hold.join(timeout=5.0)
+        wait.join(timeout=5.0)
+        assert acquired == [True]
+        assert control.stats()[0]["shed"] == 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(1, max_in_flight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(1, policy="drop")
+
+
+# -- executor --------------------------------------------------------------------
+
+
+class TestExecutor:
+    def test_gather_preserves_item_order(self):
+        ex = Executor(max_workers=4)
+        try:
+            delays = [0.05, 0.0, 0.02, 0.0]
+
+            def work(index, delay):
+                time.sleep(delay)
+                return index
+
+            assert ex.scatter(delays, work) == [0, 1, 2, 3]
+        finally:
+            ex.shutdown()
+
+    def test_first_exception_in_item_order_wins(self):
+        ex = Executor(max_workers=4)
+        try:
+
+            def work(index, item):
+                if index in (1, 2):
+                    raise RuntimeError(f"boom-{index}")
+                return item
+
+            with pytest.raises(RuntimeError, match="boom-1"):
+                ex.scatter(["a", "b", "c", "d"], work)
+        finally:
+            ex.shutdown()
+
+    def test_tasks_bind_shard_to_obs_context(self):
+        ex = Executor(max_workers=2)
+        try:
+            with obs.capture():
+                ex.scatter([None, None, None], lambda i, _: i)
+                shards = sorted(
+                    sp.attrs["shard"]
+                    for root in obs.traces()
+                    for sp in root.find("cluster.task")
+                )
+            assert shards == [0, 1, 2]
+        finally:
+            ex.shutdown()
+
+
+# -- sharded webhouse ------------------------------------------------------------
+
+
+class TestShardedWebhouse:
+    def test_routing_and_isolation(self):
+        source = _catalog_source()
+        cluster = _cluster(4)
+        try:
+            cluster.ask("alice", source, query1())
+            # bob never ingested anything: his knowledge is empty even
+            # though alice's session may share bob's shard
+            sure, more = cluster.answer("bob", query1())
+            assert sure.is_empty() and more
+            sure, more = cluster.answer("alice", query1())
+            assert not more
+            assert _tree_facts(sure) == _tree_facts(query1().evaluate(source.document()))
+        finally:
+            cluster.close()
+
+    def test_unknown_key_does_not_create_engine(self):
+        cluster = _cluster(2)
+        try:
+            cluster.answer("probe", query1())
+            assert len(cluster) == 0 and cluster.sessions() == []
+        finally:
+            cluster.close()
+
+    def test_invalid_keys_rejected(self):
+        cluster = _cluster(2)
+        try:
+            for bad in ("", "a/b", ".hidden", ".."):
+                with pytest.raises(ValueError):
+                    cluster.record(bad, query1(), DataTree.empty())
+        finally:
+            cluster.close()
+
+    def test_ask_all_unions_certain_answers(self):
+        source = _catalog_source()
+        cluster = _cluster(4)
+        try:
+            cluster.ask("alice", source, query1())
+            cluster.ask("bob", source, query3())
+            sure, more = cluster.ask_all(query1())
+            assert _tree_facts(sure) == _tree_facts(query1().evaluate(source.document()))
+            assert more  # bob's knowledge alone cannot answer query1
+        finally:
+            cluster.close()
+
+    def test_ask_all_empty_fleet(self):
+        cluster = _cluster(3)
+        try:
+            sure, more = cluster.ask_all(query1())
+            assert sure.is_empty() and more
+        finally:
+            cluster.close()
+
+    def test_stats_all_rolls_up_shards(self):
+        source = _catalog_source()
+        cluster = _cluster(4)
+        try:
+            for key in ("alice", "bob", "carol"):
+                cluster.ask(key, source, query1())
+            rollup = cluster.stats_all()
+            assert rollup["shards"] == 4
+            assert rollup["sessions"] == 3
+            assert rollup["queries_recorded"] == 3
+            per_shard = rollup["per_shard"]
+            assert [s["shard"] for s in per_shard] == [0, 1, 2, 3]
+            assert sum(s["sessions"] for s in per_shard) == 3
+            gathered = sorted(k for s in per_shard for k in s["session_keys"])
+            assert gathered == ["alice", "bob", "carol"]
+            assert all("admitted" in s["admission"] for s in per_shard)
+        finally:
+            cluster.close()
+
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_shard_count_invariance(self, shards):
+        """The tentpole invariant: same facts, same certain answers,
+        regardless of how sessions are grouped into shards."""
+        source = _catalog_source(products=6)
+        reference = _cluster(1)
+        cluster = _cluster(shards)
+        try:
+            for target in (reference, cluster):
+                for i in range(6):
+                    key = f"tenant-{i}"
+                    target.ask(key, source, query1() if i % 2 else query2())
+            for query in (query1(), query2(), query3()):
+                expected = reference.ask_all(query)
+                actual = cluster.ask_all(query)
+                assert _tree_facts(actual[0]) == _tree_facts(expected[0])
+                assert actual[1] == expected[1]
+            for i in range(6):
+                key = f"tenant-{i}"
+                exp_sure, exp_more = reference.answer(key, query1())
+                act_sure, act_more = cluster.answer(key, query1())
+                assert _tree_facts(act_sure) == _tree_facts(exp_sure)
+                assert act_more == exp_more
+        finally:
+            reference.close()
+            cluster.close()
+
+    def test_resize_preserves_answers_and_moves_few(self):
+        source = _catalog_source()
+        cluster = _cluster(4)
+        try:
+            keys = [f"tenant-{i}" for i in range(20)]
+            for key in keys:
+                cluster.ask(key, source, query1())
+            before = cluster.ask_all(query1())
+            resized, moved = cluster.resized(5)
+            assert len(resized) == 20
+            assert len(moved) < 20  # consistent hashing: most keys stay put
+            after = resized.ask_all(query1())
+            assert _tree_facts(after[0]) == _tree_facts(before[0])
+            for key in keys:
+                assert resized.router.route(key) == resized.shard_of(key)
+        finally:
+            cluster.close()
+
+    def test_spans_carry_shard_attribute(self):
+        source = _catalog_source()
+        cluster = _cluster(4)
+        try:
+            with obs.capture():
+                cluster.ask("alice", source, query1())
+                shard = cluster.shard_of("alice")
+                roots = obs.traces()
+            cluster_spans = [sp for r in roots for sp in r.find("cluster.ask")]
+            assert cluster_spans and all(
+                sp.attrs["shard"] == shard for sp in cluster_spans
+            )
+            # engine spans opened *inside* the cluster op inherit the
+            # context-bound shard, so profiles attribute Refine to shards
+            engine_spans = [sp for r in roots for sp in r.find("webhouse.record")]
+            assert engine_spans and all(
+                sp.attrs["shard"] == shard for sp in engine_spans
+            )
+        finally:
+            cluster.close()
+
+    def test_concurrent_hammer_isolated_sessions(self):
+        """M threads ingesting into distinct sessions: no leakage, and
+        every session ends with exactly its own history."""
+        source = _catalog_source()
+        cluster = _cluster(4)
+        errors = []
+
+        def client(i):
+            key = f"tenant-{i}"
+            try:
+                cluster.ask(key, source, query1())
+                cluster.ask(key, source, query2())
+                sure, more = cluster.answer(key, query1())
+                assert not more
+                assert _tree_facts(sure) == _tree_facts(
+                    query1().evaluate(source.document())
+                )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((key, exc))
+
+        try:
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert errors == []
+            assert len(cluster) == 12
+            rollup = cluster.stats_all()
+            assert rollup["queries_recorded"] == 24
+            for i in range(12):
+                engine = cluster.engine(f"tenant-{i}")
+                assert len(engine.history) == 2
+        finally:
+            cluster.close()
+
+    def test_admission_backpressure_on_keyed_ops(self):
+        cluster = _cluster(
+            2, admission=AdmissionController(2, max_in_flight=1, policy="shed")
+        )
+        try:
+            shard = cluster.shard_of("alice")
+            with cluster.admission.admit(shard):
+                with pytest.raises(ShardOverloaded):
+                    cluster.answer("alice", query1())
+            # slot released: the same call succeeds now
+            sure, more = cluster.answer("alice", query1())
+            assert sure.is_empty() and more
+        finally:
+            cluster.close()
+
+
+# -- durability ------------------------------------------------------------------
+
+
+class TestDurableCluster:
+    def test_store_shard_namespaces(self, tmp_path):
+        store = SessionStore(str(tmp_path))
+        sub0, sub1 = store.shard(0), store.shard(1)
+        assert sub0.root != sub1.root
+        assert sub0.root.startswith(store.root)
+        session = sub0.create("alice", CATALOG_ALPHABET, tree_type=catalog_type())
+        session.close()
+        assert sub0.list_sessions() == ["alice"]
+        assert sub1.list_sessions() == []
+
+    def test_cluster_resumes_sessions_into_same_shards(self, tmp_path):
+        source = _catalog_source()
+        store = SessionStore(str(tmp_path))
+        cluster = _cluster(3, store=store)
+        keys = [f"tenant-{i}" for i in range(5)]
+        try:
+            for key in keys:
+                cluster.ask(key, source, query1())
+            placement = {key: cluster.shard_of(key) for key in keys}
+            before = {key: cluster.answer(key, query1()) for key in keys}
+        finally:
+            cluster.close()
+
+        resumed = _cluster(3, store=SessionStore(str(tmp_path)))
+        try:
+            assert resumed.sessions() == sorted(keys)
+            for key in keys:
+                assert resumed.shard_of(key) == placement[key]
+                sure, more = resumed.answer(key, query1())
+                assert _tree_facts(sure) == _tree_facts(before[key][0])
+                assert more == before[key][1]
+        finally:
+            resumed.close()
+
+
+# -- HTTP cluster plane ----------------------------------------------------------
+
+
+def _get(url: str, timeout: float = 10.0):
+    """(status, headers, body-bytes), following HTTPError for 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.headers, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, exc.read()
+
+
+@pytest.fixture()
+def cluster_server():
+    """A live ops server fronting a 4-shard demo pool, obs enabled."""
+    obs.enable(obs.RingBufferSink())
+    cluster, source = demo_cluster(shards=4, products=4)
+    srv = OpsServer(cluster=cluster, source=source).start()
+    yield srv
+    srv.stop()
+    cluster.close()
+
+
+class TestClusterHTTP:
+    def test_routed_ask_and_fleet_union(self, cluster_server):
+        base = cluster_server.url
+        status, _, body = _get(f"{base}/ask?q=q1&session=demo")
+        assert status == 200
+        routed = json.loads(body)
+        assert routed["session"] == "demo"
+        assert routed["shard"] == cluster_server.cluster.shard_of("demo")
+        assert routed["may_have_more"] is False
+
+        status, _, body = _get(f"{base}/ask?q=q1")
+        assert status == 200
+        fleet = json.loads(body)
+        assert fleet["scope"] == "fleet"
+        assert fleet["sure_nodes"] == routed["sure_nodes"]
+
+    def test_fetch_needs_session(self, cluster_server):
+        status, _, body = _get(f"{cluster_server.url}/ask?q=q1&mode=fetch")
+        assert status == 400
+        assert "session" in json.loads(body)["error"]
+
+    def test_fetch_creates_routed_session(self, cluster_server):
+        base = cluster_server.url
+        status, _, body = _get(f"{base}/ask?q=q2&session=newbie&mode=fetch")
+        assert status == 200
+        assert json.loads(body)["session"] == "newbie"
+        assert "newbie" in cluster_server.cluster.sessions()
+
+    def test_statusz_carries_shard_rollup(self, cluster_server):
+        status, _, body = _get(f"{cluster_server.url}/statusz")
+        assert status == 200
+        document = json.loads(body)
+        assert document["shards"] == 4
+        rollup = document["cluster"]
+        assert len(rollup["per_shard"]) == 4
+        assert rollup["sessions"] >= 1
+
+    def test_metrics_export_shard_series(self, cluster_server):
+        from repro.obs.export import validate_prometheus_text
+
+        status, _, body = _get(f"{cluster_server.url}/metrics")
+        assert status == 200
+        samples = validate_prometheus_text(body.decode())
+        shard_series = [n for n in samples if n.startswith("repro_shard_")]
+        assert any(n.endswith("_sessions") for n in shard_series)
+        assert any(n.endswith("_knowledge_size") for n in shard_series)
+        assert "repro_cluster_shards" in samples
+
+    def test_overloaded_shard_returns_503(self, cluster_server):
+        cluster = cluster_server.cluster
+        shard = cluster.shard_of("demo")
+        limit = cluster.admission.max_in_flight
+        with _hold_slots(cluster, shard, limit):
+            status, headers, body = _get(
+                f"{cluster_server.url}/ask?q=q1&session=demo"
+            )
+        assert status == 503
+        assert headers.get("Retry-After") == "1"
+        assert "in-flight limit" in json.loads(body)["error"]
+
+    def test_hammer_unique_traces_and_isolation(self, cluster_server):
+        """8 concurrent clients, distinct sessions, fetch+local mix:
+        unique trace ids, per-session books stay per-session."""
+        base = cluster_server.url
+        results = []
+        errors = []
+
+        def client(i):
+            key = f"hammer-{i}"
+            try:
+                status, headers, _ = _get(f"{base}/ask?q=q1&session={key}&mode=fetch")
+                assert status == 200
+                first = headers["X-Repro-Trace-Id"]
+                status, headers, body = _get(f"{base}/ask?q=q1&session={key}")
+                assert status == 200
+                document = json.loads(body)
+                assert document["queries_recorded"] == 1
+                assert document["may_have_more"] is False
+                results.append((first, headers["X-Repro-Trace-Id"]))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((key, exc))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert errors == []
+        trace_ids = [tid for pair in results for tid in pair]
+        assert len(set(trace_ids)) == len(trace_ids) == 16
+
+    def test_self_check_cluster_probes(self, cluster_server):
+        ok, report = self_check(cluster_server.url, probes=_CLUSTER_PROBES)
+        assert ok, [row for row in report if not row["ok"]]
+        assert any("session=demo" in row["endpoint"] for row in report)
+
+
+class _hold_slots:
+    """Context manager saturating one shard's admission budget."""
+
+    def __init__(self, cluster, shard: int, limit: int):
+        self._cluster = cluster
+        self._shard = shard
+        self._limit = limit
+        self._stack = []
+
+    def __enter__(self):
+        for _ in range(self._limit):
+            cm = self._cluster.admission.admit(self._shard)
+            cm.__enter__()
+            self._stack.append(cm)
+        return self
+
+    def __exit__(self, *exc):
+        while self._stack:
+            self._stack.pop().__exit__(None, None, None)
+        return False
