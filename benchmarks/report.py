@@ -81,6 +81,35 @@ def perf_trajectory():
     return rows
 
 
+def telemetry_overhead():
+    """Always-on vs ``STATE.enabled=False`` ``/ask`` latency (PR 8).
+
+    Read from ``BENCH_pr8.json`` (``benchmarks/bench_e14_slo.py``); one
+    row per mode plus the delta row the overhead budget judges.
+    """
+    path = REPO_ROOT / "BENCH_pr8.json"
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return [{"mode": "run benchmarks/bench_e14_slo.py --write first",
+                 "p50_ms": "-", "p99_ms": "-"}]
+    overhead = document["overhead"]
+    off, on = overhead["baseline"], overhead["always_on"]
+
+    def delta_pct(a, b):
+        return f"{(b - a) / a * 100.0:+.1f}%"
+
+    return [
+        {"mode": "traced-off baseline", "p50_ms": off["p50_ms"],
+         "p99_ms": off["p99_ms"]},
+        {"mode": "always-on telemetry", "p50_ms": on["p50_ms"],
+         "p99_ms": on["p99_ms"]},
+        {"mode": f"delta (budget {overhead['budget_pct']:.0f}% on p50)",
+         "p50_ms": delta_pct(off["p50_ms"], on["p50_ms"]),
+         "p99_ms": delta_pct(off["p99_ms"], on["p99_ms"])},
+    ]
+
+
 def main(argv):
     wanted = [w.upper() for w in argv[1:]]
     for key, (title, fn) in EXPERIMENTS.items():
@@ -90,6 +119,9 @@ def main(argv):
         series.print_table(f"{key}: {title}", rows)
     if not wanted:
         series.print_table("perf trajectory (BENCH_*.json)", perf_trajectory())
+        series.print_table(
+            "telemetry overhead (/ask, BENCH_pr8.json)", telemetry_overhead()
+        )
     return 0
 
 

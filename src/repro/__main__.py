@@ -5,7 +5,7 @@
     python -m repro demo                      # the paper's catalog scenario
     python -m repro blowup [n]                # Example 3.2 size table
     python -m repro xml FILE                  # parse & pretty-print a document
-    python -m repro stats [--trace FILE] [--profile] [--caches] [n]
+    python -m repro stats [--trace FILE] [--profile] [--caches] [--slo] [n]
                                               # run the catalog workload under
                                               # observability; dump metrics and
                                               # the span trace tree as JSON (and
@@ -14,7 +14,10 @@
                                               # span profile to the document;
                                               # --caches runs with the perf
                                               # caches enabled and adds their
-                                              # hit/miss statistics
+                                              # hit/miss statistics; --slo
+                                              # evaluates the workload's trace
+                                              # roots against the serve-mode
+                                              # SLO objectives
     python -m repro profile [--json] [--top K] [n]
                                               # same workload, rendered as a
                                               # flame-style span profile with
@@ -28,6 +31,16 @@
                                               # metrics in Prometheus text
                                               # format and/or the trace as
                                               # Chrome trace_event JSON
+    python -m repro slo [--objective SPEC]... [--requests N] [--errors N]
+                        [--slow-ms MS] [--degrade-on-burn] [n]
+                                              # drive the in-process ops
+                                              # pipeline (asks + injected 5xx)
+                                              # and print the SLO burn-rate
+                                              # state, sampler books and
+                                              # latency quantiles (/slo JSON);
+                                              # --objective overrides the
+                                              # defaults, e.g. availability:99
+                                              # or latency:95:100ms:lossy
     python -m repro session SUBCOMMAND ...    # durable mediator sessions that
                                               # survive across invocations:
                                               #   create NAME [--products N] [--seed N]
@@ -42,19 +55,28 @@
     python -m repro serve [--host H] [--port P] [--session NAME]
                           [--root DIR] [--products N] [--seed N]
                           [--shards N] [--no-caches] [--request-log FILE]
-                          [--once]
+                          [--flight-ring N] [--slow-ms MS] [--head-rate R]
+                          [--degrade-on-burn] [--once]
                                               # live ops plane (docs/OPS.md):
                                               # /healthz /statusz /metrics
                                               # /profile /sessions /ask?q=...
-                                              # /debug/flightrecorder
-                                              # /debug/requests; --once probes
-                                              # every endpoint and exits
-                                              # nonzero on failure;
+                                              # /slo /debug/flightrecorder
+                                              # /debug/requests /debug/error;
+                                              # --once probes every endpoint
+                                              # and exits nonzero on failure;
                                               # --shards N > 1 serves a
                                               # sharded webhouse pool
                                               # (docs/CLUSTER.md): /ask takes
                                               # session=KEY (routed) or none
-                                              # (fleet-wide union)
+                                              # (fleet-wide union);
+                                              # --flight-ring sizes the trace
+                                              # ring, --slow-ms the slow-trace
+                                              # / latency-SLO threshold,
+                                              # --head-rate the healthy-trace
+                                              # sampling rate, and
+                                              # --degrade-on-burn lets a
+                                              # burning latency SLO apply its
+                                              # paper remedy to the engine
 """
 
 from __future__ import annotations
@@ -194,7 +216,10 @@ def _stats(args: list[str]) -> int:
     ``--profile`` the aggregated span profile is added under
     ``profile``.  With ``--caches`` the workload runs with the
     :mod:`repro.perf` caches enabled and their hit/miss statistics are
-    added under ``caches``.
+    added under ``caches``.  With ``--slo`` every finished trace root is
+    replayed into an :class:`~repro.obs.slo.SloEngine` against the
+    serve-mode default objectives and the burn-rate snapshot is added
+    under ``slo``.
     """
     import json
     from contextlib import nullcontext
@@ -202,11 +227,12 @@ def _stats(args: list[str]) -> int:
     from . import obs
     from . import perf
 
-    usage = "usage: python -m repro stats [--trace FILE] [--profile] [--caches] [n]"
+    usage = "usage: python -m repro stats [--trace FILE] [--profile] [--caches] [--slo] [n]"
     args = list(args)
     try:
         with_profile = _take_flag(args, "--profile")
         with_caches = _take_flag(args, "--caches")
+        with_slo = _take_flag(args, "--slo")
         trace_file = _take_value(args, "--trace")
         products = _positional_products(args, usage)
     except ValueError:
@@ -231,6 +257,14 @@ def _stats(args: list[str]) -> int:
     payload.update(obs.snapshot())
     if with_profile:
         payload["profile"] = obs.profile_traces(obs.traces()).to_dict()
+    if with_slo:
+        from .obs.slo import SloEngine, default_objectives
+
+        engine = SloEngine(default_objectives())
+        for root in obs.traces():
+            if root.end is not None:
+                engine.record(200, max(0.0, root.end - root.start))
+        payload["slo"] = engine.snapshot()
     if jsonl is not None:
         jsonl.close()
     print(json.dumps(payload, indent=2, sort_keys=True, default=str))
@@ -373,6 +407,66 @@ def _parse_query_spec(spec: str):
         "q4": catalog.query4,
     }
     return parse_query_spec(spec, named=named)
+
+
+def _slo_cmd(args: list[str]) -> int:
+    """Drive the in-process ops pipeline; print the ``/slo`` document.
+
+    Builds the demo webhouse and an unbound :class:`OpsServer`, pushes
+    ``--requests`` local asks (cycling q1..q4) plus ``--errors``
+    injected 5xx through the same dispatch / finish_request pipeline
+    the HTTP handler runs, then prints the ``/slo`` JSON.  With the
+    default burn thresholds ``--errors 25`` is enough to trip the
+    availability objective's burn alert.  ``--objective`` (repeatable)
+    replaces the default objectives with parsed specs.
+    """
+    from . import obs
+    from .obs.slo import Objective, SloEngine
+    from .ops import OpsServer, demo_webhouse
+    from .ops.server import drive_request
+
+    usage = (
+        "usage: python -m repro slo [--objective SPEC]... [--requests N] "
+        "[--errors N] [--slow-ms MS] [--degrade-on-burn] [n]"
+    )
+    args = list(args)
+    try:
+        degrade = _take_flag(args, "--degrade-on-burn")
+        specs: list[str] = []
+        while True:
+            spec = _take_value(args, "--objective")
+            if spec is None:
+                break
+            specs.append(spec)
+        requests = int(_take_value(args, "--requests") or "40")
+        errors = int(_take_value(args, "--errors") or "0")
+        slow_ms = float(_take_value(args, "--slow-ms") or "250")
+        if requests < 0 or errors < 0 or slow_ms <= 0:
+            raise ValueError(usage)
+        products = _positional_products(args, usage)
+        objectives = [Objective.parse(spec) for spec in specs]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+
+    obs.enable(obs.RingBufferSink())
+    webhouse, source = demo_webhouse(products)
+    server = OpsServer(
+        webhouse,
+        source=source,
+        slow_s=slow_ms / 1000.0,
+        degrade_on_burn=degrade,
+        slo=SloEngine(objectives) if objectives else None,
+    )
+    queries = ("q1", "q2", "q3", "q4")
+    for index in range(requests):
+        drive_request(server, f"/ask?q={queries[index % len(queries)]}")
+    for _ in range(errors):
+        drive_request(server, "/debug/error")
+    status, body = drive_request(server, "/slo")
+    print(body, end="")
+    return 0 if status == 200 else 1
 
 
 def _session_cmd(args: list[str]) -> int:
@@ -534,6 +628,7 @@ def _serve_cmd(args: list[str]) -> int:
     from . import obs
     from . import perf
     from .ops import (
+        FlightRecorder,
         OpsServer,
         RequestLog,
         demo_cluster,
@@ -547,12 +642,14 @@ def _serve_cmd(args: list[str]) -> int:
     usage = (
         "usage: python -m repro serve [--host H] [--port P] [--session NAME] "
         "[--root DIR] [--products N] [--seed N] [--shards N] [--no-caches] "
-        "[--request-log FILE] [--once]"
+        "[--request-log FILE] [--flight-ring N] [--slow-ms MS] "
+        "[--head-rate R] [--degrade-on-burn] [--once]"
     )
     args = list(args)
     try:
         once = _take_flag(args, "--once")
         no_caches = _take_flag(args, "--no-caches")
+        degrade_on_burn = _take_flag(args, "--degrade-on-burn")
         host = _take_value(args, "--host") or "127.0.0.1"
         port = int(_take_value(args, "--port") or "0")
         session_name = _take_value(args, "--session")
@@ -563,10 +660,19 @@ def _serve_cmd(args: list[str]) -> int:
         seed = _take_value(args, "--seed")
         shards = int(_take_value(args, "--shards") or "1")
         log_path = _take_value(args, "--request-log")
+        flight_ring = int(_take_value(args, "--flight-ring") or "64")
+        slow_ms = float(_take_value(args, "--slow-ms") or "250")
+        head_rate = float(_take_value(args, "--head-rate") or "1.0")
         if args:
             raise ValueError(usage)
         if shards < 1:
             raise ValueError("--shards needs a positive count")
+        if flight_ring < 1:
+            raise ValueError("--flight-ring needs a positive capacity")
+        if slow_ms <= 0:
+            raise ValueError("--slow-ms needs a positive threshold")
+        if not 0.0 <= head_rate <= 1.0:
+            raise ValueError("--head-rate must be within [0, 1]")
         if shards > 1 and session_name is not None:
             raise ValueError(
                 "--session hosts one durable session; it cannot be combined "
@@ -603,8 +709,12 @@ def _serve_cmd(args: list[str]) -> int:
         session_name=session_name,
         host=host,
         port=port,
+        recorder=FlightRecorder(capacity=flight_ring),
         request_log=RequestLog(path=log_path),
         cluster=cluster,
+        slow_s=slow_ms / 1000.0,
+        head_rate=head_rate,
+        degrade_on_burn=degrade_on_burn,
     )
     try:
         if once:
@@ -628,7 +738,7 @@ def _serve_cmd(args: list[str]) -> int:
         )
         print(
             f"  endpoints: /healthz /statusz /metrics /profile /sessions "
-            f"/ask?q=q1 /debug/flightrecorder /debug/requests",
+            f"/ask?q=q1 /slo /debug/flightrecorder /debug/requests",
             file=sys.stderr,
         )
         server.serve_forever()
@@ -666,6 +776,8 @@ def main(argv: list[str]) -> int:
         return _explain_cmd(argv[2:])
     if command == "export":
         return _export_cmd(argv[2:])
+    if command == "slo":
+        return _slo_cmd(argv[2:])
     if command == "session":
         return _session_cmd(argv[2:])
     if command == "serve":

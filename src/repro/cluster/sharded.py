@@ -35,6 +35,7 @@ different documents should be queried per key, not fleet-wide.
 from __future__ import annotations
 
 import os
+import time
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -51,6 +52,7 @@ from ..core.treetype import TreeType
 from ..mediator.local_query import overlay
 from ..mediator.source import InMemorySource
 from ..mediator.webhouse import Webhouse
+from ..obs.sketch import QuantileSketch
 from ..obs.spans import reset_shard, set_shard, span as _span
 from ..obs.state import STATE as _OBS
 from .admission import AdmissionController
@@ -69,16 +71,25 @@ def _validate_key(key: str) -> str:
     return key
 
 
+#: The keyed operations each shard keeps a latency sketch for.
+SHARD_OPS = ("record", "ask", "answer")
+
+
 class Shard:
     """One lock domain: a dict of per-session engines behind an RWLock."""
 
-    __slots__ = ("index", "lock", "engines")
+    __slots__ = ("index", "lock", "engines", "sketches")
 
     def __init__(self, index: int):
         self.index = index
         self.lock = RWLock()
         #: session key -> its engine; guarded by :attr:`lock`.
         self.engines: Dict[str, Webhouse] = {}
+        #: op name -> latency sketch (always-on; the sketches carry
+        #: their own locks, so observation never touches :attr:`lock`).
+        self.sketches: Dict[str, QuantileSketch] = {
+            op: QuantileSketch() for op in SHARD_OPS
+        }
 
     def __repr__(self) -> str:
         return f"Shard({self.index}, sessions={len(self.engines)})"
@@ -100,6 +111,7 @@ class ShardedWebhouse:
         executor: Optional[Executor] = None,
         admission: Optional[AdmissionController] = None,
         store: Optional["SessionStore"] = None,
+        latency_probe: Optional[Callable[[int, str, float], None]] = None,
     ):
         if router is not None and router.shards != shards:
             raise ValueError(
@@ -117,6 +129,10 @@ class ShardedWebhouse:
             admission if admission is not None else AdmissionController(shards)
         )
         self._store = store
+        #: called after every sketch observation with (shard, op,
+        #: seconds) — benchmarks use it to pool the exact raw durations
+        #: the shard sketches saw, for ground-truth quantile comparison.
+        self.latency_probe = latency_probe
         self._substores: List[Optional["SessionStore"]] = [None] * shards
         if store is not None:
             self._substores = [store.shard(index) for index in range(shards)]
@@ -176,12 +192,23 @@ class ShardedWebhouse:
         """The shard index that owns ``key`` (stable across processes)."""
         return self.router.route(_validate_key(key))
 
+    def _observe_op(self, shard: Shard, op: str, seconds: float) -> None:
+        """Fold one completed keyed operation into the shard's sketch.
+
+        Shed operations are *not* observed — a refused request has no
+        service latency; admission books count it instead.
+        """
+        shard.sketches[op].observe(seconds)
+        if self.latency_probe is not None:
+            self.latency_probe(shard.index, op, seconds)
+
     # -- keyed operations -------------------------------------------------------
 
     def record(self, key: str, query: PSQuery, answer: DataTree) -> None:
         """Refine session ``key``'s knowledge with one pair (write path)."""
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
+            started = time.perf_counter()
             token = set_shard(shard.index)
             try:
                 with _span("cluster.record", shard=shard.index, key=key):
@@ -193,11 +220,13 @@ class ShardedWebhouse:
                         engine.prepare()
             finally:
                 reset_shard(token)
+            self._observe_op(shard, "record", time.perf_counter() - started)
 
     def ask(self, key: str, source: InMemorySource, query: PSQuery) -> DataTree:
         """Query the source for session ``key`` and fold the answer in."""
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
+            started = time.perf_counter()
             token = set_shard(shard.index)
             try:
                 with _span("cluster.ask", shard=shard.index, key=key):
@@ -207,9 +236,10 @@ class ShardedWebhouse:
                             engine = self._new_engine(shard, key)
                         result = engine.ask(source, query)
                         engine.prepare()
-                        return result
             finally:
                 reset_shard(token)
+            self._observe_op(shard, "ask", time.perf_counter() - started)
+            return result
 
     def answer(self, key: str, query: PSQuery) -> Tuple[DataTree, bool]:
         """Session ``key``'s certain answer with caveat flag (read path).
@@ -220,16 +250,20 @@ class ShardedWebhouse:
         """
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
+            started = time.perf_counter()
             token = set_shard(shard.index)
             try:
                 with _span("cluster.answer", shard=shard.index, key=key):
                     with shard.lock.read_locked():
                         engine = shard.engines.get(key)
                         if engine is None:
-                            return DataTree.empty(), True
-                        return engine.answer_with_caveats(query)
+                            result = DataTree.empty(), True
+                        else:
+                            result = engine.answer_with_caveats(query)
             finally:
                 reset_shard(token)
+            self._observe_op(shard, "answer", time.perf_counter() - started)
+            return result
 
     def answer_info(self, key: str, query: PSQuery) -> Dict[str, object]:
         """:meth:`answer` plus the session's books, one lock round-trip.
@@ -243,29 +277,33 @@ class ShardedWebhouse:
         """
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
+            started = time.perf_counter()
             token = set_shard(shard.index)
             try:
                 with _span("cluster.answer", shard=shard.index, key=key):
                     with shard.lock.read_locked():
                         engine = shard.engines.get(key)
                         if engine is None:
-                            return {
+                            info: Dict[str, object] = {
                                 "sure": DataTree.empty(),
                                 "may_have_more": True,
                                 "shard": shard.index,
                                 "knowledge_size": 0,
                                 "queries_recorded": 0,
                             }
-                        sure, more = engine.answer_with_caveats(query)
-                        return {
-                            "sure": sure,
-                            "may_have_more": more,
-                            "shard": shard.index,
-                            "knowledge_size": engine.size(),
-                            "queries_recorded": len(engine.history),
-                        }
+                        else:
+                            sure, more = engine.answer_with_caveats(query)
+                            info = {
+                                "sure": sure,
+                                "may_have_more": more,
+                                "shard": shard.index,
+                                "knowledge_size": engine.size(),
+                                "queries_recorded": len(engine.history),
+                            }
             finally:
                 reset_shard(token)
+            self._observe_op(shard, "answer", time.perf_counter() - started)
+            return info
 
     def ask_info(
         self, key: str, source: InMemorySource, query: PSQuery
@@ -273,6 +311,7 @@ class ShardedWebhouse:
         """:meth:`ask` plus the session's books, one lock round-trip."""
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
+            started = time.perf_counter()
             token = set_shard(shard.index)
             try:
                 with _span("cluster.ask", shard=shard.index, key=key):
@@ -282,7 +321,7 @@ class ShardedWebhouse:
                             engine = self._new_engine(shard, key)
                         answer = engine.ask(source, query)
                         engine.prepare()
-                        return {
+                        info = {
                             "answer": answer,
                             "shard": shard.index,
                             "knowledge_size": engine.size(),
@@ -290,6 +329,8 @@ class ShardedWebhouse:
                         }
             finally:
                 reset_shard(token)
+            self._observe_op(shard, "ask", time.perf_counter() - started)
+            return info
 
     def engine(self, key: str) -> Optional[Webhouse]:
         """The engine behind ``key``, if the session exists (read lock)."""
@@ -335,8 +376,25 @@ class ShardedWebhouse:
                 _OBS.metrics.inc("cluster.ask_all")
             return (merged if merged is not None else DataTree.empty()), may_have_more
 
+    def merged_sketches(self) -> Dict[str, QuantileSketch]:
+        """Fleet latency sketches: per-shard books merged per operation.
+
+        Merge is associative and commutative, so the result is exactly
+        the sketch of the pooled stream — the fleet p99 read off it is
+        within the sketch's relative-error bound of the brute-force
+        pooled-latency p99 (the PR 8 bench asserts this).  Fresh
+        sketches are returned; the per-shard books are untouched.
+        """
+        return {
+            op: QuantileSketch.merged(
+                [shard.sketches[op] for shard in self._shards]
+            )
+            for op in SHARD_OPS
+        }
+
     def stats_all(self) -> Dict[str, object]:
-        """Fleet rollup: per-shard session books plus admission stats."""
+        """Fleet rollup: per-shard session books, admission stats, and
+        merged fleet latency quantiles per keyed operation."""
         with _span("cluster.stats_all", shards=len(self._shards)):
 
             def per_shard(index: int, shard: Shard) -> Dict[str, object]:
@@ -367,6 +425,11 @@ class ShardedWebhouse:
                 ),
                 "knowledge_size": sum(s["knowledge_size"] for s in per_shard_stats),
                 "per_shard": per_shard_stats,
+                "latency": {
+                    op: sketch.summary()
+                    for op, sketch in self.merged_sketches().items()
+                    if sketch.count
+                },
             }
 
     # -- inventory --------------------------------------------------------------
@@ -439,4 +502,4 @@ class ShardedWebhouse:
         )
 
 
-__all__ = ["Shard", "ShardedWebhouse"]
+__all__ = ["SHARD_OPS", "Shard", "ShardedWebhouse"]

@@ -42,7 +42,9 @@ from .explain import Explanation, explain_ask, explain_refine, isolated_observat
 from .export import (
     chrome_trace,
     chrome_trace_events,
+    labeled_gauge_lines,
     prometheus_text,
+    summary_metric_lines,
     validate_chrome_trace,
     validate_prometheus_text,
     write_chrome_trace,
@@ -57,7 +59,10 @@ from .monitor import (
 )
 from .profile import Profile, ProfileEntry, aggregate, profile_traces
 from .registry import Counter, Gauge, Histogram, Metrics
+from .sample import TraceSampler
 from .sinks import Event, JsonLinesSink, NullSink, RingBufferSink, Sink, TeeSink
+from .sketch import QuantileSketch
+from .slo import Objective, SloAlert, SloEngine, default_objectives
 from .spans import (
     Span,
     add_attrs,
@@ -152,17 +157,22 @@ __all__ = [
     "Metrics",
     "NullSink",
     "ObsState",
+    "Objective",
     "Profile",
     "ProfileEntry",
+    "QuantileSketch",
     "REMEDY_CONJUNCTIVE",
     "REMEDY_LINEAR",
     "REMEDY_LOSSY",
     "RingBufferSink",
     "STATE",
     "Sink",
+    "SloAlert",
+    "SloEngine",
     "Span",
     "TeeSink",
     "Timer",
+    "TraceSampler",
     "add_attrs",
     "aggregate",
     "capture",
@@ -171,6 +181,7 @@ __all__ = [
     "current_shard",
     "current_span",
     "current_trace_id",
+    "default_objectives",
     "disable",
     "enable",
     "enabled",
@@ -178,6 +189,7 @@ __all__ = [
     "explain_ask",
     "explain_refine",
     "isolated_observation",
+    "labeled_gauge_lines",
     "metrics",
     "profile",
     "profile_traces",
@@ -189,6 +201,7 @@ __all__ = [
     "set_trace_id",
     "snapshot",
     "span",
+    "summary_metric_lines",
     "timed",
     "timer",
     "traces",

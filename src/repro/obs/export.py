@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from .registry import Metrics
+from .sketch import SUMMARY_QUANTILES, QuantileSketch
 from .spans import Span
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -52,6 +53,62 @@ def _fmt_value(value: object) -> str:
     if isinstance(value, float):
         return repr(value)
     return str(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def summary_metric_lines(
+    family: str, help_text: str, sketch: QuantileSketch
+) -> List[str]:
+    """A quantile sketch as one Prometheus summary family.
+
+    Emits ``family{quantile="0.5"}`` … samples plus ``_count`` and
+    ``_sum``, the exposition shape for client-computed percentiles.
+    Empty sketches still declare the family (count/sum zero) so scrape
+    dashboards see the series exists.
+    """
+    lines = [f"# HELP {family} {help_text}", f"# TYPE {family} summary"]
+    for q in SUMMARY_QUANTILES:
+        value = sketch.quantile(q)
+        if value is None:
+            continue
+        lines.append(f'{family}{{quantile="{q}"}} {_fmt_value(value)}')
+    lines.append(f"{family}_count {sketch.count}")
+    lines.append(f"{family}_sum {_fmt_value(sketch.sum)}")
+    return lines
+
+
+def labeled_gauge_lines(
+    family: str,
+    help_text: str,
+    samples: Sequence[Dict[str, object]],
+) -> List[str]:
+    """One gauge family with labelled samples (exemplar-style series).
+
+    Each sample dict needs a ``"value"``; every other key becomes a
+    label (values stringified and escaped).  Used for the exemplar
+    trace-id series: the labels carry ``trace_id`` so a scrape links a
+    quantile family to a concrete flight-recorder trace.
+    """
+    lines = [f"# HELP {family} {help_text}", f"# TYPE {family} gauge"]
+    for sample in samples:
+        labels = {k: str(v) for k, v in sample.items() if k != "value"}
+        lines.append(
+            f"{family}{_render_labels(labels)} {_fmt_value(sample['value'])}"
+        )
+    return lines
 
 
 def _cache_metric_lines(namespace: str) -> List[str]:
@@ -124,6 +181,12 @@ def prometheus_text(
         family = sanitize_metric_name(name, namespace)
         lines.append(f"# HELP {family} repro histogram {name}")
         lines.append(f"# TYPE {family} summary")
+        quantiles = summary.get("quantiles") or {}
+        for q in SUMMARY_QUANTILES:
+            value = quantiles.get(f"p{int(q * 100)}")
+            if value is None:
+                continue
+            lines.append(f'{family}{{quantile="{q}"}} {_fmt_value(value)}')
         lines.append(f"{family}_count {_fmt_value(summary['count'])}")
         lines.append(f"{family}_sum {_fmt_value(summary['total'])}")
         for bound, suffix in ((summary["min"], "min"), (summary["max"], "max")):
@@ -139,10 +202,13 @@ def prometheus_text(
 def validate_prometheus_text(text: str) -> Dict[str, float]:
     """Strict structural check of a text-exposition document.
 
-    Returns ``{sample_name: value}``.  Raises :class:`ValueError` on the
-    first malformed line, unknown TYPE, or sample whose family was not
-    declared with ``# TYPE`` beforehand (the ordering Prometheus's own
-    parser enforces).
+    Returns ``{sample_key: value}`` where the key is the bare sample
+    name for unlabelled samples and ``name{labels}`` for labelled ones
+    (two samples of one family with different labels are distinct, as
+    Prometheus treats them).  Raises :class:`ValueError` on the first
+    malformed line, unknown TYPE, duplicate (name, labels) pair, or
+    sample whose family was not declared with ``# TYPE`` beforehand
+    (the ordering Prometheus's own parser enforces).
     """
     samples: Dict[str, float] = {}
     typed: Dict[str, str] = {}
@@ -179,9 +245,10 @@ def validate_prometheus_text(text: str) -> Dict[str, float]:
                 break
         if base not in typed:
             raise ValueError(f"line {lineno}: sample {name!r} has no preceding # TYPE")
-        if name in samples:
-            raise ValueError(f"line {lineno}: duplicate sample {name!r}")
-        samples[name] = value
+        key = name + (match.group("labels") or "")
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = value
     return samples
 
 
@@ -279,7 +346,9 @@ def validate_chrome_trace(document: object) -> int:
 __all__ = [
     "chrome_trace",
     "chrome_trace_events",
+    "labeled_gauge_lines",
     "prometheus_text",
+    "summary_metric_lines",
     "sanitize_metric_name",
     "validate_chrome_trace",
     "validate_prometheus_text",

@@ -7,10 +7,14 @@ first use so call sites never need registration boilerplate, and
 :meth:`Metrics.snapshot` renders the whole registry as plain dicts ready
 for ``json.dumps``.
 
-Histograms keep aggregate moments plus a bounded window of recent
+Histograms keep aggregate moments, a bounded window of recent
 observations (``recent``) so ordered series — e.g. knowledge size after
 each recorded query, the live view of Example 3.2's blowup — stay
-readable without unbounded memory.
+readable without unbounded memory, and a mergeable
+:class:`~repro.obs.sketch.QuantileSketch` so percentile queries see the
+*whole* stream with a guaranteed relative-error bound.  ``recent`` is
+for ordered-series inspection only; reading percentiles off it is
+biased toward the newest window — use :meth:`Histogram.quantile`.
 """
 
 from __future__ import annotations
@@ -18,6 +22,8 @@ from __future__ import annotations
 import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Union
+
+from .sketch import DEFAULT_ACCURACY, SUMMARY_QUANTILES, QuantileSketch
 
 Number = Union[int, float]
 
@@ -72,21 +78,30 @@ class Gauge:
 
 
 class Histogram:
-    """Aggregate moments plus a bounded window of raw observations.
+    """Aggregate moments, a bounded raw window, and a quantile sketch.
 
-    ``observe`` updates five fields; the per-instrument lock keeps them
-    mutually consistent under concurrent observation.
+    ``observe`` updates five fields plus the sketch; the per-instrument
+    lock keeps the moments mutually consistent under concurrent
+    observation (the sketch carries its own lock).  Percentiles come
+    from :meth:`quantile` — whole-stream, within ``relative_accuracy``
+    — never from ``recent``, which only sees the newest window.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "recent", "_lock")
+    __slots__ = ("name", "count", "total", "min", "max", "recent", "sketch", "_lock")
 
-    def __init__(self, name: str, window: int = RECENT_WINDOW):
+    def __init__(
+        self,
+        name: str,
+        window: int = RECENT_WINDOW,
+        relative_accuracy: float = DEFAULT_ACCURACY,
+    ):
         self.name = name
         self.count = 0
         self.total: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
         self.recent: Deque[Number] = deque(maxlen=window)
+        self.sketch = QuantileSketch(relative_accuracy)
         self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
@@ -98,10 +113,19 @@ class Histogram:
             if self.max is None or value > self.max:
                 self.max = value
             self.recent.append(value)
+        self.sketch.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Whole-stream quantile from the sketch (None when empty)."""
+        return self.sketch.quantile(q)
+
+    def quantiles(self) -> Dict[str, Optional[float]]:
+        """The standard summary quantiles, JSON-ready."""
+        return {f"p{int(q * 100)}": self.sketch.quantile(q) for q in SUMMARY_QUANTILES}
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -111,6 +135,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "recent": list(self.recent),
+            "quantiles": self.quantiles(),
         }
 
     def __repr__(self) -> str:
@@ -187,6 +212,11 @@ class Metrics:
         """Recent observations of a histogram (empty when unknown)."""
         instrument = self._histograms.get(name)
         return list(instrument.recent) if instrument is not None else []
+
+    def quantile(self, name: str, q: float) -> Optional[float]:
+        """Whole-stream histogram quantile (None when unknown/empty)."""
+        instrument = self._histograms.get(name)
+        return instrument.quantile(q) if instrument is not None else None
 
     def counters(self) -> Dict[str, Number]:
         return {name: c.value for name, c in sorted(self._counters.items())}

@@ -1,0 +1,139 @@
+"""Head + tail trace sampling for the always-on flight recorder.
+
+With tracing on by default, recording *every* trace would let healthy
+high-volume traffic churn the interesting ones out of the completed
+ring.  The :class:`TraceSampler` makes two decisions per request:
+
+* **head** — a deterministic hash of the trace id against ``head_rate``
+  decides whether an ordinary healthy trace is kept.  Deterministic so
+  the same trace id always gets the same verdict (a retried scrape or a
+  multi-shard fan-out agrees with itself) and so tests are exact;
+* **tail** — after the request finishes, traces that matched a *keep
+  rule* are retained regardless of the head decision: errored (5xx or a
+  span marked errored), shed (429/503 backpressure), and slow (duration
+  over ``slow_s`` — the tail the sketches say matters).
+
+The sampler returns a *reason* string (``"head"``, ``"error"``,
+``"shed"``, ``"slow"``) or ``None`` for *drop*; the ops layer stamps
+the reason onto the trace root so Chrome-trace dumps show why each
+trace survived, and keeps per-reason books for ``/metrics``.
+
+``head_rate=1.0`` (the default) keeps everything — sampling is a
+pressure valve to turn, not a default loss.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Dict, Optional
+
+#: Statuses that mean load shedding / backpressure rather than failure.
+SHED_STATUSES = (429, 503)
+
+#: Default slow-trace threshold, seconds (also the serve ``--slow-ms``
+#: default and the latency objective's threshold).
+DEFAULT_SLOW_S = 0.25
+
+REASON_HEAD = "head"
+REASON_ERROR = "error"
+REASON_SHED = "shed"
+REASON_SLOW = "slow"
+
+_HASH_SPACE = 2 ** 32
+
+
+class TraceSampler:
+    """Decide, per finished request, whether its trace is recorded.
+
+    >>> sampler = TraceSampler(head_rate=0.0, slow_s=0.1)
+    >>> sampler.decide("deadbeef", status=200, duration_s=0.01)  # dropped
+    >>> sampler.decide("deadbeef", status=500, duration_s=0.01)
+    'error'
+    >>> sampler.decide("deadbeef", status=200, duration_s=0.5)
+    'slow'
+    """
+
+    __slots__ = ("head_rate", "slow_s", "_kept", "_dropped", "_by_reason", "_lock")
+
+    def __init__(self, head_rate: float = 1.0, slow_s: float = DEFAULT_SLOW_S):
+        if not 0.0 <= head_rate <= 1.0:
+            raise ValueError(f"head_rate must be in [0, 1], got {head_rate!r}")
+        if slow_s <= 0:
+            raise ValueError(f"slow_s must be positive, got {slow_s!r}")
+        self.head_rate = float(head_rate)
+        self.slow_s = float(slow_s)
+        self._kept = 0
+        self._dropped = 0
+        self._by_reason: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def head_decision(self, trace_id: str) -> bool:
+        """The deterministic hash draw for an otherwise-ordinary trace."""
+        if self.head_rate >= 1.0:
+            return True
+        if self.head_rate <= 0.0:
+            return False
+        draw = zlib.crc32(trace_id.encode("utf-8")) % _HASH_SPACE
+        return draw < self.head_rate * _HASH_SPACE
+
+    def decide(
+        self,
+        trace_id: str,
+        status: int,
+        duration_s: float,
+        errored: bool = False,
+    ) -> Optional[str]:
+        """The keep reason for this finished request, or ``None`` to drop.
+
+        Tail rules trump the head decision.  Shed statuses classify as
+        backpressure even when the span tree carries an error mark (a
+        refused request is operationally different from a failed one).
+        """
+        reason: Optional[str] = None
+        if status in SHED_STATUSES:
+            reason = REASON_SHED
+        elif errored or status >= 500:
+            reason = REASON_ERROR
+        elif duration_s > self.slow_s:
+            reason = REASON_SLOW
+        elif self.head_decision(trace_id):
+            reason = REASON_HEAD
+        with self._lock:
+            if reason is None:
+                self._dropped += 1
+            else:
+                self._kept += 1
+                self._by_reason[reason] = self._by_reason.get(reason, 0) + 1
+        return reason
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready books: totals and per-reason keep counts."""
+        with self._lock:
+            total = self._kept + self._dropped
+            return {
+                "head_rate": self.head_rate,
+                "slow_s": self.slow_s,
+                "kept": self._kept,
+                "dropped": self._dropped,
+                "keep_fraction": self._kept / total if total else 1.0,
+                "by_reason": dict(sorted(self._by_reason.items())),
+            }
+
+    def __repr__(self) -> str:
+        books = self.stats()
+        return (
+            f"TraceSampler(head_rate={self.head_rate}, slow_s={self.slow_s}, "
+            f"kept={books['kept']}, dropped={books['dropped']})"
+        )
+
+
+__all__ = [
+    "DEFAULT_SLOW_S",
+    "REASON_ERROR",
+    "REASON_HEAD",
+    "REASON_SHED",
+    "REASON_SLOW",
+    "SHED_STATUSES",
+    "TraceSampler",
+]

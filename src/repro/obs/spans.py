@@ -33,6 +33,7 @@ import time
 from contextvars import ContextVar, Token
 from typing import Dict, List, Optional
 
+from .sinks import NullSink
 from .state import STATE
 
 #: The context-local trace id stamped onto every span closed while set.
@@ -77,8 +78,20 @@ def reset_shard(token: "Token[Optional[int]]") -> None:
     _SHARD.reset(token)
 
 
+#: Per-span-name cache of the ``span.<name>.seconds`` metric string —
+#: the close path runs for every span and f-string formatting is a
+#: measurable slice of the always-on overhead budget.
+_METRIC_NAMES: Dict[str, str] = {}
+
+
 class Span:
-    """One timed region of a trace tree."""
+    """One timed region of a trace tree.
+
+    A span is its own context manager (no wrapper allocation on the
+    hot path): ``with span("name") as sp`` enters it, and closing
+    stamps context-local attributes, files it under its parent (or the
+    trace list), and feeds the span metrics/sink.
+    """
 
     __slots__ = ("name", "attrs", "start", "end", "children", "events")
 
@@ -119,6 +132,51 @@ class Span:
     def __repr__(self) -> str:
         return f"Span({self.name!r}, {self.duration:.6f}s, {len(self.children)} children)"
 
+    def __enter__(self) -> "Span":
+        STATE.stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object = None, exc: object = None, tb: object = None) -> bool:
+        self.end = ended = time.perf_counter()
+        attrs = self.attrs
+        if exc_type is not None:
+            # close-and-propagate: the span is marked errored so profiles
+            # and traces show where exceptions went, but it still lands in
+            # its parent / the trace list like any other span
+            attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+        trace_id = _TRACE_ID.get()
+        if trace_id is not None:
+            attrs.setdefault("trace_id", trace_id)
+        shard = _SHARD.get()
+        if shard is not None:
+            attrs.setdefault("shard", shard)
+        stack = STATE.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            STATE.add_trace(self)
+        name = self.name
+        metric = _METRIC_NAMES.get(name)
+        if metric is None:
+            metric = _METRIC_NAMES[name] = f"span.{name}.seconds"
+        duration = ended - self.start
+        STATE.metrics.observe(metric, duration)
+        sink = STATE.sink
+        if sink.__class__ is not NullSink:
+            sink.emit(
+                {
+                    "type": "span",
+                    "name": name,
+                    "duration_s": duration,
+                    "depth": len(stack),
+                    "attrs": dict(attrs),
+                }
+            )
+        return False
+
 
 class _NullSpan:
     """Shared no-op context manager for the disabled fast path."""
@@ -135,57 +193,11 @@ class _NullSpan:
 _NULL = _NullSpan()
 
 
-class _ActiveSpan:
-    __slots__ = ("_span",)
-
-    def __init__(self, name: str, attrs: Dict[str, object]):
-        self._span = Span(name, attrs)
-
-    def __enter__(self) -> Span:
-        opened = self._span
-        STATE.stack.append(opened)
-        opened.start = time.perf_counter()
-        return opened
-
-    def __exit__(self, exc_type: object = None, exc: object = None, tb: object = None) -> bool:
-        closed = self._span
-        closed.end = time.perf_counter()
-        if exc_type is not None:
-            # close-and-propagate: the span is marked errored so profiles
-            # and traces show where exceptions went, but it still lands in
-            # its parent / the trace list like any other span
-            closed.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
-        trace_id = _TRACE_ID.get()
-        if trace_id is not None:
-            closed.attrs.setdefault("trace_id", trace_id)
-        shard = _SHARD.get()
-        if shard is not None:
-            closed.attrs.setdefault("shard", shard)
-        stack = STATE.stack
-        if stack and stack[-1] is closed:
-            stack.pop()
-        if stack:
-            stack[-1].children.append(closed)
-        else:
-            STATE.add_trace(closed)
-        STATE.metrics.observe(f"span.{closed.name}.seconds", closed.end - closed.start)
-        STATE.sink.emit(
-            {
-                "type": "span",
-                "name": closed.name,
-                "duration_s": closed.end - closed.start,
-                "depth": len(stack),
-                "attrs": dict(closed.attrs),
-            }
-        )
-        return False
-
-
 def span(name: str, **attrs: object):
     """Open a timed span (no-op yielding ``None`` when disabled)."""
     if not STATE.enabled:
         return _NULL
-    return _ActiveSpan(name, attrs)
+    return Span(name, attrs)
 
 
 def current_span() -> Optional[Span]:

@@ -48,23 +48,36 @@ class FlightRecorder:
         self._errored: Deque[Span] = deque(maxlen=errored_capacity)
         self._recorded = 0
         self._recorded_errored = 0
+        self._by_reason: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     # -- recording --------------------------------------------------------------
 
-    def record(self, root: Optional[Span], errored: Optional[bool] = None) -> None:
+    def record(
+        self,
+        root: Optional[Span],
+        errored: Optional[bool] = None,
+        reason: Optional[str] = None,
+    ) -> None:
         """File one finished trace root (``None`` is a tolerated no-op,
         so call sites need no obs-enabled guard).
 
         ``errored`` overrides the classification; when omitted the tree
         is scanned for spans that closed with an ``error`` attribute.
+        ``reason`` is the sampler's keep verdict (``head``/``error``/
+        ``shed``/``slow``); it is stamped onto the root's attributes so
+        Chrome-trace dumps show why each retained trace survived.
         """
         if root is None:
             return
         if errored is None:
             errored = _subtree_errored(root)
+        if reason is not None:
+            root.attrs["keep"] = reason
         with self._lock:
             self._recorded += 1
+            if reason is not None:
+                self._by_reason[reason] = self._by_reason.get(reason, 0) + 1
             if errored:
                 self._recorded_errored += 1
                 self._errored.append(root)
@@ -95,7 +108,7 @@ class FlightRecorder:
         merged.sort(key=lambda node: node.start)
         return merged
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "recorded": self._recorded,
@@ -104,9 +117,12 @@ class FlightRecorder:
                 "retained_errored": len(self._errored),
                 "capacity": self.capacity,
                 "errored_capacity": self.errored_capacity,
+                "recorded_by_reason": dict(sorted(self._by_reason.items())),
             }
 
-    def chrome_trace(self) -> Dict[str, object]:
+    def chrome_trace(
+        self, extra: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
         """The retained traces as one Chrome trace-event document.
 
         Each trace root gets its own ``tid`` so concurrent requests
@@ -132,6 +148,7 @@ class FlightRecorder:
                 "source": "repro.ops.flight",
                 "format": "trace_event",
                 **{key: str(val) for key, val in self.stats().items()},
+                **{key: str(val) for key, val in (extra or {}).items()},
             },
         }
 

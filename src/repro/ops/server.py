@@ -10,8 +10,10 @@ exposing the observability stack while requests are in flight:
 ``/profile``                aggregated span profile, JSON
 ``/sessions``               durable-store listing (read-only peek, no locks)
 ``/ask?q=SPEC``             answer a path query over the hosted session
+``/slo``                    SLO burn-rate state + sampler books, JSON
 ``/debug/flightrecorder``   retained traces as Chrome trace-event JSON
 ``/debug/requests``         recent structured request-log records, JSON
+``/debug/error``            fault injection: fail with ``?status=`` (default 500)
 ==========================  ====================================================
 
 Every request runs under a :class:`~repro.ops.trace.request_trace`: a
@@ -22,6 +24,16 @@ log, and the finished trace root lands in the
 :class:`~repro.ops.flight.FlightRecorder` (errored traces retained
 longest).  ``contextvars`` isolation means concurrent requests can never
 adopt each other's spans.
+
+Telemetry is always on: every finished request feeds the request log's
+per-path quantile sketches and the :class:`~repro.obs.slo.SloEngine`'s
+burn-rate windows regardless of the obs enabled flag, and the
+:class:`~repro.obs.sample.TraceSampler` decides which traces reach the
+flight recorder (errored/shed/slow always kept; healthy traffic subject
+to the head rate).  ``/metrics`` adds whole-stream latency quantile
+series and trace-id exemplars; with ``degrade_on_burn`` a burning
+latency SLO applies its paper remedy to the hosted engine
+(``Webhouse.apply_remedy`` — conjunctive / linear / lossy).
 
 The hosted :class:`~repro.mediator.webhouse.Webhouse` is guarded by a
 readers-writer lock (:class:`~repro.cluster.locks.RWLock`): local
@@ -54,11 +66,18 @@ from ..cluster import RWLock, ShardedWebhouse, ShardOverloaded
 from ..core.parsing import parse_query_spec
 from ..mediator.source import InMemorySource
 from ..mediator.webhouse import Webhouse
-from ..obs.export import prometheus_text
+from ..obs.export import (
+    labeled_gauge_lines,
+    prometheus_text,
+    sanitize_metric_name,
+    summary_metric_lines,
+)
 from ..obs.profile import profile_traces
+from ..obs.sample import DEFAULT_SLOW_S, TraceSampler
+from ..obs.slo import SloAlert, SloEngine, default_objectives
 from ..obs.state import STATE as _OBS
 from .flight import FlightRecorder
-from .reqlog import RequestLog
+from .reqlog import ALL_PATHS, RequestLog
 from .trace import request_trace
 
 #: JSON content type used by every structured endpoint.
@@ -257,6 +276,11 @@ class OpsServer:
         recorder: Optional[FlightRecorder] = None,
         request_log: Optional[RequestLog] = None,
         cluster: Optional[ShardedWebhouse] = None,
+        slo: Optional[SloEngine] = None,
+        sampler: Optional[TraceSampler] = None,
+        slow_s: float = DEFAULT_SLOW_S,
+        head_rate: float = 1.0,
+        degrade_on_burn: bool = False,
     ):
         if webhouse is not None and cluster is not None:
             raise ValueError("pass either webhouse or cluster, not both")
@@ -269,6 +293,19 @@ class OpsServer:
         self.session_name = session_name
         self.recorder = recorder if recorder is not None else FlightRecorder()
         self.request_log = request_log if request_log is not None else RequestLog()
+        self.sampler = (
+            sampler
+            if sampler is not None
+            else TraceSampler(head_rate=head_rate, slow_s=slow_s)
+        )
+        self.slo = (
+            slo if slo is not None else SloEngine(default_objectives(slow_s))
+        )
+        self.degrade_on_burn = bool(degrade_on_burn)
+        #: remedies actually applied by a burning latency SLO, in order
+        self.remedies_applied: list = []
+        if self.degrade_on_burn:
+            self.slo.set_degrade(self._degrade_for_burn)
         self._engine_lock = RWLock()
         self._host = host
         self._port = port
@@ -282,8 +319,10 @@ class OpsServer:
             "/profile": self._handle_profile,
             "/sessions": self._handle_sessions,
             "/ask": self._handle_ask,
+            "/slo": self._handle_slo,
             "/debug/flightrecorder": self._handle_flightrecorder,
             "/debug/requests": self._handle_requests,
+            "/debug/error": self._handle_debug_error,
         }
 
     # -- lifecycle --------------------------------------------------------------
@@ -368,17 +407,54 @@ class OpsServer:
         handle,
         extras: Dict[str, object],
     ) -> None:
-        """Post-response bookkeeping: flight recorder, request log, metrics."""
+        """Post-response bookkeeping: sampler, flight recorder, request
+        log, SLO engine, metrics.
+
+        The sampler decides whether the trace reaches the recorder
+        (errored/shed/slow always kept, healthy traffic subject to the
+        head rate); the request log's sketches and the SLO burn windows
+        are fed unconditionally — always-on telemetry does not depend
+        on the obs enabled flag.
+        """
         errored = status >= 400 or handle.errored
-        self.recorder.record(handle.root, errored=errored)
+        reason = self.sampler.decide(
+            handle.trace_id, status, duration_s, errored=handle.errored
+        )
+        if reason is not None:
+            self.recorder.record(handle.root, errored=errored, reason=reason)
         self.request_log.log(
             method, path, status, duration_s, handle.trace_id, **extras
         )
+        self.slo.record(status, duration_s)
         if _OBS.enabled:
             endpoint = (path.strip("/") or "root").replace("/", ".")
             _OBS.metrics.inc("ops.http.requests")
             _OBS.metrics.inc(f"ops.http.status.{status // 100}xx")
             _OBS.metrics.observe(f"ops.http.{endpoint}.seconds", duration_s)
+
+    def _degrade_for_burn(self, alert: SloAlert) -> None:
+        """The SLO degrade hook: apply the alert's paper remedy.
+
+        Wired only when ``degrade_on_burn`` is set.  Single-engine mode
+        applies the remedy under the engine write lock; cluster mode
+        applies it to every session engine, shard by shard (each
+        representation shrinks independently — Theorem 3.5 keeps the
+        sessions' knowledge separate).
+        """
+        remedy = alert.remedy
+        if remedy is None:
+            return
+        if self.cluster is not None:
+            for shard in self.cluster._shards:
+                with shard.lock.write_locked():
+                    for engine in shard.engines.values():
+                        engine.apply_remedy(remedy)
+        else:
+            with self._engine_lock.write_locked():
+                self.webhouse.apply_remedy(remedy)
+        self.remedies_applied.append(remedy)
+        if _OBS.enabled:
+            _OBS.metrics.inc(f"ops.slo.degrade.{remedy}")
 
     # -- endpoints --------------------------------------------------------------
 
@@ -395,6 +471,8 @@ class OpsServer:
             "caches": self._cache_summary(),
             "flight_recorder": self.recorder.stats(),
             "requests_logged": self.request_log.logged,
+            "sampler": self.sampler.stats(),
+            "slo_burning": self.slo.burning(),
         }
         if self.cluster is not None:
             document["cluster"] = self.cluster.stats_all()
@@ -462,7 +540,75 @@ class OpsServer:
                     _OBS.metrics.set_gauge(
                         "webhouse.queries_recorded", len(self.webhouse.history)
                     )
-        return 200, prometheus_text(), _PROM
+        return 200, prometheus_text() + self._telemetry_lines(), _PROM
+
+    def _telemetry_lines(self) -> str:
+        """The always-on telemetry series appended to ``/metrics``.
+
+        Whole-stream latency quantile summaries per request path (from
+        the request log's sketches), trace-id exemplars, sampler and SLO
+        books, and — in cluster mode — fleet latency quantiles merged
+        from the per-shard sketches (``repro_cluster_ask_p99`` etc.).
+        Everything here passes :func:`validate_prometheus_text`.
+        """
+        lines: list = []
+        for family, sketch in sorted(self.request_log.latency_families().items()):
+            if not sketch.count:
+                continue
+            token = family.strip("/").replace("/", ".") if family != ALL_PATHS else "all"
+            name = sanitize_metric_name(f"http.{token or 'root'}.latency.seconds")
+            lines.extend(
+                summary_metric_lines(
+                    name, f"whole-stream request latency for {family}", sketch
+                )
+            )
+        exemplars = self.request_log.exemplars()
+        if exemplars:
+            lines.extend(
+                labeled_gauge_lines(
+                    "repro_http_exemplar_seconds",
+                    "trace-id exemplars: slowest request per path, last 5xx",
+                    exemplars,
+                )
+            )
+        sampler = self.sampler.stats()
+        for suffix, value in (("kept", sampler["kept"]), ("dropped", sampler["dropped"])):
+            name = f"repro_trace_sampler_{suffix}_total"
+            lines.append(f"# HELP {name} traces {suffix} by the sampler")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value}")
+        lines.append("# HELP repro_slo_alerts_total SLO burn/resolve events fired")
+        lines.append("# TYPE repro_slo_alerts_total counter")
+        lines.append(f"repro_slo_alerts_total {len(self.slo.alerts)}")
+        burning = set(self.slo.burning())
+        lines.extend(
+            labeled_gauge_lines(
+                "repro_slo_burning",
+                "1 while the objective is in a burn episode",
+                [
+                    {"objective": objective.name, "value": 1 if objective.name in burning else 0}
+                    for objective in self.slo.objectives
+                ],
+            )
+        )
+        if self.cluster is not None:
+            for op, sketch in sorted(self.cluster.merged_sketches().items()):
+                if not sketch.count:
+                    continue
+                family = f"repro_cluster_{op}_seconds"
+                lines.extend(
+                    summary_metric_lines(
+                        family, f"fleet latency for keyed {op} (merged sketches)", sketch
+                    )
+                )
+                for q, suffix in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+                    gauge = f"repro_cluster_{op}_{suffix}"
+                    lines.append(
+                        f"# HELP {gauge} fleet {suffix} latency for keyed {op}, seconds"
+                    )
+                    lines.append(f"# TYPE {gauge} gauge")
+                    lines.append(f"{gauge} {sketch.quantile(q)!r}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def _handle_profile(self, params, extras) -> Tuple[int, str, str]:
         profile = profile_traces(list(_OBS.traces))
@@ -591,8 +737,43 @@ class OpsServer:
             "knowledge_size": self.cluster.size(),
         }
 
+    def _handle_slo(self, params, extras) -> Tuple[int, str, str]:
+        """Burn-rate state, sampler books, and latency quantiles, JSON."""
+        document = {
+            "slo": self.slo.snapshot(),
+            "sampler": self.sampler.stats(),
+            "degrade_on_burn": self.degrade_on_burn,
+            "remedies_applied": list(self.remedies_applied),
+            "latency": self.request_log.latency_summary(),
+        }
+        if self.cluster is not None:
+            document["cluster_latency"] = {
+                op: sketch.summary()
+                for op, sketch in self.cluster.merged_sketches().items()
+                if sketch.count
+            }
+        return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
+
+    def _handle_debug_error(self, params, extras) -> Tuple[int, str, str]:
+        """Fault injection: fail deliberately so burn alerts are testable.
+
+        ``?status=`` picks the failure code (5xx only; default 500).
+        The CI slo-smoke job bursts this endpoint and asserts the
+        availability objective trips a burn-rate alert end-to-end.
+        """
+        raw = (params.get("status") or ["500"])[0]
+        try:
+            status = int(raw)
+        except ValueError:
+            raise OpsError(400, f"bad status {raw!r}")
+        if not 500 <= status <= 599:
+            raise OpsError(400, f"status must be 5xx, got {status}")
+        raise OpsError(status, "induced failure (debug/error fault injection)")
+
     def _handle_flightrecorder(self, params, extras) -> Tuple[int, str, str]:
-        document = self.recorder.chrome_trace()
+        document = self.recorder.chrome_trace(
+            extra={"sampler": self.sampler.stats()}
+        )
         return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
 
     def _handle_requests(self, params, extras) -> Tuple[int, str, str]:
@@ -605,6 +786,35 @@ class OpsServer:
         return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
 
 
+def drive_request(server: OpsServer, path: str) -> Tuple[int, str]:
+    """Run one request through the full in-process pipeline, no socket.
+
+    Exactly what the HTTP handler does minus the framing: open a
+    :class:`request_trace`, dispatch, then ``finish_request`` (sampler,
+    flight recorder, request log, SLO engine).  The CLI ``slo`` command
+    and the telemetry benchmarks use it to drive the always-on pipeline
+    deterministically.  Returns ``(status, body)``.
+    """
+    parsed = urlsplit(path)
+    extras: Dict[str, object] = {}
+    started = time.perf_counter()
+    status = 500
+    with request_trace("ops.request", method="GET", path=parsed.path) as handle:
+        try:
+            status, body, _ = server.dispatch(
+                parsed.path, parse_qs(parsed.query), extras
+            )
+        except OpsError as exc:
+            status = exc.status
+            body = json.dumps({"error": str(exc), "status": status}) + "\n"
+            handle.annotate(error=type(exc).__name__, error_message=str(exc))
+        handle.annotate(status=status)
+    server.finish_request(
+        "GET", parsed.path, status, time.perf_counter() - started, handle, extras
+    )
+    return status, body
+
+
 # -- self-check ------------------------------------------------------------------
 
 #: Endpoints ``self_check`` probes, with their validator kind.
@@ -615,6 +825,7 @@ _PROBES = (
     ("/profile", "json"),
     ("/sessions", "json"),
     ("/ask?q=q1", "json"),
+    ("/slo", "json"),
     ("/debug/flightrecorder", "chrome"),
     ("/debug/requests", "json"),
 )
@@ -679,6 +890,7 @@ __all__ = [
     "OpsServer",
     "demo_cluster",
     "demo_webhouse",
+    "drive_request",
     "hosted_webhouse",
     "self_check",
 ]

@@ -66,6 +66,13 @@ class TraceHandle:
             return False
         return _subtree_errored(self.root)
 
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Root span duration in seconds (None while open or disabled)."""
+        if self.root is None or self.root.end is None:
+            return None
+        return max(0.0, self.root.end - self.root.start)
+
     def __repr__(self) -> str:
         return f"TraceHandle({self.trace_id!r}, root={self.root!r})"
 

@@ -629,6 +629,105 @@ class TestClusterHTTP:
         assert any("session=demo" in row["endpoint"] for row in report)
 
 
+class TestFleetLatencySketches:
+    def test_per_shard_ops_feed_sketches(self):
+        source = _catalog_source()
+        cluster = _cluster(4)
+        try:
+            for key in ("alice", "bob", "carol"):
+                cluster.ask(key, source, query1())
+                cluster.answer(key, query1())
+            merged = cluster.merged_sketches()
+            assert merged["ask"].count == 3
+            assert merged["answer"].count == 3
+            assert merged["record"].count == 0
+            # only shards that served traffic observed anything
+            per_shard = sum(
+                shard.sketches["ask"].count for shard in cluster._shards
+            )
+            assert per_shard == 3
+        finally:
+            cluster.close()
+
+    def test_stats_all_carries_latency_rollup(self):
+        source = _catalog_source()
+        cluster = _cluster(2)
+        try:
+            cluster.ask("alice", source, query1())
+            rollup = cluster.stats_all()
+            assert "ask" in rollup["latency"]
+            assert rollup["latency"]["ask"]["count"] == 1
+            assert rollup["latency"]["ask"]["p99"] > 0.0
+            assert "record" not in rollup["latency"]  # empty sketches omitted
+        finally:
+            cluster.close()
+
+    def test_merged_quantiles_match_pooled_probe_durations(self):
+        """The PR-8 acceptance invariant: fleet quantiles from the
+        sketch merge agree (within the sketch's relative-error bound)
+        with a brute-force pooled percentile over the exact durations
+        the shards observed, captured via ``latency_probe``."""
+        import math
+
+        observed = []
+        source = _catalog_source()
+        cluster = _cluster(
+            4, latency_probe=lambda shard, op, s: observed.append((op, s))
+        )
+        try:
+            for i in range(40):
+                cluster.answer(f"tenant-{i % 8}", query1())
+            merged = cluster.merged_sketches()["answer"]
+            durations = sorted(s for op, s in observed if op == "answer")
+            assert merged.count == len(durations) == 40
+            for q in (0.5, 0.9, 0.99):
+                rank = max(0, math.ceil(q * len(durations)) - 1)
+                truth = durations[rank]
+                estimate = merged.quantile(q)
+                assert abs(estimate - truth) <= merged.relative_accuracy * truth
+        finally:
+            cluster.close()
+
+    def test_shed_operations_do_not_pollute_latency(self):
+        cluster = _cluster(
+            1, admission=AdmissionController(1, max_in_flight=1, policy="shed")
+        )
+        try:
+            with _hold_slots(cluster, 0, 1):
+                with pytest.raises(ShardOverloaded):
+                    cluster.answer("alice", query1())
+            assert cluster.merged_sketches()["answer"].count == 0
+            assert cluster.stats_all()["per_shard"][0]["admission"]["shed"] >= 1
+        finally:
+            cluster.close()
+
+    def test_cluster_metrics_export_fleet_quantiles(self):
+        obs.enable(obs.RingBufferSink())
+        from repro.obs.export import validate_prometheus_text
+
+        cluster, source = demo_cluster(shards=4, products=4)
+        srv = OpsServer(cluster=cluster, source=source).start()
+        try:
+            for key in ("demo", "tenant-a", "tenant-b"):
+                status, _, _ = _get(
+                    srv.url + f"/ask?q=q1&session={key}&mode=fetch"
+                )
+                assert status == 200
+            status, _, body = _get(srv.url + "/metrics")
+            assert status == 200
+            samples = validate_prometheus_text(body.decode("utf-8"))
+            assert samples["repro_cluster_ask_seconds_count"] >= 3
+            assert 'repro_cluster_ask_seconds{quantile="0.99"}' in samples
+            assert samples["repro_cluster_ask_p99"] > 0.0
+            # /slo carries the same books as JSON
+            status, _, body = _get(srv.url + "/slo")
+            document = json.loads(body)
+            assert document["cluster_latency"]["ask"]["count"] >= 3
+        finally:
+            srv.stop()
+            cluster.close()
+
+
 class _hold_slots:
     """Context manager saturating one shard's admission budget."""
 

@@ -539,6 +539,142 @@ class TestServeCli:
         assert "ghost" in capsys.readouterr().err
 
 
+# -- always-on telemetry: SLOs, sampling, quantile series -------------------------
+
+
+class TestAlwaysOnTelemetry:
+    def test_slo_endpoint_shape(self, server):
+        _get(server.url + "/ask?q=q1")
+        _wait_until(lambda: server.request_log.logged >= 1)
+        status, _, body = _get(server.url + "/slo")
+        assert status == 200
+        document = json.loads(body)
+        names = {o["name"] for o in document["slo"]["objectives"]}
+        assert {"availability-99.9", "latency-99"} <= names
+        assert document["degrade_on_burn"] is False
+        assert document["sampler"]["head_rate"] == 1.0
+        assert "all" in document["latency"]
+        assert document["latency"]["all"]["count"] >= 1
+
+    def test_debug_error_injects_5xx(self, server):
+        status, headers, body = _get(server.url + "/debug/error")
+        assert status == 500
+        assert headers["X-Repro-Trace-Id"]
+        assert "induced" in json.loads(body)["error"]
+        status, _, _ = _get(server.url + "/debug/error?status=503")
+        assert status == 503
+        status, _, _ = _get(server.url + "/debug/error?status=404")
+        assert status == 400  # only 5xx can be injected
+        status, _, _ = _get(server.url + "/debug/error?status=oops")
+        assert status == 400
+
+    def test_metrics_quantile_and_exemplar_series(self, server):
+        for _ in range(3):
+            _get(server.url + "/ask?q=q1")
+        _get(server.url + "/debug/error")
+        _wait_until(lambda: server.request_log.logged >= 4)
+        status, _, body = _get(server.url + "/metrics")
+        assert status == 200
+        samples = validate_prometheus_text(body.decode("utf-8"))
+        # whole-stream quantile summaries from the request-log sketches
+        assert samples['repro_http_all_latency_seconds{quantile="0.5"}'] >= 0.0
+        assert samples["repro_http_all_latency_seconds_count"] >= 4
+        assert samples["repro_http_ask_latency_seconds_count"] >= 3
+        # exemplar series link quantiles to concrete trace ids
+        exemplars = [
+            n for n in samples if n.startswith("repro_http_exemplar_seconds{")
+        ]
+        assert any('kind="slowest"' in n for n in exemplars)
+        assert any('kind="last_error"' in n for n in exemplars)
+        assert all("trace_id=" in n for n in exemplars)
+        # sampler and SLO books
+        assert samples["repro_trace_sampler_kept_total"] >= 1
+        assert 'repro_slo_burning{objective="latency-99"}' in samples
+
+    def test_telemetry_survives_obs_disabled(self):
+        """The PR-8 posture: sketches, sampler and SLO books run even
+        with span collection off."""
+        from repro.ops.server import drive_request
+
+        assert not obs.STATE.enabled
+        webhouse, source = demo_webhouse(products=3)
+        srv = OpsServer(webhouse, source=source)
+        for _ in range(3):
+            status, _ = drive_request(srv, "/ask?q=q1")
+            assert status == 200
+        status, body = drive_request(srv, "/slo")
+        assert status == 200
+        document = json.loads(body)
+        availability = next(
+            o
+            for o in document["slo"]["objectives"]
+            if o["name"] == "availability-99.9"
+        )
+        assert availability["lifetime"]["good"] >= 3
+        assert document["latency"]["/ask"]["count"] == 3
+        assert srv.sampler.stats()["kept"] >= 3
+
+    def test_flight_recorder_keep_reasons(self, server):
+        _get(server.url + "/ask?q=q1")
+        _get(server.url + "/ask?q=%5Bbad")  # errored -> always kept
+        _wait_until(lambda: server.recorder.stats()["recorded"] >= 2)
+        stats = server.recorder.stats()
+        assert stats["recorded_by_reason"].get("head", 0) >= 1
+        assert stats["recorded_by_reason"].get("error", 0) >= 1
+        assert all("keep" in root.attrs for root in server.recorder.roots())
+
+    def test_head_rate_zero_keeps_only_tail_matches(self):
+        obs.enable(obs.RingBufferSink())
+        webhouse, source = demo_webhouse(products=3)
+        srv = OpsServer(webhouse, source=source, head_rate=0.0).start()
+        try:
+            for _ in range(5):
+                _get(srv.url + "/healthz")
+            _get(srv.url + "/ask?q=%5Bbad")
+            _wait_until(lambda: srv.sampler.stats()["dropped"] >= 5)
+        finally:
+            srv.stop()
+        stats = srv.sampler.stats()
+        assert stats["dropped"] >= 5  # healthy fast traffic not recorded
+        assert stats["by_reason"].get("error", 0) >= 1
+        recorder = srv.recorder.stats()
+        assert recorder["recorded"] == recorder["recorded_errored"]
+
+    def test_degrade_on_burn_applies_remedy(self):
+        """A burning latency SLO applies its paper remedy to the engine."""
+        from repro.obs.slo import KIND_LATENCY, Objective, SloEngine
+        from repro.ops.server import drive_request
+
+        webhouse, source = demo_webhouse(products=3)
+        engine = SloEngine(
+            # every request is slower than a nanosecond: burns immediately
+            objectives=[
+                Objective("lat", KIND_LATENCY, 0.99, threshold_s=1e-9)
+            ],
+        )
+        srv = OpsServer(
+            webhouse, source=source, slo=engine, degrade_on_burn=True
+        )
+        for _ in range(15):
+            drive_request(srv, "/ask?q=q1")
+        assert srv.remedies_applied == ["lossy"]
+        _, body = drive_request(srv, "/slo")
+        assert json.loads(body)["remedies_applied"] == ["lossy"]
+
+    def test_histogram_summary_carries_sketch_quantiles(self):
+        obs.enable(obs.RingBufferSink())
+        for i in range(1, 101):
+            obs.STATE.metrics.observe("demo.series", i / 100.0)
+        summary = obs.STATE.metrics.histograms()["demo.series"]
+        assert "recent" in summary  # the PR-1 window survives
+        quantiles = summary["quantiles"]
+        assert quantiles["p50"] == pytest.approx(0.5, rel=0.03)
+        assert quantiles["p99"] == pytest.approx(0.99, rel=0.03)
+        assert obs.STATE.metrics.quantile("demo.series", 0.5) == pytest.approx(
+            0.5, rel=0.03
+        )
+
+
 class TestParseQuerySpec:
     def test_path_with_condition(self):
         query = parse_query_spec("catalog/product/price[<300]")

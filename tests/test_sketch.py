@@ -1,0 +1,308 @@
+"""The mergeable quantile sketch: accuracy, merge algebra, edge cases.
+
+The PR-8 acceptance contract: every quantile estimate is within the
+configured *relative* accuracy of the exact rank statistic (rank
+``max(0, ceil(q*n) - 1)`` over the sorted sample — the same convention
+the sketch uses), and merging is associative and commutative, so
+per-shard sketches can be rolled up in any order and the fleet
+quantiles match a single sketch that saw everything.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sketch import (
+    DEFAULT_ACCURACY,
+    MIN_POSITIVE,
+    QuantileSketch,
+    SUMMARY_QUANTILES,
+)
+
+QS = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+def exact_quantile(values, q):
+    """Ground-truth rank statistic with the sketch's rank convention."""
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def assert_same_state(a, b):
+    """Bucket-exact equality; ``sum`` only up to float addition order."""
+    left, right = a.to_dict(), b.to_dict()
+    assert left.pop("sum") == pytest.approx(right.pop("sum"))
+    assert left == right
+
+
+def assert_within_bound(sketch, values, alpha, qs=QS):
+    for q in qs:
+        estimate = sketch.quantile(q)
+        truth = exact_quantile(values, q)
+        if abs(truth) <= MIN_POSITIVE:
+            assert abs(estimate) <= MIN_POSITIVE
+        else:
+            assert abs(estimate - truth) <= alpha * abs(truth) + 1e-12, (
+                f"q={q}: estimate {estimate} vs truth {truth} "
+                f"(alpha={alpha})"
+            )
+
+
+# -- accuracy on fixed distributions ------------------------------------------
+
+
+def test_constant_distribution_is_exact_enough():
+    sketch = QuantileSketch()
+    values = [0.25] * 1000
+    for v in values:
+        sketch.observe(v)
+    assert_within_bound(sketch, values, sketch.relative_accuracy)
+
+
+def test_bimodal_distribution():
+    rng = random.Random(8)
+    values = [rng.gauss(0.001, 0.0001) for _ in range(500)]
+    values += [rng.gauss(2.0, 0.1) for _ in range(500)]
+    sketch = QuantileSketch()
+    for v in values:
+        sketch.observe(v)
+    assert_within_bound(sketch, values, sketch.relative_accuracy)
+
+
+def test_heavy_tail_distribution():
+    rng = random.Random(88)
+    values = [rng.paretovariate(1.2) for _ in range(2000)]
+    sketch = QuantileSketch()
+    for v in values:
+        sketch.observe(v)
+    assert_within_bound(sketch, values, sketch.relative_accuracy)
+
+
+def test_mixed_sign_values():
+    rng = random.Random(888)
+    values = [rng.uniform(-10.0, 10.0) for _ in range(1500)] + [0.0] * 50
+    sketch = QuantileSketch()
+    for v in values:
+        sketch.observe(v)
+    assert_within_bound(sketch, values, sketch.relative_accuracy)
+
+
+def test_coarse_accuracy_still_bounded():
+    rng = random.Random(5)
+    values = [rng.lognormvariate(0.0, 2.0) for _ in range(1000)]
+    sketch = QuantileSketch(relative_accuracy=0.05)
+    for v in values:
+        sketch.observe(v)
+    assert_within_bound(sketch, values, 0.05)
+
+
+# -- hypothesis: the bound holds on arbitrary samples -------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(
+            min_value=1e-6,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_quantiles_within_relative_error(values):
+    sketch = QuantileSketch()
+    for v in values:
+        sketch.observe(v)
+    assert_within_bound(sketch, values, sketch.relative_accuracy)
+    assert sketch.count == len(values)
+    rel = sketch.relative_accuracy + 1e-9
+    assert sketch.quantile(0.0) == pytest.approx(min(values), rel=rel)
+    assert sketch.quantile(1.0) == pytest.approx(max(values), rel=rel)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+        min_size=0,
+        max_size=60,
+    ),
+    st.lists(
+        st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+        min_size=0,
+        max_size=60,
+    ),
+)
+def test_merge_commutes(left_values, right_values):
+    left, right = QuantileSketch(), QuantileSketch()
+    for v in left_values:
+        left.observe(v)
+    for v in right_values:
+        right.observe(v)
+    ab = QuantileSketch.merged([left, right])
+    ba = QuantileSketch.merged([right, left])
+    assert_same_state(ab, ba)
+    # and merging matches one sketch that saw the union
+    union = QuantileSketch()
+    for v in left_values + right_values:
+        union.observe(v)
+    assert_same_state(ab, union)
+
+
+def test_merge_is_associative():
+    rng = random.Random(3)
+    parts = [
+        [rng.expovariate(4.0) for _ in range(200)] for _ in range(3)
+    ]
+    sketches = []
+    for part in parts:
+        sketch = QuantileSketch()
+        for v in part:
+            sketch.observe(v)
+        sketches.append(sketch)
+    a, b, c = sketches
+
+    left = QuantileSketch.merged([QuantileSketch.merged([a, b]), c])
+    right = QuantileSketch.merged([a, QuantileSketch.merged([b, c])])
+    assert_same_state(left, right)
+    assert_within_bound(left, sum(parts, []), left.relative_accuracy)
+
+
+def test_merge_rejects_mismatched_accuracy():
+    with pytest.raises(ValueError):
+        QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+
+def test_merge_does_not_mutate_operand():
+    a, b = QuantileSketch(), QuantileSketch()
+    a.observe(1.0)
+    b.observe(2.0)
+    before = b.to_dict()
+    a.merge(b)
+    assert b.to_dict() == before
+    assert a.count == 2
+
+
+# -- edge cases ---------------------------------------------------------------
+
+
+def test_empty_sketch():
+    sketch = QuantileSketch()
+    assert sketch.count == 0
+    assert len(sketch) == 0
+    assert sketch.quantile(0.5) is None
+    assert sketch.mean == 0.0
+    summary = sketch.summary()
+    assert summary["count"] == 0
+    assert summary["p99"] is None
+
+
+def test_single_observation_is_exact():
+    sketch = QuantileSketch()
+    sketch.observe(0.125)
+    for q in QS:
+        assert sketch.quantile(q) == pytest.approx(0.125)
+    assert sketch.mean == pytest.approx(0.125)
+
+
+def test_zero_and_tiny_values_land_in_zero_bucket():
+    sketch = QuantileSketch()
+    sketch.observe(0.0)
+    sketch.observe(MIN_POSITIVE / 2)
+    assert sketch.count == 2
+    assert sketch.quantile(0.5) == 0.0
+
+
+def test_weighted_observe():
+    sketch = QuantileSketch()
+    sketch.observe(1.0, count=9)
+    sketch.observe(100.0, count=1)
+    assert sketch.count == 10
+    assert sketch.quantile(0.5) == pytest.approx(1.0, rel=0.02)
+    assert sketch.quantile(1.0) == pytest.approx(100.0)
+    sketch.observe(1.0, count=0)  # non-positive counts are a no-op
+    assert sketch.count == 10
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        QuantileSketch(relative_accuracy=0.0)
+    with pytest.raises(ValueError):
+        QuantileSketch(relative_accuracy=1.0)
+    sketch = QuantileSketch()
+    with pytest.raises(ValueError):
+        sketch.observe(float("nan"))
+    sketch.observe(1.0)
+    with pytest.raises(ValueError):
+        sketch.quantile(1.5)
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def test_round_trip_preserves_everything():
+    rng = random.Random(12)
+    sketch = QuantileSketch(relative_accuracy=0.02)
+    for _ in range(500):
+        sketch.observe(rng.lognormvariate(0.0, 1.5))
+    clone = QuantileSketch.from_dict(sketch.to_dict())
+    assert clone.to_dict() == sketch.to_dict()
+    for q in QS:
+        assert clone.quantile(q) == sketch.quantile(q)
+
+
+def test_summary_shape():
+    sketch = QuantileSketch()
+    for i in range(1, 101):
+        sketch.observe(i / 100.0)
+    summary = sketch.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == pytest.approx(0.01)
+    assert summary["max"] == pytest.approx(1.0)
+    for q in SUMMARY_QUANTILES:
+        key = f"p{int(q * 100)}"
+        assert summary[key] == pytest.approx(
+            exact_quantile([i / 100.0 for i in range(1, 101)], q),
+            rel=2 * DEFAULT_ACCURACY,
+        )
+
+
+# -- bounded memory -----------------------------------------------------------
+
+
+def test_collapse_keeps_tail_quantiles():
+    """When the bin budget is exhausted the *lowest* buckets fold
+    upward: a quantile whose rank lands in a retained bucket keeps the
+    relative-error guarantee, and collapsed ranks degrade safely — they
+    are overestimated (never underestimated) and stay clamped to the
+    observed max."""
+    rng = random.Random(7)
+    values = [rng.lognormvariate(0.0, 3.0) for _ in range(5000)]
+    sketch = QuantileSketch(max_bins=64)
+    for v in values:
+        sketch.observe(v)
+    document = sketch.to_dict()
+    assert document["collapsed"] is True
+    assert len(document["buckets"]) <= 64
+    buckets = {int(i): n for i, n in document["buckets"].items()}
+    folded = buckets[min(buckets)]  # all collapsed mass lands here
+    alpha = sketch.relative_accuracy
+    for q in QS:
+        estimate = sketch.quantile(q)
+        truth = exact_quantile(values, q)
+        rank = max(0, math.ceil(q * len(values)) - 1)
+        if rank >= folded:
+            assert abs(estimate - truth) <= alpha * truth + 1e-12
+        else:
+            assert truth * (1.0 - alpha) - 1e-12 <= estimate <= sketch.max
+    # the very tail is always past the folded mass
+    assert sketch.quantile(1.0) == pytest.approx(max(values), rel=alpha)
