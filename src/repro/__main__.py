@@ -76,7 +76,25 @@
                                               # sampling rate, and
                                               # --degrade-on-burn lets a
                                               # burning latency SLO apply its
-                                              # paper remedy to the engine
+                                              # paper remedy to the engine;
+                                              # --fault-plan SPEC arms a
+                                              # deterministic fault plan
+                                              # (docs/ROBUSTNESS.md), also
+                                              # swappable live at
+                                              # /debug/faults
+    python -m repro chaos [--seed N] [--seeds A:B] [--soak SECONDS]
+                          [--ops K] [--plan SPEC] [--root DIR] [--json]
+                                              # seeded fault-injection chaos
+                                              # cycles (docs/ROBUSTNESS.md):
+                                              # record/crash/recover under a
+                                              # deterministic fault plan,
+                                              # asserting every recovery is
+                                              # Theorem 3.5-equivalent to a
+                                              # fault-free replay; exits
+                                              # nonzero (and prints a one-line
+                                              # repro) on any violation;
+                                              # --soak runs seeds until the
+                                              # time budget expires
 """
 
 from __future__ import annotations
@@ -643,7 +661,7 @@ def _serve_cmd(args: list[str]) -> int:
         "usage: python -m repro serve [--host H] [--port P] [--session NAME] "
         "[--root DIR] [--products N] [--seed N] [--shards N] [--no-caches] "
         "[--request-log FILE] [--flight-ring N] [--slow-ms MS] "
-        "[--head-rate R] [--degrade-on-burn] [--once]"
+        "[--head-rate R] [--degrade-on-burn] [--fault-plan SPEC] [--once]"
     )
     args = list(args)
     try:
@@ -663,6 +681,7 @@ def _serve_cmd(args: list[str]) -> int:
         flight_ring = int(_take_value(args, "--flight-ring") or "64")
         slow_ms = float(_take_value(args, "--slow-ms") or "250")
         head_rate = float(_take_value(args, "--head-rate") or "1.0")
+        fault_spec = _take_value(args, "--fault-plan")
         if args:
             raise ValueError(usage)
         if shards < 1:
@@ -682,6 +701,16 @@ def _serve_cmd(args: list[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         print(usage, file=sys.stderr)
         return 2
+
+    fault_plan = None
+    if fault_spec is not None:
+        from .faults.plan import FaultError, FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(fault_spec)
+        except FaultError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     obs.enable(obs.RingBufferSink())
     if not no_caches:
@@ -715,6 +744,7 @@ def _serve_cmd(args: list[str]) -> int:
         slow_s=slow_ms / 1000.0,
         head_rate=head_rate,
         degrade_on_burn=degrade_on_burn,
+        fault_plan=fault_plan,
     )
     try:
         if once:
@@ -738,7 +768,7 @@ def _serve_cmd(args: list[str]) -> int:
         )
         print(
             f"  endpoints: /healthz /statusz /metrics /profile /sessions "
-            f"/ask?q=q1 /slo /debug/flightrecorder /debug/requests",
+            f"/ask?q=q1 /slo /debug/flightrecorder /debug/requests /debug/faults",
             file=sys.stderr,
         )
         server.serve_forever()
@@ -748,6 +778,97 @@ def _serve_cmd(args: list[str]) -> int:
             webhouse.detach()
         if cluster is not None:
             cluster.close()
+
+
+def _chaos_cmd(args: list[str]) -> int:
+    """Seeded chaos cycles (docs/ROBUSTNESS.md): crash-recover under a
+    deterministic fault plan, checking Theorem 3.5 equivalence after
+    every recovery.  Exits 1 and prints each failing cycle's one-line
+    repro command on any violation — paste it to replay the exact
+    schedule.  ``--soak SECONDS`` keeps consuming seeds until the time
+    budget runs out (the CI chaos-smoke job runs a 30s soak).
+    """
+    import json
+    import tempfile
+    import time as _time
+
+    from .faults.chaos import run_chaos_cycle
+    from .faults.plan import FaultError, FaultPlan
+
+    usage = (
+        "usage: python -m repro chaos [--seed N] [--seeds A:B] "
+        "[--soak SECONDS] [--ops K] [--plan SPEC] [--root DIR] [--json]"
+    )
+    args = list(args)
+    try:
+        as_json = _take_flag(args, "--json")
+        seed = _take_value(args, "--seed")
+        seeds = _take_value(args, "--seeds")
+        soak = _take_value(args, "--soak")
+        ops = int(_take_value(args, "--ops") or "8")
+        plan_spec = _take_value(args, "--plan")
+        root = _take_value(args, "--root")
+        if args:
+            raise ValueError(usage)
+        if sum(x is not None for x in (seed, seeds, soak)) > 1:
+            raise ValueError("--seed, --seeds and --soak are mutually exclusive")
+        if seeds is not None and ":" not in seeds:
+            raise ValueError("--seeds wants a range like 0:50")
+        if plan_spec is not None:
+            FaultPlan.parse(plan_spec)  # validate early, reuse per cycle below
+    except (ValueError, FaultError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+
+    def cycle(seed_value: int, directory: str):
+        plan = None if plan_spec is None else FaultPlan.parse(plan_spec)
+        return run_chaos_cycle(seed_value, directory, ops=ops, plan=plan)
+
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = root if root is not None else tmp
+        if seed is not None:
+            results.append(cycle(int(seed), directory))
+        elif seeds is not None:
+            low, high = (int(part) for part in seeds.split(":", 1))
+            for value in range(low, high):
+                results.append(cycle(value, directory))
+        elif soak is not None:
+            budget = float(soak)
+            started = _time.monotonic()
+            value = 0
+            while _time.monotonic() - started < budget:
+                results.append(cycle(value, directory))
+                value += 1
+        else:
+            results.extend(cycle(value, directory) for value in range(10))
+
+    failures = [result for result in results if not result.ok]
+    summary = {
+        "cycles": len(results),
+        "records": sum(r.records for r in results),
+        "crashes": sum(r.crashes for r in results),
+        "recoveries": sum(r.recoveries for r in results),
+        "faults_fired": sum(r.faults_fired for r in results),
+        "equivalence_checks": sum(r.checks for r in results),
+        "violations": sum(len(r.violations) for r in results),
+        "failures": [r.to_json() for r in failures],
+        "ok": not failures,
+    }
+    if as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"chaos: {summary['cycles']} cycles, {summary['records']} records, "
+            f"{summary['crashes']} crashes, {summary['faults_fired']} faults "
+            f"fired, {summary['equivalence_checks']} equivalence checks, "
+            f"{summary['violations']} violations"
+        )
+        for result in failures:
+            print(f"FAIL seed={result.seed}: {result.violations[0]}")
+            print(f"  repro: {result.repro()}")
+    return 0 if not failures else 1
 
 
 def _xml(path: str) -> int:
@@ -782,6 +903,8 @@ def main(argv: list[str]) -> int:
         return _session_cmd(argv[2:])
     if command == "serve":
         return _serve_cmd(argv[2:])
+    if command == "chaos":
+        return _chaos_cmd(argv[2:])
     if command == "xml":
         if len(argv) < 3:
             print("usage: python -m repro xml FILE", file=sys.stderr)

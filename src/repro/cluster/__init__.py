@@ -33,20 +33,23 @@ HTTP ops plane.
 from __future__ import annotations
 
 from .admission import AdmissionController, POLICIES, ShardOverloaded
-from .executor import Executor
+from .executor import Executor, TaskOutcome
 from .locks import RWLock
 from .ring import DEFAULT_REPLICAS, Router, stable_hash
-from .sharded import Shard, ShardedWebhouse
+from .sharded import RETRYABLE_ERRORS, ResiliencePolicy, Shard, ShardedWebhouse
 
 __all__ = [
     "AdmissionController",
     "DEFAULT_REPLICAS",
     "Executor",
     "POLICIES",
+    "RETRYABLE_ERRORS",
+    "ResiliencePolicy",
     "RWLock",
     "Router",
     "Shard",
     "ShardedWebhouse",
     "ShardOverloaded",
+    "TaskOutcome",
     "stable_hash",
 ]

@@ -10,18 +10,54 @@ context (:func:`repro.obs.spans.set_shard`), so every engine span a
 scattered task closes carries a ``shard`` attribute and profiles /
 flight-recorder traces attribute work to shards even when the pool
 thread is reused across shards.
+
+Fault plans are context-scoped (:func:`repro.faults.inject.fault_scope`)
+and thread pools do not inherit context, so :meth:`Executor.submit`
+captures the caller's active plan and re-arms it inside the task — a
+chaos scope around ``ask_all`` reaches every per-shard task.  Only the
+plan is carried over, deliberately not the whole context: spans opened
+in pool threads must stay parentless (the PR 6 attribution contract).
+Each task consults the injection site ``cluster.task.<shard>`` before
+running, so schedules can stall, delay, or fail one specific shard.
+
+:meth:`scatter` raises the first (item-order) error after all tasks
+finish; :meth:`scatter_outcomes` instead reports per-item
+:class:`TaskOutcome`\\ s and enforces an optional gather deadline —
+the building block for degraded partial fan-outs.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
 
+from ..faults.inject import (
+    active_plan,
+    armed as _faults_armed,
+    check_site as _check_site,
+    fault_scope,
+)
+from ..faults.policies import Deadline, DeadlineExceeded
 from ..obs.spans import reset_shard, set_shard, span as _span
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass
+class TaskOutcome(Generic[R]):
+    """One scattered task's result: a value or the error that ate it."""
+
+    index: int
+    value: Optional[R] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 class Executor:
@@ -49,12 +85,16 @@ class Executor:
         self, shard: int, fn: Callable[..., R], *args: object, **kwargs: object
     ) -> "Future[R]":
         """Run ``fn`` on the pool with ``shard`` bound to the obs context."""
+        plan = active_plan()
 
         def bound() -> R:
             token = set_shard(shard)
             try:
-                with _span("cluster.task", shard=shard):
-                    return fn(*args, **kwargs)
+                with fault_scope(plan):
+                    if _faults_armed():
+                        _check_site(f"cluster.task.{shard}")
+                    with _span("cluster.task", shard=shard):
+                        return fn(*args, **kwargs)
             finally:
                 reset_shard(token)
 
@@ -89,9 +129,60 @@ class Executor:
             raise first_error
         return results
 
+    def scatter_outcomes(
+        self,
+        items: Sequence[T],
+        fn: Callable[[int, T], R],
+        deadline: Optional[Deadline] = None,
+    ) -> List[TaskOutcome[R]]:
+        """Like :meth:`scatter`, but no exception wins: every item gets a
+        :class:`TaskOutcome`, in item order.
+
+        With a ``deadline``, each gather waits at most the remaining
+        budget; an overrunning task (a stalled shard) is reported as
+        :class:`DeadlineExceeded` without blocking the fan-out.  The
+        task itself keeps running on its pool thread — threads cannot
+        be preempted — but its result is abandoned.  The single-item
+        inline shortcut is skipped under a deadline for the same
+        reason: inline execution could not be timed out.
+        """
+        if not items:
+            return []
+        if len(items) == 1 and deadline is None:
+            try:
+                return [TaskOutcome(0, value=self._run_inline(0, items[0], fn))]
+            except BaseException as exc:
+                return [TaskOutcome(0, error=exc)]
+        futures = [self.submit(index, fn, index, item) for index, item in enumerate(items)]
+        outcomes: List[TaskOutcome[R]] = []
+        for index, future in enumerate(futures):
+            try:
+                if deadline is None:
+                    outcomes.append(TaskOutcome(index, value=future.result()))
+                else:
+                    remaining = deadline.remaining()
+                    outcomes.append(
+                        TaskOutcome(index, value=future.result(timeout=remaining))
+                    )
+            except FutureTimeoutError:
+                future.cancel()
+                outcomes.append(
+                    TaskOutcome(
+                        index,
+                        error=DeadlineExceeded(
+                            f"task {index} missed the gather deadline"
+                        ),
+                    )
+                )
+            except BaseException as exc:
+                outcomes.append(TaskOutcome(index, error=exc))
+        return outcomes
+
     def _run_inline(self, index: int, item: T, fn: Callable[[int, T], R]) -> R:
         token = set_shard(index)
         try:
+            if _faults_armed():
+                _check_site(f"cluster.task.{index}")
             with _span("cluster.task", shard=index):
                 return fn(index, item)
         finally:
@@ -108,4 +199,4 @@ class Executor:
         return f"Executor(max_workers={self._max_workers}, {state})"
 
 
-__all__ = ["Executor"]
+__all__ = ["Executor", "TaskOutcome"]

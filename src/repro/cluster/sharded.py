@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -49,12 +50,16 @@ from typing import (
 from ..core.query import PSQuery
 from ..core.tree import DataTree
 from ..core.treetype import TreeType
+from ..faults.inject import FaultInjected
+from ..faults.policies import CircuitBreaker, CircuitOpen, Deadline, RetryPolicy
 from ..mediator.local_query import overlay
 from ..mediator.source import InMemorySource
 from ..mediator.webhouse import Webhouse
 from ..obs.sketch import QuantileSketch
 from ..obs.spans import reset_shard, set_shard, span as _span
 from ..obs.state import STATE as _OBS
+from ..store.journal import JournalError
+from ..store.session import StoreError
 from .admission import AdmissionController
 from .executor import Executor
 from .locks import RWLock
@@ -62,6 +67,36 @@ from .ring import DEFAULT_REPLICAS, Router
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..store.session import SessionStore
+
+#: Errors worth retrying / counting against a shard's breaker: injected
+#: faults and the store-layer failures they (or real disks) surface as.
+#: Deliberate control decisions — admission shedding, validation — are
+#: excluded: retrying them would amplify load, not absorb a glitch.
+RETRYABLE_ERRORS = (FaultInjected, JournalError, StoreError, OSError)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the cluster absorbs per-shard trouble (docs/ROBUSTNESS.md).
+
+    * ``retry`` wraps each keyed *write* operation (``record``/``ask``):
+      a transient store failure is retried after the wedged engine is
+      revived from its journal, so one torn write does not surface to
+      the caller.
+    * ``breaker_*`` parameterize the per-shard circuit breakers: after
+      ``breaker_failures`` consecutive unabsorbed failures a shard
+      refuses keyed operations (:class:`CircuitOpen` → HTTP 503) for
+      ``breaker_cooldown_s``, then half-opens on the next call.
+    * ``ask_all_deadline_s`` bounds the fleet fan-out gather: a stalled
+      shard is reported as degraded instead of wedging ``ask_all``.
+    """
+
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(attempts=3, base_s=0.005, cap_s=0.05)
+    )
+    breaker_failures: int = 5
+    breaker_cooldown_s: float = 5.0
+    ask_all_deadline_s: Optional[float] = None
 
 
 def _validate_key(key: str) -> str:
@@ -112,6 +147,7 @@ class ShardedWebhouse:
         admission: Optional[AdmissionController] = None,
         store: Optional["SessionStore"] = None,
         latency_probe: Optional[Callable[[int, str, float], None]] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         if router is not None and router.shards != shards:
             raise ValueError(
@@ -129,6 +165,15 @@ class ShardedWebhouse:
             admission if admission is not None else AdmissionController(shards)
         )
         self._store = store
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        self._breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                f"shard-{index}",
+                failure_threshold=self.resilience.breaker_failures,
+                cooldown_s=self.resilience.breaker_cooldown_s,
+            )
+            for index in range(shards)
+        ]
         #: called after every sketch observation with (shard, op,
         #: seconds) — benchmarks use it to pool the exact raw durations
         #: the shard sketches saw, for ground-truth quantile comparison.
@@ -202,6 +247,61 @@ class ShardedWebhouse:
         if self.latency_probe is not None:
             self.latency_probe(shard.index, op, seconds)
 
+    # -- resilience -------------------------------------------------------------
+
+    def breaker(self, index: int) -> CircuitBreaker:
+        """Shard ``index``'s circuit breaker (for books and tests)."""
+        return self._breakers[index]
+
+    def _revive_engine(self, shard: Shard, key: str) -> None:
+        """Drop a possibly-wedged engine and resume it from its journal.
+
+        Caller holds the shard's *write* lock.  A store-layer failure
+        mid-record can leave an engine's memory ahead of its journal
+        (or its journal handle closed); the only trustworthy copy is
+        disk, so the engine is rebuilt by snapshot + replay — the same
+        Theorem 3.5 path a process restart takes.  In-memory clusters
+        (no store) keep the engine: with no journal to disagree with,
+        memory *is* the state.
+        """
+        sub = self._substores[shard.index]
+        if sub is None or not sub.exists(key):
+            return
+        shard.engines.pop(key, None)
+        revived = Webhouse.resume(sub, key)
+        revived.prepare()
+        shard.engines[key] = revived
+        if _OBS.enabled:
+            _OBS.metrics.inc("cluster.engine_revivals")
+
+    def _resilient(self, shard: Shard, key: str, op: Callable[[], object]) -> object:
+        """Run a keyed engine op under the shard's breaker + retry policy.
+
+        ``op`` must look its engine up on every call — after a failed
+        attempt the engine is revived from disk, and the retry has to
+        see the replacement.  Only :data:`RETRYABLE_ERRORS` are retried
+        or counted against the breaker; admission shedding and
+        validation errors pass straight through.
+        """
+        breaker = self._breakers[shard.index]
+        if not breaker.allow():
+            raise CircuitOpen(breaker.name, breaker.cooldown_s)
+
+        def attempt() -> object:
+            try:
+                return op()
+            except RETRYABLE_ERRORS:
+                self._revive_engine(shard, key)
+                raise
+
+        try:
+            result = self.resilience.retry.call(attempt, retry_on=RETRYABLE_ERRORS)
+        except RETRYABLE_ERRORS:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return result
+
     # -- keyed operations -------------------------------------------------------
 
     def record(self, key: str, query: PSQuery, answer: DataTree) -> None:
@@ -213,11 +313,20 @@ class ShardedWebhouse:
             try:
                 with _span("cluster.record", shard=shard.index, key=key):
                     with shard.lock.write_locked():
-                        engine = shard.engines.get(key)
-                        if engine is None:
-                            engine = self._new_engine(shard, key)
-                        engine.record(query, answer)
-                        engine.prepare()
+
+                        def op() -> None:
+                            engine = shard.engines.get(key)
+                            if engine is None:
+                                engine = self._new_engine(shard, key)
+                            history = engine.history
+                            if history and history[-1] == (query, answer):
+                                # a crashed attempt persisted the pair
+                                # before failing; the retry is already done
+                                return
+                            engine.record(query, answer)
+                            engine.prepare()
+
+                        self._resilient(shard, key, op)
             finally:
                 reset_shard(token)
             self._observe_op(shard, "record", time.perf_counter() - started)
@@ -231,11 +340,16 @@ class ShardedWebhouse:
             try:
                 with _span("cluster.ask", shard=shard.index, key=key):
                     with shard.lock.write_locked():
-                        engine = shard.engines.get(key)
-                        if engine is None:
-                            engine = self._new_engine(shard, key)
-                        result = engine.ask(source, query)
-                        engine.prepare()
+
+                        def op() -> DataTree:
+                            engine = shard.engines.get(key)
+                            if engine is None:
+                                engine = self._new_engine(shard, key)
+                            answer = engine.ask(source, query)
+                            engine.prepare()
+                            return answer
+
+                        result = self._resilient(shard, key, op)
             finally:
                 reset_shard(token)
             self._observe_op(shard, "ask", time.perf_counter() - started)
@@ -316,17 +430,21 @@ class ShardedWebhouse:
             try:
                 with _span("cluster.ask", shard=shard.index, key=key):
                     with shard.lock.write_locked():
-                        engine = shard.engines.get(key)
-                        if engine is None:
-                            engine = self._new_engine(shard, key)
-                        answer = engine.ask(source, query)
-                        engine.prepare()
-                        info = {
-                            "answer": answer,
-                            "shard": shard.index,
-                            "knowledge_size": engine.size(),
-                            "queries_recorded": len(engine.history),
-                        }
+
+                        def op() -> Dict[str, object]:
+                            engine = shard.engines.get(key)
+                            if engine is None:
+                                engine = self._new_engine(shard, key)
+                            answer = engine.ask(source, query)
+                            engine.prepare()
+                            return {
+                                "answer": answer,
+                                "shard": shard.index,
+                                "knowledge_size": engine.size(),
+                                "queries_recorded": len(engine.history),
+                            }
+
+                        info = self._resilient(shard, key, op)
             finally:
                 reset_shard(token)
             self._observe_op(shard, "ask", time.perf_counter() - started)
@@ -349,22 +467,61 @@ class ShardedWebhouse:
         :func:`overlay`.  Returns ``(union, may_have_more)`` where the
         flag is True when *any* session's knowledge might miss matches —
         or when the fleet holds no sessions at all.
+
+        A failing, stalled (past the resilience deadline), or
+        breaker-open shard *degrades* the fan-out instead of failing
+        it: its sessions are simply absent from the union and
+        ``may_have_more`` is forced True.  That direction is safe by
+        Theorem 2.8/3.14 — every returned node is a certain answer of
+        some healthy session, so a partial union never *invents*
+        answers, it only misses some; the caveat flag owns the miss.
+        Use :meth:`ask_all_info` to see which shards degraded.
+        """
+        info = self.ask_all_info(query)
+        return info["sure"], info["may_have_more"]
+
+    def ask_all_info(self, query: PSQuery) -> Dict[str, object]:
+        """:meth:`ask_all` plus degradation books.
+
+        Returns ``sure``, ``may_have_more``, ``degraded`` (True when any
+        shard's sessions are missing from the union), ``failed_shards``
+        (index → error summary), and ``sessions_answered``.
         """
         with _span("cluster.ask_all", shards=len(self._shards)):
+            deadline = (
+                Deadline.after(self.resilience.ask_all_deadline_s)
+                if self.resilience.ask_all_deadline_s is not None
+                else None
+            )
+            failed: Dict[int, str] = {}
+            open_breakers = [
+                shard.index
+                for shard in self._shards
+                if not self._breakers[shard.index].allow()
+            ]
+            live = [s for s in self._shards if s.index not in open_breakers]
+            for index in open_breakers:
+                failed[index] = f"CircuitOpen: shard-{index} is open"
 
-            def per_shard(index: int, shard: Shard) -> List[Tuple[str, DataTree, bool]]:
-                with self.admission.admit(index):
+            def per_shard(_pos: int, shard: Shard) -> List[Tuple[str, DataTree, bool]]:
+                with self.admission.admit(shard.index):
                     with shard.lock.read_locked():
                         return [
                             (key, *engine.answer_with_caveats(query))
                             for key, engine in sorted(shard.engines.items())
                         ]
 
-            gathered = self.executor.scatter(self._shards, per_shard)
-            rows = sorted(
-                (row for shard_rows in gathered for row in shard_rows),
-                key=lambda row: row[0],
-            )
+            outcomes = self.executor.scatter_outcomes(live, per_shard, deadline=deadline)
+            rows: List[Tuple[str, DataTree, bool]] = []
+            for shard, outcome in zip(live, outcomes):
+                if outcome.ok:
+                    rows.extend(outcome.value)
+                else:
+                    error = outcome.error
+                    failed[shard.index] = f"{type(error).__name__}: {error}"
+                    if isinstance(error, RETRYABLE_ERRORS):
+                        self._breakers[shard.index].record_failure()
+            rows.sort(key=lambda row: row[0])
             merged: Optional[DataTree] = None
             may_have_more = not rows
             for _key, sure, more in rows:
@@ -372,9 +529,18 @@ class ShardedWebhouse:
                 if sure.is_empty():
                     continue
                 merged = sure if merged is None else overlay(merged, sure)
+            degraded = bool(failed)
             if _OBS.enabled:
                 _OBS.metrics.inc("cluster.ask_all")
-            return (merged if merged is not None else DataTree.empty()), may_have_more
+                if degraded:
+                    _OBS.metrics.inc("cluster.ask_all_degraded")
+            return {
+                "sure": merged if merged is not None else DataTree.empty(),
+                "may_have_more": may_have_more or degraded,
+                "degraded": degraded,
+                "failed_shards": failed,
+                "sessions_answered": len(rows),
+            }
 
     def merged_sketches(self) -> Dict[str, QuantileSketch]:
         """Fleet latency sketches: per-shard books merged per operation.
@@ -413,10 +579,13 @@ class ShardedWebhouse:
 
             per_shard_stats = self.executor.scatter(self._shards, per_shard)
             admission = self.admission.stats()
-            for stats, gate in zip(per_shard_stats, admission):
+            for stats, gate, breaker in zip(
+                per_shard_stats, admission, self._breakers
+            ):
                 stats["admission"] = {
                     name: count for name, count in gate.items() if name != "shard"
                 }
+                stats["breaker"] = breaker.stats()
             return {
                 "shards": len(self._shards),
                 "sessions": sum(s["sessions"] for s in per_shard_stats),
@@ -502,4 +671,10 @@ class ShardedWebhouse:
         )
 
 
-__all__ = ["SHARD_OPS", "Shard", "ShardedWebhouse"]
+__all__ = [
+    "RETRYABLE_ERRORS",
+    "ResiliencePolicy",
+    "SHARD_OPS",
+    "Shard",
+    "ShardedWebhouse",
+]

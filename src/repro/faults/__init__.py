@@ -1,0 +1,48 @@
+"""Deterministic fault injection and recovery policies (docs/ROBUSTNESS.md).
+
+The plane has three layers, all zero-dependency:
+
+* :mod:`.plan` — :class:`FaultPlan`: named injection sites with
+  probability / nth-call / once triggers, fully reproducible from an
+  int seed and serializable to a one-line spec for failure repro lines;
+* :mod:`.inject` — :func:`fault_scope` (context-var scoped arming) and
+  :func:`check_site` hooks threaded through the store, cluster, and ops
+  layers; compiled down to a single module-flag test when nothing is
+  armed, so the always-on hot path stays within the PR 8 overhead
+  budget (benchmarked by ``benchmarks/bench_e17_faults.py``);
+* :mod:`.policies` — composable :class:`RetryPolicy` (exponential
+  backoff with decorrelated jitter), :class:`Deadline`, and a per-shard
+  :class:`CircuitBreaker`.
+
+:mod:`.chaos` drives seeded record/ask/crash-recover schedules over a
+durable session and checks — via
+:func:`repro.incomplete.certainty.incomplete_equivalent`, Theorem 3.5 —
+that every recovery lands on knowledge equivalent to a fault-free run.
+"""
+
+from .inject import FaultInjected, armed, check_site, fault_scope, active_plan
+from .plan import EFFECTS, FaultError, FaultPlan, FaultRule
+from .policies import (
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "EFFECTS",
+    "FaultError",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "active_plan",
+    "armed",
+    "check_site",
+    "fault_scope",
+]

@@ -1,0 +1,307 @@
+"""Seeded, serializable fault plans.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s plus an int
+seed.  Each rule names one *injection site* (a dotted string such as
+``store.journal.append`` — see docs/ROBUSTNESS.md for the site table),
+one *effect*, and one *trigger*.  All randomness is drawn from
+per-rule ``random.Random`` streams derived from ``(seed, rule index,
+site)``, so a plan fires identically on every run with the same seed
+and the same per-site call sequence — the property that makes a chaos
+failure reproducible from its one-line repro spec.
+
+Spec grammar (round-tripped by :meth:`FaultPlan.parse` /
+:meth:`FaultPlan.spec`)::
+
+    PLAN   := ['seed=N' ';'] RULE (';' RULE)*
+    RULE   := SITE ':' EFFECT (':' PARAM)*
+    EFFECT := error | latency | stall | torn | corrupt | fsync | status
+    PARAM  := p=FLOAT | nth=INT | once | ms=FLOAT | status=INT | frac=FLOAT
+
+Triggers: ``p=0.25`` fires each check with probability 0.25 (default
+``p=1``, i.e. always); ``nth=3`` fires exactly on the third check of
+the site; ``once`` fires on the first trigger only.  Effects are
+interpreted by :func:`repro.faults.inject.check_site` (``error``,
+``latency``, ``stall``) or by the call site itself (``torn``,
+``corrupt``, ``fsync``, ``status``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Effect kinds a rule may carry.  ``error`` raises
+#: :class:`~repro.faults.inject.FaultInjected` from ``check_site``;
+#: ``latency``/``stall`` sleep ``ms`` inside ``check_site``; the data
+#: effects (``torn``, ``corrupt``, ``fsync``, ``status``) are returned
+#: to the call site, which knows how to damage its own medium.
+EFFECTS = ("error", "latency", "stall", "torn", "corrupt", "fsync", "status")
+
+#: Default sleep for ``stall`` when no ``ms`` is given — long enough to
+#: blow any reasonable per-op deadline, short enough not to wedge tests.
+DEFAULT_STALL_MS = 2000.0
+
+#: Default sleep for ``latency`` when no ``ms`` is given.
+DEFAULT_LATENCY_MS = 25.0
+
+
+class FaultError(ValueError):
+    """A fault plan spec cannot be parsed or is inconsistent."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: site + effect + trigger + effect parameters."""
+
+    site: str
+    effect: str
+    probability: float = 1.0  # p= trigger; 1.0 means every check
+    nth: Optional[int] = None  # fire exactly on the nth check (1-based)
+    once: bool = False  # fire at most one time
+    ms: Optional[float] = None  # latency / stall duration
+    status: int = 500  # HTTP status for the ``status`` effect
+    fraction: float = 0.5  # cut point for torn / corrupt damage
+
+    def __post_init__(self) -> None:
+        if not self.site or any(c.isspace() for c in self.site):
+            raise FaultError(f"invalid site {self.site!r}")
+        if self.effect not in EFFECTS:
+            raise FaultError(f"unknown effect {self.effect!r} {EFFECTS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultError(f"p must be within [0, 1], got {self.probability}")
+        if self.nth is not None and self.nth < 1:
+            raise FaultError(f"nth must be >= 1, got {self.nth}")
+        if self.ms is not None and self.ms < 0:
+            raise FaultError(f"ms must be >= 0, got {self.ms}")
+        if not 100 <= self.status <= 599:
+            raise FaultError(f"status must be an HTTP code, got {self.status}")
+        if not 0.0 < self.fraction < 1.0:
+            raise FaultError(f"frac must be within (0, 1), got {self.fraction}")
+
+    @property
+    def sleep_ms(self) -> float:
+        """Effective sleep for latency/stall effects."""
+        if self.ms is not None:
+            return self.ms
+        return DEFAULT_STALL_MS if self.effect == "stall" else DEFAULT_LATENCY_MS
+
+    def spec(self) -> str:
+        """The rule as one spec token (inverse of :meth:`parse`)."""
+        parts = [self.site, self.effect]
+        if self.probability != 1.0:
+            parts.append(f"p={self.probability:g}")
+        if self.nth is not None:
+            parts.append(f"nth={self.nth}")
+        if self.once:
+            parts.append("once")
+        if self.ms is not None:
+            parts.append(f"ms={self.ms:g}")
+        if self.status != 500:
+            parts.append(f"status={self.status}")
+        if self.fraction != 0.5:
+            parts.append(f"frac={self.fraction:g}")
+        return ":".join(parts)
+
+    @classmethod
+    def parse(cls, token: str) -> "FaultRule":
+        """Parse one ``SITE:EFFECT[:PARAM]*`` token."""
+        fields = [f.strip() for f in token.split(":")]
+        if len(fields) < 2 or not fields[0] or not fields[1]:
+            raise FaultError(f"rule {token!r} is not SITE:EFFECT[:PARAM]*")
+        site, effect, params = fields[0], fields[1], fields[2:]
+        kwargs: Dict[str, object] = {}
+        for param in params:
+            if param == "once":
+                kwargs["once"] = True
+                continue
+            if "=" not in param:
+                raise FaultError(f"bad parameter {param!r} in rule {token!r}")
+            key, value = param.split("=", 1)
+            try:
+                if key == "p":
+                    kwargs["probability"] = float(value)
+                elif key == "nth":
+                    kwargs["nth"] = int(value)
+                elif key == "ms":
+                    kwargs["ms"] = float(value)
+                elif key == "status":
+                    kwargs["status"] = int(value)
+                elif key == "frac":
+                    kwargs["fraction"] = float(value)
+                else:
+                    raise FaultError(f"unknown parameter {key!r} in rule {token!r}")
+            except ValueError as exc:
+                if isinstance(exc, FaultError):
+                    raise
+                raise FaultError(f"bad value {value!r} for {key!r} in {token!r}")
+        return cls(site, effect, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fired rule, handed to the call site for interpretation."""
+
+    site: str
+    rule: FaultRule
+
+    @property
+    def effect(self) -> str:
+        return self.rule.effect
+
+    @property
+    def status(self) -> int:
+        return self.rule.status
+
+    @property
+    def fraction(self) -> float:
+        return self.rule.fraction
+
+    def __str__(self) -> str:
+        return f"{self.rule.spec()} @ {self.site}"
+
+
+class _RuleState:
+    """Mutable per-rule books: check/fire counters + derived RNG."""
+
+    __slots__ = ("rng", "checks", "fires")
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.checks = 0
+        self.fires = 0
+
+
+class FaultPlan:
+    """A reproducible schedule of fault rules over named sites.
+
+    The plan carries all mutable trigger state (per-rule check/fire
+    counters and RNG streams) behind one lock, so a single plan may be
+    consulted from many threads (the ops server's handler pool, the
+    cluster executor) while staying deterministic *per site call
+    sequence*.  :meth:`reset` rewinds the plan to its initial state.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0):
+        self._rules: Tuple[FaultRule, ...] = tuple(rules)
+        self._seed = int(seed)
+        self._lock = threading.Lock()
+        self._states: List[_RuleState] = []
+        self.reset()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def rules(self) -> Tuple[FaultRule, ...]:
+        return self._rules
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def spec(self) -> str:
+        """One-line spec that :meth:`parse` reads back identically."""
+        tokens = [f"seed={self._seed}"] if self._seed else []
+        tokens.extend(rule.spec() for rule in self._rules)
+        return ";".join(tokens) if tokens else "seed=0"
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a plan spec (see the module docstring grammar)."""
+        seed = 0
+        rules: List[FaultRule] = []
+        tokens = [t.strip() for t in spec.split(";") if t.strip()]
+        if not tokens:
+            raise FaultError("empty fault plan spec")
+        for token in tokens:
+            if token.startswith("seed="):
+                try:
+                    seed = int(token[5:])
+                except ValueError:
+                    raise FaultError(f"bad seed in {token!r}")
+                continue
+            rules.append(FaultRule.parse(token))
+        return cls(rules, seed=seed)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind all trigger state (counters + RNG streams)."""
+        with self._lock:
+            self._states = [
+                _RuleState(random.Random(f"{self._seed}|{index}|{rule.site}"))
+                for index, rule in enumerate(self._rules)
+            ]
+
+    # -- the decision hot path -------------------------------------------------
+
+    def decide(self, site: str) -> Optional[Fault]:
+        """Should a fault fire at ``site`` for this check?
+
+        Counts the check against every rule matching the site (exact
+        match, or a rule site ending in ``*`` as a prefix wildcard) and
+        returns the first rule whose trigger fires, as a :class:`Fault`.
+        """
+        with self._lock:
+            fired: Optional[Fault] = None
+            for rule, state in zip(self._rules, self._states):
+                if not _site_matches(rule.site, site):
+                    continue
+                state.checks += 1
+                if fired is not None:
+                    continue  # still count checks on later rules
+                if rule.once and state.fires:
+                    continue
+                if rule.nth is not None:
+                    if state.checks != rule.nth:
+                        continue
+                elif rule.probability < 1.0 and state.rng.random() >= rule.probability:
+                    continue
+                state.fires += 1
+                fired = Fault(site, rule)
+            return fired
+
+    # -- books ----------------------------------------------------------------
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Per-rule check/fire counts, rule order."""
+        with self._lock:
+            return [
+                {
+                    "rule": rule.spec(),
+                    "site": rule.site,
+                    "effect": rule.effect,
+                    "checks": state.checks,
+                    "fires": state.fires,
+                }
+                for rule, state in zip(self._rules, self._states)
+            ]
+
+    def fires(self) -> int:
+        """Total rule firings so far."""
+        with self._lock:
+            return sum(state.fires for state in self._states)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec()!r}, fires={self.fires()})"
+
+
+def _site_matches(pattern: str, site: str) -> bool:
+    if pattern.endswith("*"):
+        return site.startswith(pattern[:-1])
+    return pattern == site
+
+
+__all__ = [
+    "DEFAULT_LATENCY_MS",
+    "DEFAULT_STALL_MS",
+    "EFFECTS",
+    "Fault",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+]

@@ -1,0 +1,279 @@
+"""Retry, deadline, and circuit-breaker policies.
+
+Composable building blocks the cluster layer threads through its
+scatter-gather paths (docs/ROBUSTNESS.md):
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  decorrelated jitter.  The *envelope* ``min(cap, base·mult^i)`` is
+  monotone non-decreasing; every actual delay is clamped to
+  ``[base, cap]``; under a deadline the total slept time never exceeds
+  it (the property tests in ``tests/test_retry_policies.py`` pin all
+  three).
+* :class:`Deadline` — an absolute per-op budget with an injectable
+  clock.
+* :class:`CircuitBreaker` — closed → open after N consecutive
+  failures, half-open after the cooldown, re-closed by a success.
+
+Everything takes injectable ``clock`` / ``sleep`` / ``rng`` hooks so
+tests and the chaos suite stay deterministic and instant.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+
+class DeadlineExceeded(RuntimeError):
+    """The per-operation time budget ran out."""
+
+
+class CircuitOpen(RuntimeError):
+    """The circuit breaker is open; the call was refused without trying."""
+
+    def __init__(self, name: str, cooldown_s: float):
+        super().__init__(
+            f"circuit {name!r} is open (cooling down {cooldown_s:g}s)"
+        )
+        self.name = name
+        self.cooldown_s = cooldown_s
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry on an injectable monotonic clock."""
+
+    expires_at: float
+    clock: Callable[[], float] = time.monotonic
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        return cls(clock() + float(seconds), clock)
+
+    def remaining(self) -> float:
+        return max(0.0, self.expires_at - self.clock())
+
+    @property
+    def expired(self) -> bool:
+        return self.clock() >= self.expires_at
+
+    def require(self, what: str = "operation") -> None:
+        if self.expired:
+            raise DeadlineExceeded(f"{what} exceeded its deadline")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff + decorrelated jitter.
+
+    ``attempts`` counts total tries (1 = no retry).  The backoff
+    *envelope* for retry ``i`` (0-based) is ``min(cap_s, base_s ·
+    multiplier^i)``; with ``jitter="decorrelated"`` the actual delay is
+    drawn uniformly from ``[base_s, min(cap_s, max(envelope, 3·prev))]``
+    (AWS-style decorrelated jitter, clamped to the envelope's cap),
+    with ``jitter="none"`` the envelope is used verbatim.  Every delay
+    therefore lies in ``[base_s, cap_s]``.
+    """
+
+    attempts: int = 3
+    base_s: float = 0.01
+    cap_s: float = 1.0
+    multiplier: float = 2.0
+    jitter: str = "decorrelated"  # or "none"
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ValueError(
+                f"need 0 < base_s <= cap_s, got {self.base_s}/{self.cap_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.jitter not in ("decorrelated", "none"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+
+    def envelope(self, retry_index: int) -> float:
+        """The deterministic backoff bound for the given retry (0-based)."""
+        return min(self.cap_s, self.base_s * self.multiplier ** retry_index)
+
+    def delay(
+        self,
+        retry_index: int,
+        rng: Optional[random.Random] = None,
+        previous: float = 0.0,
+    ) -> float:
+        """One concrete delay, within ``[base_s, envelope(retry_index)]``."""
+        bound = self.envelope(retry_index)
+        if self.jitter == "none":
+            return bound
+        rng = rng if rng is not None else random
+        high = min(self.cap_s, max(bound, 3.0 * previous))
+        high = max(self.base_s, high)
+        return min(bound, rng.uniform(self.base_s, high))
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The delay sequence between attempts (``attempts - 1`` values)."""
+        previous = 0.0
+        for index in range(self.attempts - 1):
+            previous = self.delay(index, rng, previous)
+            yield previous
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        deadline: Optional[Deadline] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> object:
+        """Run ``fn`` with retries; re-raises the last error when spent.
+
+        The total slept time never exceeds the deadline: each backoff is
+        clamped to the remaining budget, and when the budget is already
+        exhausted the last error is re-raised instead of sleeping.
+        """
+        previous = 0.0
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt == self.attempts - 1:
+                    raise
+                previous = self.delay(attempt, rng, previous)
+                pause = previous
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        raise
+                    pause = min(pause, remaining)
+                if on_retry is not None:
+                    on_retry(attempt, exc, pause)
+                sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: Circuit breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Closed → open after N consecutive failures; half-open probes after
+    the cooldown; one probe success re-closes, a probe failure re-opens.
+
+    Thread-safe; the clock is injectable so tests need not sleep.
+    """
+
+    def __init__(
+        self,
+        name: str = "circuit",
+        failure_threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._books = {"allowed": 0, "refused": 0, "opens": 0, "closes": 0}
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        """Caller holds the lock.  Applies the cooldown transition."""
+        if self._state == OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Counts the decision.)"""
+        with self._lock:
+            state = self._effective_state()
+            if state == OPEN:
+                self._books["refused"] += 1
+                return False
+            self._books["allowed"] += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._books["closes"] += 1
+            self._state = CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            self._consecutive_failures += 1
+            trip = (
+                state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            )
+            if trip and self._state != OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._books["opens"] += 1
+
+    def guard(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` under the breaker: refuse fast when open, record
+        the outcome otherwise."""
+        if not self.allow():
+            raise CircuitOpen(self.name, self.cooldown_s)
+        try:
+            result = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._effective_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                **self._books,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name!r}, {self.state})"
+
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "HALF_OPEN",
+    "OPEN",
+    "RetryPolicy",
+]

@@ -64,6 +64,14 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..cluster import RWLock, ShardedWebhouse, ShardOverloaded
 from ..core.parsing import parse_query_spec
+from ..faults.inject import (
+    FaultInjected,
+    armed as _faults_armed,
+    check_site as _check_site,
+    fault_scope,
+)
+from ..faults.plan import FaultError, FaultPlan
+from ..faults.policies import CircuitOpen, DeadlineExceeded
 from ..mediator.source import InMemorySource
 from ..mediator.webhouse import Webhouse
 from ..obs.export import (
@@ -281,6 +289,7 @@ class OpsServer:
         slow_s: float = DEFAULT_SLOW_S,
         head_rate: float = 1.0,
         degrade_on_burn: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if webhouse is not None and cluster is not None:
             raise ValueError("pass either webhouse or cluster, not both")
@@ -302,6 +311,10 @@ class OpsServer:
             slo if slo is not None else SloEngine(default_objectives(slow_s))
         )
         self.degrade_on_burn = bool(degrade_on_burn)
+        #: the installed fault plan; armed per dispatched request (the
+        #: handler pool's threads see it through :func:`fault_scope`).
+        #: Swap or clear it live via ``/debug/faults``.
+        self.fault_plan = fault_plan
         #: remedies actually applied by a burning latency SLO, in order
         self.remedies_applied: list = []
         if self.degrade_on_burn:
@@ -323,6 +336,7 @@ class OpsServer:
             "/debug/flightrecorder": self._handle_flightrecorder,
             "/debug/requests": self._handle_requests,
             "/debug/error": self._handle_debug_error,
+            "/debug/faults": self._handle_debug_faults,
         }
 
     # -- lifecycle --------------------------------------------------------------
@@ -388,15 +402,38 @@ class OpsServer:
     def dispatch(
         self, path: str, params: Dict[str, list], extras: Dict[str, object]
     ) -> Tuple[int, str, str]:
-        """Route one request; returns ``(status, body, content_type)``."""
+        """Route one request; returns ``(status, body, content_type)``.
+
+        The installed fault plan (if any) is armed for the duration of
+        the request, so injection sites anywhere below — the store, the
+        cluster, or the ``ops.request`` site consulted right here — see
+        it on this handler thread.  Injected failures surface as real
+        HTTP statuses (5xx feeding the SLO burn engine), never as
+        unhandled exceptions.
+        """
         handler = self._routes.get(path.rstrip("/") or "/")
         if handler is None:
             raise OpsError(404, f"no such endpoint {path!r}")
         try:
-            return handler(params, extras)
+            with fault_scope(self.fault_plan):
+                if _faults_armed():
+                    fault = _check_site("ops.request")
+                    if fault is not None and fault.effect == "status":
+                        raise OpsError(
+                            fault.status, f"injected fault ({fault.rule.spec()})"
+                        )
+                return handler(params, extras)
         except ShardOverloaded as exc:
             # one hot shard degrades loudly; the rest of the fleet is fine
             raise OpsError(503, str(exc), headers={"Retry-After": "1"})
+        except CircuitOpen as exc:
+            raise OpsError(
+                503, str(exc), headers={"Retry-After": f"{exc.cooldown_s:g}"}
+            )
+        except DeadlineExceeded as exc:
+            raise OpsError(504, str(exc))
+        except FaultInjected as exc:
+            raise OpsError(500, str(exc))
 
     def finish_request(
         self,
@@ -770,6 +807,38 @@ class OpsServer:
             raise OpsError(400, f"status must be 5xx, got {status}")
         raise OpsError(status, "induced failure (debug/error fault injection)")
 
+    def _handle_debug_faults(self, params, extras) -> Tuple[int, str, str]:
+        """Inspect or live-swap the server's fault plan.
+
+        * plain GET — report the installed plan and its per-rule books;
+        * ``?plan=SPEC`` — parse and install a new plan (400 on a bad
+          spec; the grammar is in docs/ROBUSTNESS.md);
+        * ``?reset=1`` — rewind the installed plan's trigger state;
+        * ``?disarm=1`` — remove the plan entirely.
+
+        The mutation applies to requests dispatched after this one —
+        including this response's own bookkeeping, which runs with the
+        *previous* plan still armed.
+        """
+        if params.get("disarm"):
+            self.fault_plan = None
+        spec = (params.get("plan") or [None])[0]
+        if spec:
+            try:
+                self.fault_plan = FaultPlan.parse(spec)
+            except FaultError as exc:
+                raise OpsError(400, f"bad fault plan: {exc}")
+        if params.get("reset") and self.fault_plan is not None:
+            self.fault_plan.reset()
+        plan = self.fault_plan
+        document = {
+            "armed": plan is not None,
+            "plan": None if plan is None else plan.spec(),
+            "rules": [] if plan is None else plan.stats(),
+            "fires": 0 if plan is None else plan.fires(),
+        }
+        return 200, json.dumps(document, sort_keys=True, default=str) + "\n", _JSON
+
     def _handle_flightrecorder(self, params, extras) -> Tuple[int, str, str]:
         document = self.recorder.chrome_trace(
             extra={"sampler": self.sampler.stats()}
@@ -828,6 +897,7 @@ _PROBES = (
     ("/slo", "json"),
     ("/debug/flightrecorder", "chrome"),
     ("/debug/requests", "json"),
+    ("/debug/faults", "json"),
 )
 
 #: Extra probes for a cluster server: a routed ask (the ``demo``

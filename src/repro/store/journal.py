@@ -2,19 +2,33 @@
 
 One file, one JSON record per line.  Each line is::
 
-    <crc32 hex, 8 chars> <canonical JSON record>\n
+    <length hex, 8 chars> <crc32 hex, 8 chars> <canonical JSON record>\n
 
-where the checksum covers the JSON bytes.  The record itself is
-``{"seq": n, "event": {...}}`` with strictly increasing sequence
-numbers starting at 1.
+where the length counts the JSON bytes and the checksum covers them.
+The record itself is ``{"seq": n, "event": {...}}`` with strictly
+increasing sequence numbers starting at 1.  Files written by the
+length-free v1 format (``<crc32 hex> <json>\n``) are still read — the
+v2 header is tried first and is self-validating (declared length AND
+checksum must both agree), so a v1 line can never be mistaken for it.
 
 Recovery is tolerant of a *torn tail*: a crash mid-append leaves at most
 one partial line at the end of the file.  :meth:`Journal.open` scans the
 file, keeps the longest valid prefix of records, and truncates anything
 after it — a later line can never be valid when an earlier one is not,
-because sequence numbers must be contiguous.  Corruption strictly before
-the tail (which fsync'd appends cannot produce) is reported via
-:class:`JournalError` unless ``repair=True``.
+because sequence numbers must be contiguous.  A truncation anywhere in
+the final line — inside the length prefix, the checksum, the body, or
+exactly at the header/body boundary — reads as a torn tail, never an
+exception.  Corruption strictly before the tail (which fsync'd appends
+cannot produce) is reported via :class:`JournalError` unless
+``repair=True``.
+
+Injection sites (docs/ROBUSTNESS.md): ``store.journal.append`` fires
+*before* the write for the ``error`` effect (safe to retry) and is
+interpreted here for the data effects — ``torn`` persists a prefix of
+the line, ``corrupt`` persists a damaged body, ``fsync`` persists the
+full line; all three then close the journal and raise, modelling a
+crash after the media was (partially) touched but before the append was
+acknowledged.
 """
 
 from __future__ import annotations
@@ -26,11 +40,15 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..faults.inject import FaultInjected, armed as _faults_armed, check_site as _check_site
 from ..obs.spans import span as _span
 from ..obs.state import STATE as _OBS
 from .codec import canonical_dumps
 
 Event = Dict[str, Any]
+
+#: Bytes of the v2 line header: ``<len hex 8> <sp> <crc hex 8> <sp>``.
+_HEADER = 18
 
 
 class JournalError(ValueError):
@@ -48,20 +66,10 @@ class JournalRecord:
 def _encode_line(record: JournalRecord) -> bytes:
     body = canonical_dumps({"seq": record.seq, "event": record.event}).encode("utf-8")
     crc = zlib.crc32(body) & 0xFFFFFFFF
-    return b"%08x " % crc + body + b"\n"
+    return b"%08x %08x " % (len(body), crc) + body + b"\n"
 
 
-def _decode_line(line: bytes) -> Optional[JournalRecord]:
-    """A parsed record, or None when the line is damaged."""
-    if not line.endswith(b"\n") or len(line) < 10 or line[8:9] != b" ":
-        return None
-    crc_text, body = line[:8], line[9:-1]
-    try:
-        expected = int(crc_text, 16)
-    except ValueError:
-        return None
-    if zlib.crc32(body) & 0xFFFFFFFF != expected:
-        return None
+def _decode_body(body: bytes) -> Optional[JournalRecord]:
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError):
@@ -73,6 +81,60 @@ def _decode_line(line: bytes) -> Optional[JournalRecord]:
     ):
         return None
     return JournalRecord(payload["seq"], payload["event"])
+
+
+def _decode_line_v1(line: bytes) -> Optional[JournalRecord]:
+    """A record in the legacy ``<crc8> <json>\\n`` format, or None."""
+    if not line.endswith(b"\n") or len(line) < 10 or line[8:9] != b" ":
+        return None
+    crc_text, body = line[:8], line[9:-1]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body) & 0xFFFFFFFF != expected:
+        return None
+    return _decode_body(body)
+
+
+def _parse_header(data: bytes, offset: int) -> Optional[Tuple[int, int]]:
+    """``(body_length, crc)`` when a v2 header starts at ``offset``.
+
+    A header cut short by truncation (fewer than 18 bytes left) parses
+    as None, which the scan reads as a torn tail.
+    """
+    header = data[offset : offset + _HEADER]
+    if len(header) < _HEADER or header[8:9] != b" " or header[17:18] != b" ":
+        return None
+    try:
+        return int(header[:8], 16), int(header[9:17], 16)
+    except ValueError:
+        return None
+
+
+def _decode_at(data: bytes, offset: int) -> Tuple[Optional[JournalRecord], int]:
+    """One record starting at ``offset``: ``(record, bytes consumed)``.
+
+    Tries the v2 length-prefixed format first — the declared length and
+    the checksum must both agree, so a v1 line (whose byte 17 is never a
+    space: canonical bodies start ``{"event":``) cannot false-positive.
+    Falls back to v1 for files written before the format change.  Any
+    damage, including a body the file is too short to contain, returns
+    ``(None, ...)`` and stops the scan at this offset.
+    """
+    header = _parse_header(data, offset)
+    if header is not None:
+        length, crc = header
+        end = offset + _HEADER + length + 1
+        if end <= len(data) and data[end - 1 : end] == b"\n":
+            body = data[offset + _HEADER : end - 1]
+            if zlib.crc32(body) & 0xFFFFFFFF == crc:
+                record = _decode_body(body)
+                if record is not None:
+                    return record, end - offset
+    newline = data.find(b"\n", offset)
+    line = data[offset : len(data) if newline < 0 else newline + 1]
+    return _decode_line_v1(line), len(line)
 
 
 class Journal:
@@ -103,15 +165,13 @@ class Journal:
             data = handle.read()
         offset = 0
         while offset < len(data):
-            newline = data.find(b"\n", offset)
-            line = data[offset : len(data) if newline < 0 else newline + 1]
-            record = _decode_line(line)
+            record, consumed = _decode_at(data, offset)
             if record is None or (expected_seq is not None and record.seq != expected_seq):
                 break
             self._records.append(record)
             expected_seq = record.seq + 1
             self._next_seq = expected_seq
-            offset += len(line)
+            offset += consumed
             valid_bytes = offset
         tail = len(data) - valid_bytes
         if tail > 0 and not repair:
@@ -171,12 +231,39 @@ class Journal:
 
     # -- mutation -------------------------------------------------------------
 
+    def _inject_media_fault(self, fault, line: bytes) -> None:
+        """Interpret a data-effect fault at the append site.
+
+        ``torn`` persists a prefix of the line, ``corrupt`` a
+        checksum-invalid full line, ``fsync`` the complete line.  All
+        three then close the journal (the in-memory record list is NOT
+        updated) and raise — a crash after the media was touched but
+        before the append was acknowledged.  Recovery decides what
+        survived; an acknowledged append is never affected.
+        """
+        assert self._file is not None
+        damaged = line
+        if fault.effect == "torn":
+            damaged = line[: max(1, int(len(line) * fault.fraction))]
+        elif fault.effect == "corrupt":
+            cut = max(_HEADER + 1, int(len(line) * fault.fraction))
+            damaged = line[:cut] + bytes((~b) & 0xFF for b in line[cut:-1]) + b"\n"
+        self._file.write(damaged)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.close()
+        raise FaultInjected(fault)
+
     def append(self, event: Event) -> int:
         """Durably append one event; returns its sequence number."""
         if self._file is None:
             raise JournalError(f"{self._path}: journal is closed")
         record = JournalRecord(self._next_seq, dict(event))
         line = _encode_line(record)
+        if _faults_armed():
+            fault = _check_site("store.journal.append")
+            if fault is not None:
+                self._inject_media_fault(fault, line)
         with _span("store.journal.append") as sp:
             self._file.write(line)
             self._file.flush()

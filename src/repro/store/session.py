@@ -48,7 +48,13 @@ from ..refine.minimize import merge_equivalent_symbols
 from ..refine.refine import refine
 from . import codec
 from .journal import Journal
-from .snapshot import latest_snapshot, list_snapshots, prune_snapshots, write_snapshot
+from .snapshot import (
+    SnapshotError,
+    latest_snapshot,
+    list_snapshots,
+    prune_snapshots,
+    write_snapshot,
+)
 
 META_FILENAME = "meta.json"
 JOURNAL_FILENAME = "journal.jsonl"
@@ -289,9 +295,21 @@ class Session:
         compact_journal: bool = True,
         keep: int = 2,
     ) -> str:
-        """Checkpoint now; optionally drop the covered journal prefix."""
+        """Checkpoint now; optionally drop the covered journal prefix.
+
+        The snapshot is read back and checksum-verified before it is
+        promoted (see :func:`repro.store.snapshot.write_snapshot`) and
+        before the journal prefix it covers is compacted away: a
+        silently corrupt snapshot must never become the only copy of
+        the records it claims to hold.  On verification failure
+        :class:`StoreError` is raised with the previous snapshot and
+        the journal intact.
+        """
         upto = self._journal.last_seq
-        path = write_snapshot(self._directory, upto, state, history)
+        try:
+            path = write_snapshot(self._directory, upto, state, history)
+        except SnapshotError as exc:
+            raise StoreError(str(exc))
         self._snapshot_upto = upto
         if compact_journal:
             self._journal.compact(upto)

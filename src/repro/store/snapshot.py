@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.query import PSQuery
 from ..core.tree import DataTree
+from ..faults.inject import armed as _faults_armed, check_site as _check_site
 from ..incomplete.incomplete_tree import IncompleteTree
 from ..obs.spans import span as _span
 from ..obs.state import STATE as _OBS
@@ -40,6 +41,10 @@ from .codec import (
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.json$")
 
 History = Sequence[Tuple[PSQuery, DataTree]]
+
+
+class SnapshotError(ValueError):
+    """A freshly written snapshot failed read-back verification."""
 
 
 def snapshot_filename(upto_seq: int) -> str:
@@ -63,8 +68,24 @@ def list_snapshots(directory: str) -> List[Tuple[int, str]]:
 def write_snapshot(
     directory: str, upto_seq: int, state: IncompleteTree, history: History
 ) -> str:
-    """Atomically write a checkpoint; returns its path."""
+    """Atomically write a checkpoint; returns its path.
+
+    The temp file is read back and checksum-verified *before*
+    ``os.replace`` promotes it: a checkpoint at an already-snapshotted
+    sequence number lands on the same filename, so promoting unverified
+    bytes would clobber the previous good snapshot — the only copy of
+    records the journal has already compacted away.  On verification
+    failure the temp file is removed and :class:`SnapshotError` raised;
+    nothing visible changes.  (The chaos suite found exactly this
+    clobbering under an injected torn snapshot write.)
+
+    Injection site ``store.snapshot.write``: ``error`` raises before
+    anything is written; ``torn`` persists a prefix of the rendered
+    document and ``corrupt`` flips its tail bytes — both silently, to
+    exercise the read-back gate.
+    """
     with _span("store.snapshot.write") as sp:
+        fault = _check_site("store.snapshot.write") if _faults_armed() else None
         body = {
             "upto": int(upto_seq),
             "state": incomplete_to_json(state),
@@ -75,10 +96,26 @@ def write_snapshot(
         document["crc"] = f"{zlib.crc32(rendered.encode('utf-8')) & 0xFFFFFFFF:08x}"
         path = os.path.join(directory, snapshot_filename(upto_seq))
         tmp_path = path + ".tmp"
+        payload = canonical_dumps(document)
+        if fault is not None:
+            cut = max(1, int(len(payload) * fault.fraction))
+            if fault.effect == "torn":
+                payload = payload[:cut]
+            elif fault.effect == "corrupt":
+                payload = payload[:cut] + payload[cut:].swapcase()
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(canonical_dumps(document))
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
+        if _read_snapshot(tmp_path) is None:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise SnapshotError(
+                f"snapshot {path} failed read-back verification before "
+                "promotion; previous snapshot and journal left intact"
+            )
         os.replace(tmp_path, path)
         if _OBS.enabled:
             _OBS.metrics.inc("store.snapshot.writes")

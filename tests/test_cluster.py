@@ -748,3 +748,157 @@ class _hold_slots:
         while self._stack:
             self._stack.pop().__exit__(None, None, None)
         return False
+
+
+# -- resilience ------------------------------------------------------------------
+
+
+class TestClusterResilience:
+    """The PR-9 degraded-fan-out and retry/breaker contracts."""
+
+    def _populated(self, shards: int = 4, tenants: int = 8, **kwargs):
+        source = _catalog_source()
+        cluster = _cluster(shards, **kwargs)
+        for i in range(tenants):
+            cluster.ask(f"tenant-{i}", source, query1() if i % 2 else query2())
+        return cluster, source
+
+    def test_ask_all_degrades_to_a_sound_partial_answer(self):
+        """Certain-answer soundness under a failed shard (Thm 2.8/3.14):
+        the degraded union is a subset of the healthy fleet's — missing
+        answers are allowed (the caveat flag owns them), invented ones
+        are not."""
+        from repro.faults.inject import fault_scope
+        from repro.faults.plan import FaultPlan
+
+        cluster, _ = self._populated()
+        try:
+            healthy = cluster.ask_all_info(query1())
+            assert not healthy["degraded"] and not healthy["failed_shards"]
+            victim = cluster.shard_of("tenant-0")
+            plan = FaultPlan.parse(f"cluster.task.{victim}:error:p=1")
+            with fault_scope(plan):
+                degraded = cluster.ask_all_info(query1())
+            assert degraded["degraded"] and degraded["may_have_more"]
+            assert list(degraded["failed_shards"]) == [victim]
+            assert "FaultInjected" in degraded["failed_shards"][victim]
+            assert degraded["sessions_answered"] < healthy["sessions_answered"]
+            healthy_facts = set(_tree_facts(healthy["sure"]))
+            degraded_facts = set(_tree_facts(degraded["sure"]))
+            assert degraded_facts <= healthy_facts
+            # and the tuple API agrees
+            with fault_scope(plan):
+                sure, more = cluster.ask_all(query1())
+            assert more and set(_tree_facts(sure)) <= healthy_facts
+        finally:
+            cluster.close()
+
+    def test_repeated_shard_failures_open_the_breaker(self):
+        from repro.cluster import ResiliencePolicy
+        from repro.faults.inject import fault_scope
+        from repro.faults.plan import FaultPlan
+        from repro.faults.policies import CircuitOpen
+
+        cluster, source = self._populated(
+            resilience=ResiliencePolicy(breaker_failures=2, breaker_cooldown_s=60.0)
+        )
+        try:
+            victim = cluster.shard_of("tenant-0")
+            plan = FaultPlan.parse(f"cluster.task.{victim}:error:p=1")
+            with fault_scope(plan):
+                for _ in range(2):
+                    info = cluster.ask_all_info(query1())
+                    assert victim in info["failed_shards"]
+            assert cluster.breaker(victim).state == "open"
+            # disarmed: the open breaker now pre-filters the shard ...
+            info = cluster.ask_all_info(query1())
+            assert info["degraded"]
+            assert "CircuitOpen" in info["failed_shards"][victim]
+            # ... and keyed writes to it refuse fast
+            with pytest.raises(CircuitOpen):
+                cluster.ask("tenant-0", source, query1())
+            stats = cluster.stats_all()
+            assert stats["per_shard"][victim]["breaker"]["state"] == "open"
+            assert stats["per_shard"][victim]["breaker"]["opens"] == 1
+        finally:
+            cluster.close()
+
+    def test_retry_revives_the_engine_and_absorbs_a_torn_write(self, tmp_path):
+        """A transient store fault inside record must not surface: the
+        wedged engine is revived from its journal and the retry lands —
+        exactly once, even when the crashed attempt already persisted
+        the pair (fsync-crash + dedupe)."""
+        from repro.faults.inject import fault_scope
+        from repro.faults.plan import FaultPlan
+
+        source = _catalog_source()
+        cluster = _cluster(2, store=SessionStore(str(tmp_path)))
+        try:
+            cluster.ask("alice", source, query1())
+            torn_pair = (query2(), query2().evaluate(source.document()))
+            fsync_pair = (query3(), query3().evaluate(source.document()))
+            for effect, pair in (("torn", torn_pair), ("fsync", fsync_pair)):
+                plan = FaultPlan.parse(f"store.journal.append:{effect}:nth=1")
+                with fault_scope(plan):
+                    cluster.record("alice", *pair)
+            engine = cluster.engine("alice")
+            # one ask + two records; the fsync-crashed pair was already
+            # durable when the retry ran, so dedupe kept it exactly once
+            assert len(engine.history) == 3
+            assert list(engine.history) == [
+                engine.history[0],
+                torn_pair,
+                fsync_pair,
+            ]
+        finally:
+            cluster.close()
+
+        resumed = _cluster(2, store=SessionStore(str(tmp_path)))
+        try:
+            assert len(resumed.engine("alice").history) == 3
+        finally:
+            resumed.close()
+
+    def test_stalled_shard_hits_the_gather_deadline(self):
+        from repro.cluster import ResiliencePolicy
+        from repro.faults.inject import fault_scope
+        from repro.faults.plan import FaultPlan
+
+        cluster, _ = self._populated(
+            shards=3,
+            tenants=6,
+            resilience=ResiliencePolicy(ask_all_deadline_s=0.2),
+        )
+        try:
+            victim = cluster.shard_of("tenant-0")
+            plan = FaultPlan.parse(f"cluster.task.{victim}:stall:ms=800")
+            started = time.perf_counter()
+            with fault_scope(plan):
+                info = cluster.ask_all_info(query1())
+            elapsed = time.perf_counter() - started
+            assert info["degraded"]
+            assert "DeadlineExceeded" in info["failed_shards"][victim]
+            assert elapsed < 0.8  # the fan-out did not wait out the stall
+        finally:
+            cluster.close()
+
+    def test_in_memory_record_failure_keeps_the_engine(self):
+        """Without a store there is no journal to revive from; a failed
+        in-memory record leaves existing knowledge untouched."""
+        from repro.faults.inject import FaultInjected, fault_scope
+        from repro.faults.plan import FaultPlan
+
+        source = _catalog_source()
+        cluster = _cluster(2)
+        try:
+            cluster.ask("alice", source, query1())
+            before = cluster.answer("alice", query1())
+            plan = FaultPlan.parse("cluster.task.*:error:p=1")
+            victim = cluster.shard_of("alice")
+            with fault_scope(FaultPlan.parse(f"cluster.task.{victim}:error")):
+                info = cluster.ask_all_info(query1())
+            assert info["degraded"]
+            after = cluster.answer("alice", query1())
+            assert _tree_facts(after[0]) == _tree_facts(before[0])
+        finally:
+            cluster.close()

@@ -1,0 +1,328 @@
+"""Property tests for the retry / deadline / circuit-breaker policies.
+
+Pins the contracts docs/ROBUSTNESS.md promises, over randomized policy
+parameters and seeds:
+
+* the backoff *envelope* ``min(cap, base·mult^i)`` is monotone
+  non-decreasing and capped;
+* every concrete (jittered) delay lies in ``[base_s, envelope(i)]`` —
+  hence in ``[base_s, cap_s]``;
+* under a :class:`Deadline` the total slept time never exceeds the
+  budget (each pause is clamped to the remainder; an exhausted budget
+  re-raises instead of sleeping);
+* the breaker walks its documented state machine: closed → open after
+  N consecutive failures, half-open after the cooldown, re-closed by a
+  probe success, re-opened by a probe failure.
+
+Everything runs on injectable clocks / sleeps / rngs — no test sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.policies import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    """A manual monotonic clock; ``sleep`` advances it."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+        self.slept = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        assert seconds >= 0.0
+        self.slept.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def policies() -> st.SearchStrategy[RetryPolicy]:
+    def build(attempts, base_ms, spread_ms, multiplier, jitter):
+        base_s = base_ms / 1000.0
+        return RetryPolicy(
+            attempts=attempts,
+            base_s=base_s,
+            cap_s=base_s + spread_ms / 1000.0,
+            multiplier=multiplier,
+            jitter=jitter,
+        )
+
+    return st.builds(
+        build,
+        attempts=st.integers(min_value=1, max_value=8),
+        base_ms=st.floats(min_value=0.1, max_value=50.0),
+        spread_ms=st.floats(min_value=0.0, max_value=2000.0),
+        multiplier=st.floats(min_value=1.0, max_value=5.0),
+        jitter=st.sampled_from(["decorrelated", "none"]),
+    )
+
+
+class TestRetryPolicyProperties:
+    @given(policy=policies())
+    def test_envelope_is_monotone_and_capped(self, policy):
+        envelopes = [policy.envelope(i) for i in range(12)]
+        assert all(policy.base_s <= e <= policy.cap_s for e in envelopes)
+        assert all(a <= b for a, b in zip(envelopes, envelopes[1:]))
+
+    @given(policy=policies(), seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=200)
+    def test_every_delay_within_base_and_envelope(self, policy, seed):
+        rng = random.Random(seed)
+        previous = 0.0
+        for index in range(policy.attempts - 1):
+            delay = policy.delay(index, rng, previous)
+            assert policy.base_s <= delay <= policy.envelope(index) + 1e-12
+            assert delay <= policy.cap_s + 1e-12
+            previous = delay
+
+    @given(policy=policies(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_delays_generator_matches_attempts(self, policy, seed):
+        delays = list(policy.delays(random.Random(seed)))
+        assert len(delays) == policy.attempts - 1
+        assert all(policy.base_s <= d <= policy.cap_s + 1e-12 for d in delays)
+
+    @given(policy=policies())
+    def test_no_jitter_is_exactly_the_envelope(self, policy):
+        exact = RetryPolicy(
+            attempts=policy.attempts,
+            base_s=policy.base_s,
+            cap_s=policy.cap_s,
+            multiplier=policy.multiplier,
+            jitter="none",
+        )
+        assert list(exact.delays()) == [
+            exact.envelope(i) for i in range(exact.attempts - 1)
+        ]
+
+    @given(
+        policy=policies(),
+        seed=st.integers(min_value=0, max_value=10**6),
+        budget_ms=st.floats(min_value=0.0, max_value=500.0),
+        succeed_after=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=200)
+    def test_total_sleep_never_exceeds_the_deadline(
+        self, policy, seed, budget_ms, succeed_after
+    ):
+        clock = FakeClock()
+        budget = budget_ms / 1000.0
+        deadline = Deadline.after(budget, clock=clock)
+        calls = []
+
+        def fn():
+            calls.append(clock.now)
+            if len(calls) <= succeed_after:
+                raise OSError("transient")
+            return "done"
+
+        try:
+            result = policy.call(
+                fn,
+                retry_on=(OSError,),
+                deadline=deadline,
+                rng=random.Random(seed),
+                sleep=clock.sleep,
+            )
+            assert result == "done"
+            assert len(calls) == succeed_after + 1
+        except OSError:
+            # ran out of attempts or budget; either way it tried at
+            # least once and never re-raised without a real failure
+            assert 1 <= len(calls) <= policy.attempts
+        assert sum(clock.slept) <= budget + 1e-12
+        assert clock.now <= budget + 1e-12
+
+    @given(policy=policies(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_exhausted_attempts_reraise_the_last_error(self, policy, seed):
+        clock = FakeClock()
+        calls = []
+
+        def fn():
+            calls.append(None)
+            raise ValueError(f"attempt {len(calls)}")
+
+        with pytest.raises(ValueError) as err:
+            policy.call(
+                fn,
+                retry_on=(ValueError,),
+                rng=random.Random(seed),
+                sleep=clock.sleep,
+            )
+        assert len(calls) == policy.attempts
+        assert str(err.value) == f"attempt {policy.attempts}"
+        assert len(clock.slept) == policy.attempts - 1
+
+    def test_unlisted_errors_are_not_retried(self):
+        calls = []
+
+        def fn():
+            calls.append(None)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            RetryPolicy(attempts=5).call(fn, retry_on=(OSError,), sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_on_retry_sees_attempt_error_and_pause(self):
+        seen = []
+        policy = RetryPolicy(attempts=3, base_s=0.01, cap_s=0.01, jitter="none")
+        with pytest.raises(OSError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(OSError("x")),
+                retry_on=(OSError,),
+                sleep=lambda s: None,
+                on_retry=lambda i, exc, pause: seen.append((i, type(exc), pause)),
+            )
+        assert seen == [(0, OSError, 0.01), (1, OSError, 0.01)]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=1.0, cap_s=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter="gaussian")
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.5, clock=clock)
+        assert deadline.remaining() == pytest.approx(1.5)
+        assert not deadline.expired
+        clock.advance(1.0)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert deadline.remaining() == 0.0 and deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.require("the op")
+
+
+class TestCircuitBreakerProperties:
+    def _breaker(self, threshold=3, cooldown=10.0):
+        clock = FakeClock()
+        return (
+            CircuitBreaker(
+                "b", failure_threshold=threshold, cooldown_s=cooldown, clock=clock
+            ),
+            clock,
+        )
+
+    @given(threshold=st.integers(min_value=1, max_value=6))
+    def test_opens_after_exactly_n_consecutive_failures(self, threshold):
+        breaker, _ = self._breaker(threshold=threshold)
+        for _ in range(threshold - 1):
+            breaker.record_failure()
+            assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self._breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED  # never 3 *consecutive* failures
+
+    def test_half_open_after_cooldown_then_probe(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.999)
+        assert not breaker.allow()
+        clock.advance(0.001)
+        assert breaker.state == HALF_OPEN and breaker.allow()
+        # probe failure re-opens immediately, regardless of the streak
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_guard_refuses_fast_when_open(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=5.0)
+        with pytest.raises(OSError):
+            breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        with pytest.raises(CircuitOpen) as err:
+            breaker.guard(lambda: "never runs")
+        assert err.value.name == "b" and err.value.cooldown_s == 5.0
+        clock.advance(5.0)
+        assert breaker.guard(lambda: "ran") == "ran"
+        assert breaker.state == CLOSED
+
+    @given(
+        threshold=st.integers(min_value=1, max_value=4),
+        events=st.lists(
+            st.sampled_from(["ok", "fail", "wait"]), min_size=1, max_size=40
+        ),
+    )
+    @settings(max_examples=200)
+    def test_state_machine_matches_the_model(self, threshold, events):
+        """Model-check the breaker against the documented transition
+        system under arbitrary success/failure/cooldown interleavings."""
+        cooldown = 10.0
+        breaker, clock = self._breaker(threshold=threshold, cooldown=cooldown)
+        state, streak, opened_at = CLOSED, 0, None
+
+        def effective():
+            if state == OPEN and clock.now - opened_at >= cooldown:
+                return HALF_OPEN
+            return state
+
+        for event in events:
+            if event == "wait":
+                clock.advance(cooldown)
+            elif event == "ok":
+                breaker.record_success()
+                state, streak, opened_at = CLOSED, 0, None
+            else:
+                state = effective()  # materialize the cooldown transition
+                breaker.record_failure()
+                streak += 1
+                if (state == HALF_OPEN or streak >= threshold) and state != OPEN:
+                    state, opened_at = OPEN, clock.now
+            assert breaker.state == effective()
+            assert breaker.allow() == (effective() != OPEN)
+
+    def test_books_count_opens_closes_refusals(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        breaker.record_success()
+        stats = breaker.stats()
+        assert stats["opens"] == 1 and stats["closes"] == 1
+        assert stats["refused"] == 1 and stats["state"] == CLOSED
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)

@@ -216,6 +216,67 @@ class TestJournal:
         assert fresh.append({"n": 1}) == 8
         fresh.close()
 
+    def test_truncation_at_every_offset_of_the_final_record(self, tmp_path):
+        """A crash can cut the tail anywhere — inside the 8-char length
+        prefix, the checksum, exactly at the header/body boundary, or
+        mid-body.  Every cut must open cleanly as [first record]."""
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append({"n": 1, "pad": "x" * 40})
+        first_len = os.path.getsize(path)
+        with Journal(path) as journal:
+            journal.append({"n": 2, "pad": "y" * 40})
+        data = open(path, "rb").read()
+        for cut in range(first_len, len(data)):
+            open(path, "wb").write(data[:cut])
+            with Journal(path) as journal:
+                assert [e["n"] for e in journal.events()] == [1], f"cut at {cut}"
+                assert journal.append({"n": 3}) == 2  # tail repaired in place
+        # an untruncated file still reads both, of course
+        open(path, "wb").write(data)
+        with Journal(path) as journal:
+            assert [e["n"] for e in journal.events()] == [1, 2]
+
+    def test_truncation_inside_the_first_record_empties_the_log(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append({"n": 1})
+        data = open(path, "rb").read()
+        for cut in (1, 5, 8, 9, 17, 18, len(data) - 1):
+            open(path, "wb").write(data[:cut])
+            with Journal(path) as journal:
+                assert len(journal) == 0
+                assert journal.append({"n": 1}) == 1
+
+    def test_legacy_v1_lines_still_read(self, tmp_path):
+        """Files written before the length-prefixed v2 format must stay
+        readable, and appends continue (in v2) after the v1 prefix."""
+        import zlib
+
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "wb") as handle:
+            for seq in (1, 2):
+                body = canonical_dumps(
+                    {"seq": seq, "event": {"n": seq}}
+                ).encode("utf-8")
+                crc = zlib.crc32(body) & 0xFFFFFFFF
+                handle.write(b"%08x " % crc + body + b"\n")
+        with Journal(path) as journal:
+            assert [e["n"] for e in journal.events()] == [1, 2]
+            assert journal.append({"n": 3}) == 3
+        with Journal(path) as journal:  # mixed v1+v2 file re-reads fine
+            assert [e["n"] for e in journal.events()] == [1, 2, 3]
+
+    def test_torn_v1_tail_is_truncated_too(self, tmp_path):
+        import zlib
+
+        path = str(tmp_path / "j.jsonl")
+        body = canonical_dumps({"seq": 1, "event": {"n": 1}}).encode("utf-8")
+        line = b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body + b"\n"
+        open(path, "wb").write(line + line[: len(line) // 2])
+        with Journal(path) as journal:
+            assert [e["n"] for e in journal.events()] == [1]
+
 
 class TestSnapshot:
     def _state_and_history(self):
