@@ -23,11 +23,17 @@ repo:
 * :class:`~repro.cluster.sharded.ShardedWebhouse` — the pool itself:
   keyed ``record``/``ask``/``answer`` plus fleet-wide ``ask_all`` /
   ``stats_all`` whose certain-answer union is invariant under the
-  shard count.
+  shard count — and under the execution backend.
+* :mod:`~repro.cluster.wire` — the length-prefixed, CRC-checked binary
+  frame codec (canonical JSON payloads) the process backend speaks.
+* :class:`~repro.cluster.proc.ProcWorkerPool` — one spawned worker
+  process per shard (``backend="process"``), so shard work runs on
+  real cores instead of timeslicing one GIL; dead workers respawn and
+  revive their engines from the journal.
 
 See ``docs/CLUSTER.md`` for routing, rebalancing, admission control,
-and failure modes; ``repro serve --shards N`` puts the pool behind the
-HTTP ops plane.
+and failure modes; ``repro serve --shards N --backend process`` puts
+the pool behind the HTTP ops plane.
 """
 
 from __future__ import annotations
@@ -35,14 +41,33 @@ from __future__ import annotations
 from .admission import AdmissionController, POLICIES, ShardOverloaded
 from .executor import Executor, TaskOutcome
 from .locks import RWLock
+from .proc import (
+    ProcWorkerPool,
+    WORKER_OPS,
+    WorkerConfig,
+    WorkerError,
+    WorkerFault,
+    WorkerUnavailable,
+)
 from .ring import DEFAULT_REPLICAS, Router, stable_hash
-from .sharded import RETRYABLE_ERRORS, ResiliencePolicy, Shard, ShardedWebhouse
+from .sharded import (
+    BACKENDS,
+    PROC_RETRYABLE_ERRORS,
+    RETRYABLE_ERRORS,
+    ResiliencePolicy,
+    Shard,
+    ShardedWebhouse,
+)
+from .wire import WireError
 
 __all__ = [
     "AdmissionController",
+    "BACKENDS",
     "DEFAULT_REPLICAS",
     "Executor",
     "POLICIES",
+    "PROC_RETRYABLE_ERRORS",
+    "ProcWorkerPool",
     "RETRYABLE_ERRORS",
     "ResiliencePolicy",
     "RWLock",
@@ -51,5 +76,11 @@ __all__ = [
     "ShardedWebhouse",
     "ShardOverloaded",
     "TaskOutcome",
+    "WORKER_OPS",
+    "WireError",
+    "WorkerConfig",
+    "WorkerError",
+    "WorkerFault",
+    "WorkerUnavailable",
     "stable_hash",
 ]

@@ -11,14 +11,18 @@ scattered task closes carries a ``shard`` attribute and profiles /
 flight-recorder traces attribute work to shards even when the pool
 thread is reused across shards.
 
-Fault plans are context-scoped (:func:`repro.faults.inject.fault_scope`)
-and thread pools do not inherit context, so :meth:`Executor.submit`
-captures the caller's active plan and re-arms it inside the task — a
-chaos scope around ``ask_all`` reaches every per-shard task.  Only the
-plan is carried over, deliberately not the whole context: spans opened
-in pool threads must stay parentless (the PR 6 attribution contract).
-Each task consults the injection site ``cluster.task.<shard>`` before
-running, so schedules can stall, delay, or fail one specific shard.
+Fault plans and trace ids are context-scoped and thread pools do not
+inherit context, so :meth:`Executor.submit` captures the caller's
+active plan (:func:`repro.faults.inject.active_plan`) *and* request
+trace id (:func:`repro.obs.spans.current_trace_id`) and re-binds both
+inside the task — a chaos scope around ``ask_all`` reaches every
+per-shard task, and spans closed in pool threads carry the caller's
+``X-Repro-Trace-Id`` instead of silently dropping trace parentage.
+Only those two values are carried over, deliberately not the whole
+context: spans opened in pool threads still stay parentless (the PR 6
+attribution contract).  Each task consults the injection site
+``cluster.task.<shard>`` before running, so schedules can stall,
+delay, or fail one specific shard.
 
 :meth:`scatter` raises the first (item-order) error after all tasks
 finish; :meth:`scatter_outcomes` instead reports per-item
@@ -41,7 +45,14 @@ from ..faults.inject import (
     fault_scope,
 )
 from ..faults.policies import Deadline, DeadlineExceeded
-from ..obs.spans import reset_shard, set_shard, span as _span
+from ..obs.spans import (
+    current_trace_id,
+    reset_shard,
+    reset_trace_id,
+    set_shard,
+    set_trace_id,
+    span as _span,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -86,9 +97,11 @@ class Executor:
     ) -> "Future[R]":
         """Run ``fn`` on the pool with ``shard`` bound to the obs context."""
         plan = active_plan()
+        trace_id = current_trace_id()
 
         def bound() -> R:
             token = set_shard(shard)
+            trace_token = set_trace_id(trace_id)
             try:
                 with fault_scope(plan):
                     if _faults_armed():
@@ -96,6 +109,7 @@ class Executor:
                     with _span("cluster.task", shard=shard):
                         return fn(*args, **kwargs)
             finally:
+                reset_trace_id(trace_token)
                 reset_shard(token)
 
         return self._ensure_pool().submit(bound)

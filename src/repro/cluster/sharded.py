@@ -30,6 +30,22 @@ same fact sequence yields identical answers on 1, 2, or 8 shards
 per-session sure answers then share the document root and compose with
 :func:`~repro.mediator.local_query.overlay`.  Sessions over genuinely
 different documents should be queried per key, not fleet-wide.
+
+Backends
+--------
+
+``backend="thread"`` (default) keeps every shard's engines in this
+process behind per-shard readers-writer locks — cheap, but all Refine
+and answering work shares one GIL.  ``backend="process"`` hosts each
+shard in its own worker process (:class:`~repro.cluster.proc.
+ProcWorkerPool`): keyed and fleet operations become request/response
+round trips framed by the :mod:`~repro.cluster.wire` binary codec, the
+worker owns its durable ``SessionStore.shard(i)`` namespace, and shard
+work runs on real cores.  Semantics are identical by construction —
+same router, same admission gates, same :class:`ResiliencePolicy`
+(retry + breakers; the "revive" step becomes a worker respawn whose
+engines resume from the journal), same degraded ``ask_all`` — and the
+certain-answer invariance suite runs against both backends.
 """
 
 from __future__ import annotations
@@ -50,19 +66,33 @@ from typing import (
 from ..core.query import PSQuery
 from ..core.tree import DataTree
 from ..core.treetype import TreeType
-from ..faults.inject import FaultInjected
+from ..faults.inject import FaultInjected, active_plan
 from ..faults.policies import CircuitBreaker, CircuitOpen, Deadline, RetryPolicy
 from ..mediator.local_query import overlay
 from ..mediator.source import InMemorySource
 from ..mediator.webhouse import Webhouse
 from ..obs.sketch import QuantileSketch
-from ..obs.spans import reset_shard, set_shard, span as _span
+from ..obs.spans import current_trace_id, reset_shard, set_shard, span as _span
 from ..obs.state import STATE as _OBS
+from ..perf import caches_enabled
+from ..store.codec import (
+    query_to_json,
+    tree_from_json,
+    tree_to_json,
+    treetype_to_json,
+)
 from ..store.journal import JournalError
 from ..store.session import StoreError
 from .admission import AdmissionController
 from .executor import Executor
 from .locks import RWLock
+from .proc import (
+    ProcWorkerPool,
+    WorkerConfig,
+    WorkerError,
+    WorkerFault,
+    WorkerUnavailable,
+)
 from .ring import DEFAULT_REPLICAS, Router
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -73,6 +103,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Deliberate control decisions — admission shedding, validation — are
 #: excluded: retrying them would amplify load, not absorb a glitch.
 RETRYABLE_ERRORS = (FaultInjected, JournalError, StoreError, OSError)
+
+#: The process backend adds the worker-side retryables: a dead/hung
+#: worker (respawned + journal-revived before the retry) and a remote
+#: store/fault failure the worker reported as retryable.
+PROC_RETRYABLE_ERRORS = RETRYABLE_ERRORS + (WorkerFault, WorkerUnavailable)
+
+#: The execution backends :class:`ShardedWebhouse` supports.
+BACKENDS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -148,11 +186,21 @@ class ShardedWebhouse:
         store: Optional["SessionStore"] = None,
         latency_probe: Optional[Callable[[int, str, float], None]] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        backend: str = "thread",
+        worker_timeout_s: float = 30.0,
     ):
         if router is not None and router.shards != shards:
             raise ValueError(
                 f"router covers {router.shards} shards, cluster has {shards}"
             )
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r} (expected {BACKENDS})")
+        if backend == "process" and factory is not None:
+            raise ValueError(
+                "backend='process' cannot use a live factory; workers "
+                "rebuild engines from (alphabet, tree_type, auto_minimize)"
+            )
+        self._backend = backend
         self._alphabet = sorted(set(alphabet))
         self._tree_type = tree_type
         self._auto_minimize = auto_minimize
@@ -181,6 +229,40 @@ class ShardedWebhouse:
         self._substores: List[Optional["SessionStore"]] = [None] * shards
         if store is not None:
             self._substores = [store.shard(index) for index in range(shards)]
+        #: decoded-source JSON memo for the process backend: id(source)
+        #: -> (source, document JSON), capped small (see _document_json)
+        self._doc_json: Dict[int, Tuple[object, object]] = {}
+        self._pool: Optional[ProcWorkerPool] = None
+        if backend == "process":
+            self._pool = ProcWorkerPool(
+                [
+                    WorkerConfig(
+                        shard=index,
+                        alphabet=tuple(self._alphabet),
+                        tree_type_json=(
+                            None
+                            if tree_type is None
+                            else treetype_to_json(tree_type)
+                        ),
+                        auto_minimize=auto_minimize,
+                        store_root=(
+                            None
+                            if store is None
+                            else self._substores[index].root
+                        ),
+                        snapshot_every=(
+                            store.snapshot_every if store is not None else 32
+                        ),
+                        obs_enabled=_OBS.enabled,
+                        caches_enabled=caches_enabled(),
+                    )
+                    for index in range(shards)
+                ],
+                request_timeout_s=worker_timeout_s,
+            ).start()
+        elif store is not None:
+            # thread backend resumes journaled sessions in-process; the
+            # process backend's workers each resume their own namespace
             self._load_persisted()
 
     # -- construction helpers ---------------------------------------------------
@@ -232,6 +314,11 @@ class ShardedWebhouse:
     @property
     def shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def backend(self) -> str:
+        """The execution backend: ``"thread"`` or ``"process"``."""
+        return self._backend
 
     def shard_of(self, key: str) -> int:
         """The shard index that owns ``key`` (stable across processes)."""
@@ -302,10 +389,116 @@ class ShardedWebhouse:
         breaker.record_success()
         return result
 
+    # -- process backend plumbing -----------------------------------------------
+
+    def _document_json(self, source: InMemorySource) -> object:
+        """``source``'s document in codec JSON, memoized by identity.
+
+        Benchmarks and servers ask against one shared source thousands
+        of times; re-encoding the whole catalog per request would
+        swamp the wire.  The memo is keyed by ``id`` with the source
+        object held in the value, so a recycled id cannot alias a
+        different document.
+        """
+        cached = self._doc_json.get(id(source))
+        if cached is not None and cached[0] is source:
+            return cached[1]
+        document = tree_to_json(source.document())
+        if len(self._doc_json) >= 8:
+            self._doc_json.pop(next(iter(self._doc_json)))
+        self._doc_json[id(source)] = (source, document)
+        return document
+
+    def _resilient_proc(
+        self,
+        shard: Shard,
+        op: str,
+        args: Dict[str, object],
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> object:
+        """The process-backend analogue of :meth:`_resilient`.
+
+        The breaker and retry policy are the same objects; only the
+        revival step differs — instead of rebuilding one engine from
+        its journal in-process, :meth:`ProcWorkerPool.ensure` respawns
+        the shard's worker, which resumes *every* journaled session in
+        its namespace before the retry reaches it.  The caller's trace
+        id and armed fault plan are captured here and ride the wire
+        envelope (contextvars do not cross processes).
+        """
+        breaker = self._breakers[shard.index]
+        if not breaker.allow():
+            raise CircuitOpen(breaker.name, breaker.cooldown_s)
+        pool = self._pool
+        trace_id = current_trace_id()
+        plan = active_plan()
+
+        def attempt() -> object:
+            try:
+                return pool.request(
+                    shard.index,
+                    op,
+                    args,
+                    trace_id=trace_id,
+                    deadline=deadline,
+                    plan=plan,
+                )
+            except (WorkerFault, WorkerUnavailable):
+                pool.ensure(shard.index)
+                raise
+
+        try:
+            result = self.resilience.retry.call(
+                attempt, retry_on=PROC_RETRYABLE_ERRORS
+            )
+        except PROC_RETRYABLE_ERRORS:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return result
+
+    def _keyed_proc(
+        self, op: str, family: str, key: str, args: Dict[str, object]
+    ) -> object:
+        """Route one keyed op to its shard's worker process.
+
+        Admission, span, and latency-sketch bookkeeping mirror the
+        thread path exactly; the shard lock has no process-mode
+        counterpart because the worker serializes its own requests —
+        the worker *is* the shard's write lock.  Unlike the thread
+        backend, reads also pass the breaker: they take the same
+        pipe round trip writes do, so a dead worker should shed them
+        just as fast.
+        """
+        shard = self._shards[self.shard_of(key)]
+        with self.admission.admit(shard.index):
+            started = time.perf_counter()
+            token = set_shard(shard.index)
+            try:
+                with _span(f"cluster.{family}", shard=shard.index, key=key):
+                    value = self._resilient_proc(shard, op, dict(args, key=key))
+            finally:
+                reset_shard(token)
+            self._observe_op(shard, family, time.perf_counter() - started)
+            return value
+
+    @staticmethod
+    def _tree_from_optional(document: object) -> DataTree:
+        return DataTree.empty() if document is None else tree_from_json(document)
+
     # -- keyed operations -------------------------------------------------------
 
     def record(self, key: str, query: PSQuery, answer: DataTree) -> None:
         """Refine session ``key``'s knowledge with one pair (write path)."""
+        if self._backend == "process":
+            self._keyed_proc(
+                "record",
+                "record",
+                key,
+                {"query": query_to_json(query), "answer": tree_to_json(answer)},
+            )
+            return
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
             started = time.perf_counter()
@@ -333,6 +526,17 @@ class ShardedWebhouse:
 
     def ask(self, key: str, source: InMemorySource, query: PSQuery) -> DataTree:
         """Query the source for session ``key`` and fold the answer in."""
+        if self._backend == "process":
+            value = self._keyed_proc(
+                "ask",
+                "ask",
+                key,
+                {
+                    "query": query_to_json(query),
+                    "document": self._document_json(source),
+                },
+            )
+            return tree_from_json(value["answer"])
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
             started = time.perf_counter()
@@ -362,6 +566,14 @@ class ShardedWebhouse:
         ``may_have_more=True`` — *without* creating an engine, so probe
         traffic cannot grow the pool.
         """
+        if self._backend == "process":
+            value = self._keyed_proc(
+                "answer", "answer", key, {"query": query_to_json(query)}
+            )
+            return (
+                self._tree_from_optional(value["sure"]),
+                bool(value["may_have_more"]),
+            )
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
             started = time.perf_counter()
@@ -389,6 +601,17 @@ class ShardedWebhouse:
         ``sure``, ``may_have_more``, ``shard``, ``knowledge_size``,
         ``queries_recorded``.
         """
+        if self._backend == "process":
+            value = self._keyed_proc(
+                "answer_info", "answer", key, {"query": query_to_json(query)}
+            )
+            return {
+                "sure": self._tree_from_optional(value["sure"]),
+                "may_have_more": bool(value["may_have_more"]),
+                "shard": value["shard"],
+                "knowledge_size": value["knowledge_size"],
+                "queries_recorded": value["queries_recorded"],
+            }
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
             started = time.perf_counter()
@@ -423,6 +646,22 @@ class ShardedWebhouse:
         self, key: str, source: InMemorySource, query: PSQuery
     ) -> Dict[str, object]:
         """:meth:`ask` plus the session's books, one lock round-trip."""
+        if self._backend == "process":
+            value = self._keyed_proc(
+                "ask_info",
+                "ask",
+                key,
+                {
+                    "query": query_to_json(query),
+                    "document": self._document_json(source),
+                },
+            )
+            return {
+                "answer": tree_from_json(value["answer"]),
+                "shard": value["shard"],
+                "knowledge_size": value["knowledge_size"],
+                "queries_recorded": value["queries_recorded"],
+            }
         shard = self._shards[self.shard_of(key)]
         with self.admission.admit(shard.index):
             started = time.perf_counter()
@@ -451,7 +690,17 @@ class ShardedWebhouse:
             return info
 
     def engine(self, key: str) -> Optional[Webhouse]:
-        """The engine behind ``key``, if the session exists (read lock)."""
+        """The engine behind ``key``, if the session exists (read lock).
+
+        Process backend: engines live in worker processes; there is no
+        local object to hand out, so this raises — callers that need
+        per-session books should use :meth:`answer_info` instead.
+        """
+        if self._backend == "process":
+            raise NotImplementedError(
+                "backend='process' hosts engines in worker processes; "
+                "use answer_info()/stats_all() for per-session books"
+            )
         shard = self._shards[self.shard_of(key)]
         with shard.lock.read_locked():
             return shard.engines.get(key)
@@ -502,9 +751,27 @@ class ShardedWebhouse:
             live = [s for s in self._shards if s.index not in open_breakers]
             for index in open_breakers:
                 failed[index] = f"CircuitOpen: shard-{index} is open"
+            process = self._backend == "process"
+            query_json = query_to_json(query) if process else None
+            trace_id = current_trace_id()
+            plan = active_plan()
+            retryable = PROC_RETRYABLE_ERRORS if process else RETRYABLE_ERRORS
 
             def per_shard(_pos: int, shard: Shard) -> List[Tuple[str, DataTree, bool]]:
                 with self.admission.admit(shard.index):
+                    if process:
+                        value = self._pool.request(
+                            shard.index,
+                            "answer_all",
+                            {"query": query_json},
+                            trace_id=trace_id,
+                            deadline=deadline,
+                            plan=plan,
+                        )
+                        return [
+                            (row[0], tree_from_json(row[1]), bool(row[2]))
+                            for row in value["rows"]
+                        ]
                     with shard.lock.read_locked():
                         return [
                             (key, *engine.answer_with_caveats(query))
@@ -519,8 +786,15 @@ class ShardedWebhouse:
                 else:
                     error = outcome.error
                     failed[shard.index] = f"{type(error).__name__}: {error}"
-                    if isinstance(error, RETRYABLE_ERRORS):
+                    if isinstance(error, retryable):
                         self._breakers[shard.index].record_failure()
+                        if process and isinstance(error, WorkerUnavailable):
+                            # bring the shard back for the next fan-out;
+                            # this round stays degraded (sound by monotonicity)
+                            try:
+                                self._pool.ensure(shard.index)
+                            except WorkerUnavailable:
+                                pass
             rows.sort(key=lambda row: row[0])
             merged: Optional[DataTree] = None
             may_have_more = not rows
@@ -562,8 +836,45 @@ class ShardedWebhouse:
         """Fleet rollup: per-shard session books, admission stats, and
         merged fleet latency quantiles per keyed operation."""
         with _span("cluster.stats_all", shards=len(self._shards)):
+            process = self._backend == "process"
+            trace_id = current_trace_id()
+            pool_stats = (
+                {row["shard"]: row for row in self._pool.stats()} if process else {}
+            )
 
             def per_shard(index: int, shard: Shard) -> Dict[str, object]:
+                if process:
+                    worker_row = pool_stats.get(index, {})
+                    worker: Dict[str, object] = {
+                        "pid": worker_row.get("pid"),
+                        "alive": worker_row.get("alive", False),
+                        "restarts": worker_row.get("restarts", 0),
+                    }
+                    try:
+                        value = self._pool.request(
+                            index, "stats", trace_id=trace_id
+                        )
+                    except WorkerError as exc:
+                        # a dead shard degrades the rollup, never fails it
+                        worker["alive"] = False
+                        worker["error"] = str(exc)
+                        return {
+                            "shard": index,
+                            "sessions": 0,
+                            "session_keys": [],
+                            "queries_recorded": 0,
+                            "knowledge_size": 0,
+                            "worker": worker,
+                        }
+                    worker["requests_handled"] = value["requests_handled"]
+                    return {
+                        "shard": index,
+                        "sessions": value["sessions"],
+                        "session_keys": value["session_keys"],
+                        "queries_recorded": value["queries_recorded"],
+                        "knowledge_size": value["knowledge_size"],
+                        "worker": worker,
+                    }
                 with shard.lock.read_locked():
                     return {
                         "shard": index,
@@ -586,8 +897,9 @@ class ShardedWebhouse:
                     name: count for name, count in gate.items() if name != "shard"
                 }
                 stats["breaker"] = breaker.stats()
-            return {
+            rollup: Dict[str, object] = {
                 "shards": len(self._shards),
+                "backend": self._backend,
                 "sessions": sum(s["sessions"] for s in per_shard_stats),
                 "queries_recorded": sum(
                     s["queries_recorded"] for s in per_shard_stats
@@ -600,12 +912,37 @@ class ShardedWebhouse:
                     if sketch.count
                 },
             }
+            if process:
+                # worker-side *service* time, next to the router-side
+                # round-trip latency above; the gap between them is the
+                # wire + scheduling overhead of the process hop
+                rollup["worker_latency"] = {
+                    op: sketch.summary()
+                    for op, sketch in self._pool.worker_sketches().items()
+                    if sketch.count
+                }
+            return rollup
 
     # -- inventory --------------------------------------------------------------
 
+    def _worker_inventory(self) -> List[Dict[str, object]]:
+        """Per-worker stats rows, skipping dead workers (process mode)."""
+        rows: List[Dict[str, object]] = []
+        for shard in self._shards:
+            try:
+                rows.append(self._pool.request(shard.index, "stats"))
+            except WorkerError:
+                continue
+        return rows
+
     def sessions(self) -> List[str]:
         """All session keys, sorted (read-locks each shard in turn)."""
-        keys: List[str] = []
+        if self._backend == "process":
+            keys: List[str] = []
+            for row in self._worker_inventory():
+                keys.extend(row["session_keys"])
+            return sorted(keys)
+        keys = []
         for shard in self._shards:
             with shard.lock.read_locked():
                 keys.extend(shard.engines)
@@ -613,6 +950,8 @@ class ShardedWebhouse:
 
     def size(self) -> int:
         """Total maintained knowledge size across every session."""
+        if self._backend == "process":
+            return sum(row["knowledge_size"] for row in self._worker_inventory())
         total = 0
         for shard in self._shards:
             with shard.lock.read_locked():
@@ -620,6 +959,8 @@ class ShardedWebhouse:
         return total
 
     def __len__(self) -> int:
+        if self._backend == "process":
+            return sum(row["sessions"] for row in self._worker_inventory())
         return sum(len(shard.engines) for shard in self._shards)
 
     # -- lifecycle --------------------------------------------------------------
@@ -635,6 +976,11 @@ class ShardedWebhouse:
         relocated (a restart against the store re-resumes into the new
         layout's directories).
         """
+        if self._backend == "process":
+            raise NotImplementedError(
+                "backend='process' cannot move live engines between "
+                "processes; rebuild the cluster against the store"
+            )
         new = ShardedWebhouse(
             self._alphabet,
             tree_type=self._tree_type,
@@ -654,8 +1000,22 @@ class ShardedWebhouse:
                         moved.append(key)
         return new, sorted(moved)
 
+    def worker_sketches(self) -> Dict[str, QuantileSketch]:
+        """Worker-side service-time sketches (empty under ``thread``)."""
+        return self._pool.worker_sketches() if self._pool is not None else {}
+
+    def worker_stats(self) -> List[Dict[str, object]]:
+        """Per-worker lifecycle books (empty under ``thread``)."""
+        return self._pool.stats() if self._pool is not None else []
+
+    def pool(self) -> Optional[ProcWorkerPool]:
+        """The worker pool (process backend only; ``None`` for thread)."""
+        return self._pool
+
     def close(self) -> None:
         """Detach durable sessions and stop the executor (if owned)."""
+        if self._pool is not None:
+            self._pool.stop()
         for shard in self._shards:
             with shard.lock.write_locked():
                 for engine in shard.engines.values():
@@ -666,12 +1026,15 @@ class ShardedWebhouse:
 
     def __repr__(self) -> str:
         return (
-            f"ShardedWebhouse(shards={len(self._shards)}, sessions={len(self)}, "
+            f"ShardedWebhouse(shards={len(self._shards)}, "
+            f"backend={self._backend!r}, sessions={len(self)}, "
             f"policy={self.admission.policy!r})"
         )
 
 
 __all__ = [
+    "BACKENDS",
+    "PROC_RETRYABLE_ERRORS",
     "RETRYABLE_ERRORS",
     "ResiliencePolicy",
     "SHARD_OPS",

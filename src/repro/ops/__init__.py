@@ -31,7 +31,9 @@ from .server import (
     OpsServer,
     demo_cluster,
     demo_webhouse,
+    drive_request,
     hosted_webhouse,
+    proc_self_check,
     self_check,
 )
 from .trace import TraceHandle, new_trace_id, request_trace
@@ -44,8 +46,10 @@ __all__ = [
     "TraceHandle",
     "demo_cluster",
     "demo_webhouse",
+    "drive_request",
     "hosted_webhouse",
     "new_trace_id",
+    "proc_self_check",
     "request_trace",
     "self_check",
 ]
